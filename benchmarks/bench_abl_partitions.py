@@ -1,0 +1,46 @@
+"""ABL-K: number of logarithmic partitions (§2).
+
+The construction prescribes ``log_a N`` partitions. This ablation sweeps
+the partition count around ``log2 N`` and reports search cost plus the
+harmonic divergence of realized link ranks (the navigability score).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import run_experiment
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+PARTITION_COUNTS = (4, 6, 8, 10, 12)
+
+
+def test_abl_partition_count(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "abl-partitions",
+            scale=SCALE,
+            seed=SEED,
+            n_queries=QUERIES,
+            partition_counts=PARTITION_COUNTS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    costs = dict(run.series["mean cost"])
+    network_size = int(run.metadata["size"])
+    log_n = math.log2(network_size)
+
+    # The log2(N)-partition configuration must be near-optimal: within
+    # 30% of the best cost in the sweep.
+    best = min(costs.values())
+    nearest_k = min(costs, key=lambda k: abs(k - log_n))
+    assert costs[nearest_k] <= 1.3 * best
+
+    # Too few partitions lose navigability: the smallest k in the sweep
+    # must not beat the log2(N) configuration.
+    assert costs[min(costs)] >= costs[nearest_k] * 0.95

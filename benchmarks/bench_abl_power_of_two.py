@@ -1,0 +1,41 @@
+"""ABL-P2: the "power of two choices" balancer (§3).
+
+The paper invokes Mitzenmacher's power-of-two technique to balance
+in-degree load across heterogeneous caps. This ablation builds the same
+network with one vs two candidates per link draw and compares load
+balance (Gini of the relative-load ratios) and exploited volume.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+
+def test_abl_power_of_two_balance(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "abl-power-of-two", scale=SCALE, seed=SEED, n_queries=QUERIES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    # Choice-of-two evens out relative load (lower Gini) without hurting
+    # search cost.
+    assert (
+        run.scalars["load_gini_power-of-two"]
+        <= run.scalars["load_gini_single-choice"] + 0.02
+    )
+    assert (
+        run.scalars["cost_power-of-two"] <= run.scalars["cost_single-choice"] * 1.25
+    )
+
+    # Exploited volume must not regress with the balancer on.
+    assert (
+        run.scalars["volume_power-of-two"]
+        >= run.scalars["volume_single-choice"] - 0.05
+    )

@@ -1,0 +1,45 @@
+"""ABL-S: sampling budget vs routing quality (§2).
+
+"Our simulation experiments show that such a technique yields very good
+results in practice even with very low sample sizes." This ablation
+sweeps samples-per-median for the UNIFORM estimator and compares against
+exact (oracle) medians.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+SAMPLE_SIZES = (2, 4, 8, 16, 32)
+
+
+def test_abl_sampling_budget(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment(
+            "abl-sampling",
+            scale=SCALE,
+            seed=SEED,
+            n_queries=QUERIES,
+            sample_sizes=SAMPLE_SIZES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    oracle_cost = run.scalars["oracle_cost"]
+    tiny_budget_cost = run.scalars["cost_at_min_budget"]
+    big_budget_cost = run.scalars["cost_at_max_budget"]
+
+    # The paper's claim: very low sample sizes already work. Even the
+    # 2-sample estimator must stay within 2x of exact medians...
+    assert tiny_budget_cost < 2.0 * oracle_cost
+    # ...and a moderate budget closes most of the remaining gap.
+    assert big_budget_cost < 1.4 * oracle_cost
+
+    # Sanity: sampled estimation can't beat the oracle by a margin
+    # (both route the same network class).
+    assert big_budget_cost > 0.5 * oracle_cost

@@ -1,0 +1,37 @@
+"""EXT-L: bandwidth-matched vs bandwidth-oblivious query latency (§1).
+
+The paper lets peers derive their link budgets from bandwidth so that
+query traffic lands where capacity is. Replaying real overlay routes in
+simulated time (single-server FIFO per peer, Poisson arrivals) shows
+what ignoring that costs: with identical peer bandwidths, topology
+family and offered load, uniform caps push transit traffic onto slow
+peers and inflate latency — moderately in the mean (ring hops hit slow
+peers in both systems), clearly in queueing delay.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import SCALE, SEED, attach_result, print_result
+
+
+def test_ext_latency_bandwidth_matching(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment("ext-latency", scale=SCALE, seed=SEED, n_queries=600),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    # Direction: bandwidth-oblivious placement is never cheaper, and
+    # pays a visible queueing premium.
+    assert run.scalars["mean_penalty"] > 1.0
+    assert run.scalars["queue_penalty"] > 1.1
+
+    # Both systems deliver every query (latencies are finite and the
+    # percentile ladder is ordered).
+    for label in ("matched", "oblivious"):
+        ladder = dict(run.series[label])
+        assert ladder[50.0] <= ladder[95.0] <= ladder[100.0]

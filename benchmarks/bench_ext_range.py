@@ -1,0 +1,43 @@
+"""EXT-R: range queries — Oscar's sweep vs a hash DHT's scatter (§1).
+
+The introduction's motivation, quantified: an order-preserving overlay
+answers a range with one search plus a ring sweep; uniform hashing
+forces one lookup per matching item (given a free external index of
+which items exist — without one it cannot answer at all). The cost
+ratio grows with selectivity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import SCALE, SEED, attach_result, print_result
+
+
+def test_ext_range_scatter_penalty(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment("ext-range", scale=SCALE, seed=SEED, n_queries=20),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    # Recall parity: the sweep finds exactly the items the per-key
+    # scatter finds, at every selectivity.
+    for key, value in run.scalars.items():
+        if key.startswith("recall_match_"):
+            assert value == 1.0, key
+
+    # The motivation claim: hashing pays a multiple of Oscar's cost,
+    # and the multiple grows with range selectivity.
+    assert run.scalars["ratio_at_max_selectivity"] > 2.0
+    assert (
+        run.scalars["ratio_at_max_selectivity"]
+        >= run.scalars["ratio_at_min_selectivity"] * 0.8
+    )
+
+    oscar = dict(run.series["oscar (search + sweep)"])
+    chord = dict(run.series["chord (per-item lookups)"])
+    widest = max(oscar)
+    assert chord[widest] > oscar[widest]

@@ -1,0 +1,56 @@
+"""Figure 1(b): relative degree load under three cap distributions.
+
+Paper: peers sorted by ``actual in-degree / available in-degree`` show
+near-identical load curves for constant / "realistic" / "stepped" caps,
+exploiting ~85% of the available degree volume at 10,000 peers; Mercury
+with constant caps reaches only ~61%.
+
+Measured at ``REPRO_BENCH_SCALE`` of the paper's size; the claims under
+test are the curve similarity, Oscar's high exploitation, and the
+Oscar > Mercury gap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import SCALE, SEED, attach_result, print_result
+
+
+def test_fig1b_relative_degree_load(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment("fig1b", scale=SCALE, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    volumes = {
+        label: run.scalars[f"volume_{label}"]
+        for label in ("constant", "realistic", "stepped")
+    }
+    mercury = run.scalars["volume_mercury_constant"]
+
+    # Oscar exploits a high fraction of contributed capacity in every
+    # heterogeneity case (paper: ~0.85)...
+    for label, volume in volumes.items():
+        assert volume > 0.70, f"{label}: volume {volume:.2f}"
+
+    # ...and the three cases sit reasonably close together (the
+    # heterogeneity-adaptation claim). The band is wider at reduced
+    # scale: "realistic" caps include rare 100+-cap peers that cannot
+    # fill in a small network; at paper scale the cases converge.
+    assert max(volumes.values()) - min(volumes.values()) < 0.30
+
+    # Mercury with the same constant caps exploits clearly less
+    # (paper: 0.61 vs 0.85).
+    assert mercury < min(volumes.values()) - 0.05
+
+    # Load-ratio curves are monotone in [0, 1] by construction; their
+    # bulk must sit high (most peers near their cap, as in the figure).
+    for label in ("constant", "realistic", "stepped"):
+        ys = [y for __, y in run.series[label]]
+        assert 0.0 <= min(ys) and max(ys) <= 1.0
+        median_ratio = sorted(ys)[len(ys) // 2]
+        assert median_ratio > 0.6

@@ -1,0 +1,49 @@
+"""Figure 1(c): search cost vs network size, three in-degree cases.
+
+Paper: Oscar's average search cost at 2000..10000 peers (Gnutella keys,
+mean degree 27) is "almost identical" across constant / realistic /
+stepped cap distributions, and grows slowly (the y axis tops out at 15
+hops at 10,000 peers).
+
+Measured at ``REPRO_BENCH_SCALE``; under test are the overlap of the
+three curves, their slow growth, and 100% query success.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+from repro.smallworld import worst_case_greedy_cost
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+
+def test_fig1c_search_cost_vs_size(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_experiment("fig1c", scale=SCALE, seed=SEED, n_queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    labels = ("constant", "realistic", "stepped")
+
+    # Every query delivered in every case.
+    for label in labels:
+        assert run.scalars[f"success_{label}"] == 1.0
+
+    # The three curves overlap: max gap at the final size stays within
+    # 35% of the cost (the paper's curves are visually indistinguishable;
+    # at reduced scale sampling noise widens the band slightly).
+    final_costs = [run.scalars[f"final_cost_{label}"] for label in labels]
+    assert max(final_costs) - min(final_costs) < 0.35 * max(final_costs)
+
+    # Slow growth: cost at the final size is far below the log^2 worst
+    # case and well below linear scaling from the first measurement.
+    for label in labels:
+        points = run.series[label]
+        first_size, first_cost = points[0]
+        last_size, last_cost = points[-1]
+        assert last_cost < worst_case_greedy_cost(int(last_size))
+        growth_factor = last_size / first_size
+        assert last_cost < first_cost * max(2.0, growth_factor / 2.0)

@@ -1,0 +1,47 @@
+"""Figure 2(a): search cost under churn, constant in-degree caps.
+
+Paper: with 10% and 33% of peers crashed (ring assumed self-stabilized,
+long links dangling, backtracking router), the cost curves order as
+no-faults < 10% < 33%, all remaining shallow — "Oscar remains navigable
+and the search cost is fairly low given the high rate of failed peers"
+(y axis tops out at 50 at 10,000 peers).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import EXPERIMENTS
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+
+def test_fig2a_churn_constant_caps(benchmark):
+    run = benchmark.pedantic(
+        lambda: EXPERIMENTS["fig2a"](scale=SCALE, seed=SEED, n_queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    # Cost ordering at the final network size.
+    cost_0 = run.scalars["final_cost_0pct"]
+    cost_10 = run.scalars["final_cost_10pct"]
+    cost_33 = run.scalars["final_cost_33pct"]
+    assert cost_0 <= cost_10 <= cost_33
+
+    # Churn inflates cost through wasted probes/backtracks...
+    assert run.scalars["wasted_0pct"] == 0.0
+    assert run.scalars["wasted_33pct"] > 0.0
+
+    # ...but the network remains navigable (near-perfect delivery) and
+    # the cost stays within a small multiple of fault-free (paper: ~3x
+    # at 33% crashes).
+    assert run.scalars["success_33pct"] > 0.99
+    assert cost_33 < 6 * cost_0
+
+    # Ordering holds along the whole curve, not just the endpoint.
+    for (sz0, c0), (sz33, c33) in zip(
+        run.series["no faults"], run.series["33% crashes"]
+    ):
+        assert sz0 == sz33
+        assert c0 <= c33 + 0.5  # sampling jitter tolerance at tiny sizes

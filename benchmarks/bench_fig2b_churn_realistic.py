@@ -1,0 +1,34 @@
+"""Figure 2(b): search cost under churn, "realistic" spiky caps.
+
+Same mechanics as Figure 2(a) but with the synthetic spiky cap
+distribution of Figure 1(a) — the claim is that heterogeneous caps do
+not change the churn behaviour: same ordering, same navigability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import EXPERIMENTS
+
+from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+
+
+def test_fig2b_churn_realistic_caps(benchmark):
+    run = benchmark.pedantic(
+        lambda: EXPERIMENTS["fig2b"](scale=SCALE, seed=SEED, n_queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, run)
+    print_result(run)
+
+    cost_0 = run.scalars["final_cost_0pct"]
+    cost_10 = run.scalars["final_cost_10pct"]
+    cost_33 = run.scalars["final_cost_33pct"]
+    assert cost_0 <= cost_10 <= cost_33
+    assert run.scalars["success_33pct"] > 0.99
+    assert cost_33 < 6 * cost_0
+
+    # The heterogeneity claim: spiky caps behave like constant caps under
+    # churn. Cross-check the fault-free curve stays shallow.
+    no_fault_costs = [c for __, c in run.series["no faults"]]
+    assert max(no_fault_costs) < 3 * min(no_fault_costs) + 1.0

@@ -1,0 +1,117 @@
+"""Micro-benchmarks of the hot substrate operations.
+
+Not a paper artifact — these time the primitives every experiment leans
+on (ring lookups, partition estimation, link acquisition, greedy and
+fault-aware routing, a full rewiring round) so performance regressions
+in the simulator itself are visible separately from figure regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import OscarConfig, SamplingMode
+from repro.core import OscarOverlay, estimate_partitions
+from repro.degree import ConstantDegrees
+from repro.metrics import measure_search_cost
+from repro.rng import make_rng, split
+from repro.workloads import GnutellaLikeDistribution
+
+N = 800
+CAP = 10
+
+
+@pytest.fixture(scope="module")
+def overlay() -> OscarOverlay:
+    network = OscarOverlay(OscarConfig(), seed=7)
+    network.grow(N, GnutellaLikeDistribution(), ConstantDegrees(CAP))
+    network.rewire()
+    return network
+
+
+def test_ring_successor_lookups(benchmark, overlay):
+    keys = make_rng(0).random(1000)
+
+    def lookups() -> int:
+        ring = overlay.ring
+        return sum(ring.successor_of_key(float(k)) for k in keys)
+
+    benchmark(lookups)
+    benchmark.extra_info["peers"] = N
+    benchmark.extra_info["lookups_per_round"] = 1000
+
+
+def test_partition_estimation_uniform(benchmark, overlay):
+    rng = split(7, "bench-estimate")
+    node_id = overlay.ring.node_ids(live_only=True)[N // 2]
+
+    benchmark(lambda: estimate_partitions(overlay.ring, node_id, overlay.config, rng))
+    benchmark.extra_info["sample_size"] = overlay.config.sample_size
+
+
+def test_partition_estimation_walk(benchmark, overlay):
+    config = overlay.config.with_mode(SamplingMode.WALK)
+    rng = split(7, "bench-walk")
+    node_id = overlay.ring.node_ids(live_only=True)[N // 2]
+
+    benchmark(
+        lambda: estimate_partitions(
+            overlay.ring, node_id, config, rng, neighbor_fn=overlay.neighbors_of
+        )
+    )
+
+
+def test_greedy_route(benchmark, overlay):
+    rng = split(7, "bench-route")
+    sources = [overlay.random_live_node(rng) for __ in range(100)]
+    keys = rng.random(100)
+
+    def route_batch() -> float:
+        total = 0
+        for source, key in zip(sources, keys):
+            total += overlay.route(source, float(key)).cost
+        return total / len(sources)
+
+    mean_cost = benchmark(route_batch)
+    benchmark.extra_info["mean_cost"] = round(float(mean_cost), 3)
+    assert mean_cost < np.log2(N) ** 2
+
+
+def test_faulty_route_with_churn(benchmark, overlay):
+    from repro.churn import apply_churn, revive_all
+    from repro.config import ChurnConfig
+
+    victims = apply_churn(overlay.ring, overlay.pointers, ChurnConfig(kill_fraction=0.33))
+    rng = split(7, "bench-faulty")
+    sources = [overlay.random_live_node(rng) for __ in range(100)]
+    keys = rng.random(100)
+
+    def route_batch() -> float:
+        total = 0
+        for source, key in zip(sources, keys):
+            total += overlay.route(source, float(key), faulty=True).cost
+        return total / len(sources)
+
+    mean_cost = benchmark(route_batch)
+    benchmark.extra_info["mean_cost_33pct"] = round(float(mean_cost), 3)
+    revive_all(overlay.ring, victims)
+    overlay.repair_ring()
+
+
+def test_full_rewire_round(benchmark):
+    def build_and_rewire():
+        network = OscarOverlay(OscarConfig(), seed=8)
+        network.grow(300, GnutellaLikeDistribution(), ConstantDegrees(8))
+        network.rewire()
+        return network
+
+    benchmark.pedantic(build_and_rewire, rounds=2, iterations=1)
+    benchmark.extra_info["peers"] = 300
+
+
+def test_measure_search_cost_batch(benchmark, overlay):
+    benchmark(
+        lambda: measure_search_cost(overlay, split(7, "bench-measure"), n_queries=200)
+    )
+    benchmark.extra_info["queries"] = 200

@@ -1,0 +1,61 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact through the same
+``repro.experiments`` entry points the CLI uses, then
+
+* asserts the paper's *shape* claims (who wins, orderings, flatness),
+* attaches headline numbers to ``benchmark.extra_info`` so the JSON
+  output doubles as the paper-vs-measured record, and
+* prints the paper-style series rows (visible with ``pytest -s``).
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    Workload scale; 1.0 is paper scale (10,000 peers — minutes per
+    figure in pure Python). Default 0.05 (500 peers), which preserves
+    every qualitative shape while keeping the whole suite a few minutes.
+``REPRO_BENCH_QUERIES``
+    Queries per measurement; 0 means "one per live peer" (the paper's
+    N). Default 200.
+``REPRO_BENCH_SEED``
+    Root seed (default 42).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "200"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> int:
+    return QUERIES
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return SEED
+
+
+def attach_result(benchmark, result) -> None:
+    """Record an ExperimentResult's headline numbers on the benchmark."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["scale"] = SCALE
+    for name, value in sorted(result.scalars.items()):
+        benchmark.extra_info[name] = round(float(value), 4)
+
+
+def print_result(result, **render_kwargs) -> None:
+    """Paper-style rendering of the regenerated figure (pytest -s)."""
+    print()
+    print(result.render(**render_kwargs))

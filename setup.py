@@ -1,0 +1,7 @@
+"""Legacy shim: lets ``pip install -e . --no-build-isolation`` (and plain
+``python setup.py develop``) work on offline hosts whose setuptools lacks
+the ``wheel`` package. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""A classical hash-based DHT (Chord-style) control overlay.
+
+The paper's introduction positions data-oriented overlays against
+hash-based DHTs: uniform hashing balances load by *destroying key
+order*, which makes "non-exact queries (e.g. range or similarity
+queries)" unsupportable except by per-key scatter lookups. This package
+provides that control system so the motivation is measurable:
+
+* :func:`hash_key` — the order-destroying uniform hash;
+* :class:`ChordOverlay` — peers at hashed positions with power-of-two
+  finger tables, routed by the same greedy router as Oscar;
+* :func:`scatter_range` — what a range query costs when key order is
+  gone: one point lookup per matching item.
+"""
+
+from .hashing import hash_key
+from .overlay import ChordOverlay, scatter_range
+
+__all__ = ["ChordOverlay", "hash_key", "scatter_range"]

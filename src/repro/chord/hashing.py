@@ -1,0 +1,36 @@
+"""Uniform key hashing onto the unit circle.
+
+Hash-based DHTs place both peers and items at ``hash(key)``. The hash
+is the whole point *and* the whole problem: it equalizes density (no
+skew survives) but any two keys that were adjacent in the application's
+order land at unrelated positions, so a contiguous application range
+maps to a scatter of circle points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["hash_key", "hash_str"]
+
+#: 2^53 — the largest power of two a float can represent exactly; using
+#: it keeps the hash-to-float conversion uniform and collision-sparse.
+_DENOMINATOR = 1 << 53
+
+
+def hash_str(value: str) -> float:
+    """Hash an arbitrary string key to a position in ``[0, 1)``."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return (int.from_bytes(digest, "big") >> 11) / _DENOMINATOR
+
+
+def hash_key(key: float) -> float:
+    """Hash a numeric application key to a position in ``[0, 1)``.
+
+    The float is hashed by its exact bit pattern (not a decimal
+    rendering), so distinct keys hash independently while equal keys
+    always collide — the lookup contract a DHT needs.
+    """
+    digest = hashlib.blake2b(struct.pack("<d", key), digest_size=8).digest()
+    return (int.from_bytes(digest, "big") >> 11) / _DENOMINATOR

@@ -1,0 +1,238 @@
+"""The Chord-style hash-DHT overlay and its scatter range query.
+
+Peers join at ``hash(application key)`` — uniform positions whatever
+the application skew — and maintain deterministic power-of-two finger
+tables (the successor of ``position + 2^-i`` for each scale ``i``).
+Point lookups ride the same greedy router as Oscar and cost
+``O(log N)``.
+
+What this control system *cannot* do is enumerate an application range:
+hashing scatters adjacent keys across the whole circle, so a range
+query degenerates into one point lookup per item
+(:func:`scatter_range`) — and is only possible at all when the querier
+already knows which keys exist. Both costs are measured by the EXT-R
+experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import RoutingConfig
+from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from ..ring import Ring, RingPointers, attach_node, normalize
+from ..ring import repair as repair_ring
+from ..routing import RouteResult, route_faulty, route_greedy
+from ..rng import split
+from ..types import Key, NodeId
+from ..workloads import KeyDistribution
+from .hashing import hash_key
+
+__all__ = ["ChordOverlay", "scatter_range"]
+
+
+class ChordOverlay:
+    """A hash-based DHT under simulation (the data-oriented control).
+
+    Mirrors the facade surface of
+    :class:`~repro.core.overlay.OscarOverlay` (grow / rewire / route /
+    stat arrays) so the experiment harness and the measurement layer
+    treat it interchangeably. Differences from Oscar:
+
+    * peer positions are ``hash_key(application key)`` — uniform by
+      construction, order destroyed;
+    * long links are deterministic finger tables, not sampled
+      small-world links, so there are no capacity caps to respect
+      (every peer maintains exactly ``ceil(log2 N)`` fingers);
+    * :meth:`rewire` rebuilds fingers against the current population.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        routing: RoutingConfig | None = None,
+    ) -> None:
+        self.routing = routing or RoutingConfig()
+        self.seed = seed
+        self.ring = Ring()
+        self.pointers = RingPointers()
+        self.fingers: dict[NodeId, list[NodeId]] = {}
+        self.application_key: dict[NodeId, Key] = {}
+        self._next_id = 0
+        self._join_rng = split(seed, "chord-join")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, application_key: Key) -> NodeId:
+        """Add a peer identified by an application key; its circle
+        position is the key's hash. Raises
+        :class:`DuplicateNodeError` on (astronomically unlikely) hash
+        collision — callers redraw."""
+        position = hash_key(application_key)
+        node_id = self._next_id
+        self.ring.insert(node_id, position)
+        self._next_id += 1
+        self.application_key[node_id] = application_key
+        self.fingers[node_id] = []
+        attach_node(self.ring, self.pointers, node_id)
+        if self.ring.live_count > 1:
+            self.fingers[node_id] = self._build_fingers(node_id)
+        return node_id
+
+    def grow(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: object = None,
+        paired_caps: bool = True,
+    ) -> None:
+        """Grow to ``target_size`` live peers (same contract as Oscar's
+        ``grow``; the degree distribution is accepted and ignored —
+        finger counts are dictated by the protocol, which is precisely
+        the heterogeneity-blindness the paper criticizes)."""
+        del degrees, paired_caps
+        missing = target_size - self.ring.live_count
+        while missing > 0:
+            key = float(keys.sample(self._join_rng, 1)[0])
+            try:
+                self.join(key)
+            except DuplicateNodeError:
+                continue
+            missing -= 1
+
+    # ------------------------------------------------------------------
+    # fingers
+    # ------------------------------------------------------------------
+
+    def _build_fingers(self, node_id: NodeId) -> list[NodeId]:
+        position = self.ring.position(node_id)
+        n = self.ring.live_count
+        out: list[NodeId] = []
+        for scale in range(1, max(1, math.ceil(math.log2(max(2, n)))) + 1):
+            target = normalize(position + 2.0**-scale)
+            finger = self.ring.successor_of_key(target, live_only=True)
+            if finger != node_id and finger not in out:
+                out.append(finger)
+        return out
+
+    def rewire(self, rng: np.random.Generator | None = None) -> int:
+        """Rebuild every live peer's finger table; returns links placed."""
+        del rng  # deterministic; signature kept facade-compatible
+        placed = 0
+        for node_id in self.ring.node_ids(live_only=True):
+            self.fingers[node_id] = self._build_fingers(node_id)
+            placed += len(self.fingers[node_id])
+        return placed
+
+    def repair_ring(self) -> int:
+        """Re-stabilize ring pointers after churn."""
+        return repair_ring(self.ring, self.pointers)
+
+    # ------------------------------------------------------------------
+    # topology access (NeighborProvider) + routing
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, node_id: NodeId) -> Sequence[NodeId]:
+        """Ring successor + predecessor + fingers (dead links included)."""
+        if node_id not in self.fingers:
+            raise UnknownNodeError(node_id)
+        out: list[NodeId] = []
+        succ = self.pointers.successor.get(node_id)
+        pred = self.pointers.predecessor.get(node_id)
+        if succ is not None and succ != node_id:
+            out.append(succ)
+        if pred is not None and pred != node_id and pred != succ:
+            out.append(pred)
+        out.extend(self.fingers[node_id])
+        return out
+
+    def random_live_node(self, rng: np.random.Generator | None = None) -> NodeId:
+        """A uniformly random live peer."""
+        ids = self.ring.ids_array(live_only=True)
+        if ids.size == 0:
+            raise EmptyPopulationError("overlay has no live peers")
+        generator = rng if rng is not None else self._join_rng
+        return int(ids[int(generator.integers(0, ids.size))])
+
+    def route(
+        self,
+        source: NodeId,
+        target_key: Key,
+        faulty: bool = False,
+        record_path: bool = False,
+    ) -> RouteResult:
+        """Route a lookup for a *circle position* (pre-hashed)."""
+        if faulty:
+            return route_faulty(
+                self.ring, self.pointers, self, source, target_key, self.routing, record_path
+            )
+        return route_greedy(
+            self.ring, self.pointers, self, source, target_key, self.routing, record_path
+        )
+
+    def lookup(self, source: NodeId, application_key: Key, faulty: bool = False) -> RouteResult:
+        """Route a lookup for an *application key* (hashes first)."""
+        return self.route(source, hash_key(application_key), faulty=faulty)
+
+    # ------------------------------------------------------------------
+    # statistics (facade parity)
+    # ------------------------------------------------------------------
+
+    def live_node_ids(self) -> list[NodeId]:
+        """Live peer ids in circle order."""
+        return self.ring.node_ids(live_only=True)
+
+    def in_degree_array(self) -> np.ndarray:
+        """Incoming finger counts per live peer (circle order)."""
+        counts: dict[NodeId, int] = {nid: 0 for nid in self.live_node_ids()}
+        for node_id in self.live_node_ids():
+            for finger in self.fingers[node_id]:
+                if finger in counts:
+                    counts[finger] += 1
+        return np.array([counts[nid] for nid in self.live_node_ids()], dtype=np.int64)
+
+    def out_degree_array(self) -> np.ndarray:
+        """Finger counts per live peer (circle order)."""
+        return np.array(
+            [len(self.fingers[nid]) for nid in self.live_node_ids()], dtype=np.int64
+        )
+
+    def __len__(self) -> int:
+        return self.ring.live_count
+
+    def __repr__(self) -> str:
+        return f"ChordOverlay(live={self.ring.live_count}, total={len(self.ring)})"
+
+
+def scatter_range(
+    overlay: ChordOverlay,
+    source: NodeId,
+    item_keys: Iterable[Key],
+    lo: Key,
+    hi: Key,
+    faulty: bool = False,
+) -> tuple[int, int]:
+    """Resolve a range query the only way a hash DHT can: per-key lookups.
+
+    ``item_keys`` is the full list of application keys known to the
+    querier — granting the DHT a free, perfectly accurate external
+    index of which keys exist (deployed systems need exactly such a
+    side index, or flooding). Every key in the wrapped range
+    ``[lo, hi]`` is looked up individually.
+
+    Returns ``(matching_items, total_messages)``.
+    """
+    if lo <= hi:
+        matches = [k for k in item_keys if lo <= k <= hi]
+    else:
+        matches = [k for k in item_keys if k > lo or k <= hi]
+    messages = 0
+    for key in matches:
+        result = overlay.lookup(source, key, faulty=faulty)
+        messages += result.cost
+    return len(matches), messages

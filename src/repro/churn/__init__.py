@@ -1,0 +1,12 @@
+"""Failure models: the paper's crash waves and a continuous extension.
+
+* :func:`crash_fraction` / :func:`apply_churn` — static kill of 10%/33%
+  of the population with optional ring repair (Figure 2);
+* :class:`ContinuousChurn` — Poisson crashes + periodic maintenance on
+  the event kernel (future-work extension).
+"""
+
+from .failures import apply_churn, crash_fraction, revive_all
+from .process import ContinuousChurn
+
+__all__ = ["ContinuousChurn", "apply_churn", "crash_fraction", "revive_all"]

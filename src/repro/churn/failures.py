@@ -1,0 +1,70 @@
+"""Static failure injection: the paper's crash experiments.
+
+The churn evaluation (paper §3, Figure 2) crashes a fixed fraction of
+the population at once — 10% and 33% — assumes ring self-stabilization
+repairs successor/predecessor pointers among survivors, leaves
+long-range links dangling, and then measures query cost with the
+fault-aware router.
+
+:func:`crash_fraction` implements the kill step; :func:`apply_churn`
+bundles kill + optional ring repair into the exact procedure the
+experiments call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ChurnConfig
+from ..errors import EmptyPopulationError
+from ..ring import Ring, RingPointers, repair
+from ..rng import split
+from ..types import NodeId
+
+__all__ = ["crash_fraction", "revive_all", "apply_churn"]
+
+
+def crash_fraction(ring: Ring, rng: np.random.Generator, fraction: float) -> list[NodeId]:
+    """Crash ``fraction`` of the live population, chosen uniformly.
+
+    The victim count is ``floor(fraction * live_count)``, but never the
+    entire population (at least one peer survives — a fully dead network
+    has no behaviour to measure). Returns the victims' ids.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    live = ring.ids_array(live_only=True)
+    if live.size == 0:
+        raise EmptyPopulationError("no live peers to crash")
+    n_victims = min(int(fraction * live.size), live.size - 1)
+    if n_victims <= 0:
+        return []
+    victims = rng.choice(live, size=n_victims, replace=False)
+    for victim in victims:
+        ring.mark_dead(int(victim))
+    return [int(v) for v in victims]
+
+
+def revive_all(ring: Ring, victims: "list[NodeId]") -> None:
+    """Undo :func:`crash_fraction` (lets one built network serve several
+    churn cases without rebuilding)."""
+    for victim in victims:
+        ring.mark_alive(victim)
+
+
+def apply_churn(ring: Ring, pointers: RingPointers, config: ChurnConfig) -> list[NodeId]:
+    """Run one churn case: crash victims, then (optionally) repair the ring.
+
+    Victim selection uses a stream derived from ``config.seed`` so the
+    same network can be measured under different kill fractions with
+    non-overlapping victim randomness.
+
+    Returns the victims so the caller can :func:`revive_all` afterwards.
+    """
+    if not config.is_faulty:
+        return []
+    rng = split(config.seed, "churn-victims", int(config.kill_fraction * 1_000_000))
+    victims = crash_fraction(ring, rng, config.kill_fraction)
+    if config.repair_ring:
+        repair(ring, pointers)
+    return victims

@@ -1,0 +1,83 @@
+"""Continuous churn as an event-kernel process (extension).
+
+The paper injects a single crash wave; real deployments see continuous
+arrivals and departures. As a future-work extension we provide a churn
+*process* for the discrete-event kernel: peers crash as a Poisson
+process and the ring self-stabilizes on a maintenance period, letting
+examples and tests explore how stale long links accumulate between
+repair rounds.
+
+This module deliberately builds only on public substrate APIs (ring,
+maintenance, kernel) — it is an example of composing the library as a
+downstream user would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from ..engine import Environment, Event
+from ..errors import ConfigError
+from ..ring import Ring, RingPointers, repair
+from ..types import NodeId
+from .failures import crash_fraction
+
+__all__ = ["ContinuousChurn"]
+
+
+@dataclass
+class ContinuousChurn:
+    """Poisson crash process + periodic ring maintenance.
+
+    Args:
+        ring: The shared membership structure.
+        pointers: Ring pointers that maintenance keeps repaired.
+        rng: Randomness for victim choice and exponential gaps.
+        crash_rate: Expected crashes per unit time.
+        maintenance_period: Time between ring repair rounds.
+
+    Attributes:
+        victims: Every peer crashed so far, in order.
+        repairs: ``(time, pointers_changed)`` per maintenance round.
+    """
+
+    ring: Ring
+    pointers: RingPointers
+    rng: np.random.Generator
+    crash_rate: float = 1.0
+    maintenance_period: float = 5.0
+    victims: list[NodeId] = field(default_factory=list)
+    repairs: list[tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.crash_rate <= 0:
+            raise ConfigError(f"crash_rate must be > 0, got {self.crash_rate}")
+        if self.maintenance_period <= 0:
+            raise ConfigError(f"maintenance_period must be > 0, got {self.maintenance_period}")
+
+    def crasher(self, env: Environment) -> Generator[Event, None, None]:
+        """Kernel process: crash one random live peer per exponential gap.
+
+        Stops (returns) when only one live peer would remain.
+        """
+        while True:
+            yield env.timeout(float(self.rng.exponential(1.0 / self.crash_rate)))
+            live = self.ring.ids_array(live_only=True)
+            if live.size <= 1:
+                return
+            dead = crash_fraction(self.ring, self.rng, 1.0 / live.size)
+            self.victims.extend(dead)
+
+    def maintainer(self, env: Environment) -> Generator[Event, None, None]:
+        """Kernel process: periodic Chord-style stabilization."""
+        while True:
+            yield env.timeout(self.maintenance_period)
+            changed = repair(self.ring, self.pointers)
+            self.repairs.append((env.now, changed))
+
+    def start(self, env: Environment) -> tuple[object, object]:
+        """Launch both processes; returns (crasher, maintainer) handles."""
+        return env.process(self.crasher(env)), env.process(self.maintainer(env))

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Examples::
+
+    # full paper scale (10,000 peers; takes minutes)
+    python -m repro fig1c
+
+    # quick look at 10% scale
+    python -m repro fig1c --scale 0.1
+
+    # everything, writing CSVs next to the ASCII renderings
+    python -m repro all --scale 0.2 --csv-dir results/
+
+The ``oscar-repro`` console script installs the same interface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI schema (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="oscar-repro",
+        description="Reproduce figures from 'Oscar: A Data-Oriented Overlay "
+        "For Heterogeneous Environments' (ICDE 2007).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/ablation to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor; 1.0 = paper scale (10,000 peers)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per measurement (default: one per live peer, the "
+        "paper's N; ignored by experiments without a query phase)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write each experiment's series as CSV into this directory",
+    )
+    parser.add_argument(
+        "--log-x", action="store_true", help="render the chart with a log x axis"
+    )
+    parser.add_argument(
+        "--log-y", action="store_true", help="render the chart with a log y axis"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        kwargs: dict[str, object] = {}
+        if args.queries is not None and name != "fig1a":
+            kwargs["n_queries"] = args.queries
+        result = run_experiment(name, scale=args.scale, seed=args.seed, **kwargs)
+        elapsed = time.perf_counter() - started
+        log_x = args.log_x or name == "fig1a"
+        log_y = args.log_y or name == "fig1a"
+        print(result.render(log_x=log_x, log_y=log_y))
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        if args.csv_dir is not None:
+            path = result.write_csv(args.csv_dir)
+            print(f"[series written to {path}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Frozen configuration dataclasses for overlays, routing and experiments.
+
+Configurations are plain, immutable value objects: they carry only scalars
+and enums (never live objects), validate themselves eagerly in
+``__post_init__`` and can therefore be hashed, compared, logged and swept
+over by the experiment harness. Distribution objects (key and degree
+samplers) are passed separately wherever a config is consumed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+
+__all__ = [
+    "SamplingMode",
+    "OscarConfig",
+    "MercuryConfig",
+    "RoutingConfig",
+    "GrowthConfig",
+    "ChurnConfig",
+]
+
+
+class SamplingMode(enum.Enum):
+    """Fidelity of the subpopulation sampling used for median estimation.
+
+    ORACLE
+        Exact medians computed over the true subpopulation. No sampling
+        noise; used for invariant tests and as an upper-bound ablation.
+    UNIFORM
+        ``sample_size`` i.i.d. uniform draws from the restricted
+        subpopulation — the stationary outcome of a well-mixed
+        Metropolis-Hastings random walk. The default for experiments.
+    WALK
+        An explicit random walk over overlay links that refuses to step
+        outside the subpopulation's key range (the paper's Mercury-style
+        restricted walker), collecting every ``walk_hops``-th node.
+    """
+
+    ORACLE = "oracle"
+    UNIFORM = "uniform"
+    WALK = "walk"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class OscarConfig:
+    """Parameters of the Oscar overlay construction (paper §2).
+
+    Attributes:
+        n_partitions: Number of logarithmic partitions each node maintains.
+            ``0`` means "auto": ``ceil(log2(N))`` at (re)wiring time, the
+            paper's ``log_a N`` with ``a = 2``.
+        sample_size: Samples drawn per median estimate. The paper reports
+            that "very low sample sizes" suffice; 16 is our default.
+        sampling_mode: See :class:`SamplingMode`.
+        walk_hops: Steps between collected samples in ``WALK`` mode (mixing
+            time knob).
+        power_of_two: Draw two candidate neighbors per long link and keep
+            the one with the lower current in-degree ("power of two random
+            choices", paper §3). Disabling this is the ABL-P2 ablation.
+        link_retries: How many times a peer redraws (partition, candidate)
+            after all candidates of a draw refused before giving up on that
+            out-link slot.
+        respect_out_caps: Whether peers stop at ``rho_max_out`` links
+            (always true in the paper; exposed for ablations).
+    """
+
+    n_partitions: int = 0
+    sample_size: int = 16
+    sampling_mode: SamplingMode = SamplingMode.UNIFORM
+    walk_hops: int = 8
+    power_of_two: bool = True
+    link_retries: int = 8
+    respect_out_caps: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.n_partitions >= 0, f"n_partitions must be >= 0, got {self.n_partitions}")
+        _require(self.sample_size >= 1, f"sample_size must be >= 1, got {self.sample_size}")
+        _require(isinstance(self.sampling_mode, SamplingMode), "sampling_mode must be a SamplingMode")
+        _require(self.walk_hops >= 1, f"walk_hops must be >= 1, got {self.walk_hops}")
+        _require(self.link_retries >= 0, f"link_retries must be >= 0, got {self.link_retries}")
+
+    def partitions_for(self, population: int) -> int:
+        """Resolve the partition count for a network of ``population`` peers."""
+        _require(population >= 1, f"population must be >= 1, got {population}")
+        if self.n_partitions:
+            return self.n_partitions
+        return max(1, math.ceil(math.log2(max(2, population))))
+
+    def with_mode(self, mode: SamplingMode) -> "OscarConfig":
+        """Return a copy with a different sampling mode (ablation helper)."""
+        return replace(self, sampling_mode=mode)
+
+
+@dataclass(frozen=True)
+class MercuryConfig:
+    """Parameters of the Mercury baseline (Bharambe et al., SIGCOMM'04).
+
+    Attributes:
+        sample_size: Uniform node-position samples each peer draws to build
+            its density histogram. The default 192 matches Oscar's total
+            per-peer budget (16 samples x ~12 median levels) so the
+            comparison isolates *how* the budget is spent, not its size.
+        histogram_buckets: Equi-width buckets of the rank->key estimator.
+            Mercury learns the distribution at a *uniform* resolution —
+            exactly the property the paper argues fails on arbitrary
+            distributions. 64 buckets is deliberately generous.
+        link_retries: Redraws after a refused link (same acceptance rule as
+            Oscar but a single candidate per draw — no power of two).
+    """
+
+    sample_size: int = 192
+    histogram_buckets: int = 64
+    link_retries: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.sample_size >= 2, f"sample_size must be >= 2, got {self.sample_size}")
+        _require(self.histogram_buckets >= 1, f"histogram_buckets must be >= 1, got {self.histogram_buckets}")
+        _require(self.link_retries >= 0, f"link_retries must be >= 0, got {self.link_retries}")
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Parameters of greedy routing and its fault-aware variant (paper §3).
+
+    Attributes:
+        budget: Maximum messages (hops + probes + backtracks) per query
+            before the route is abandoned.
+        probe_cost: Messages charged for discovering that a neighbor is
+            dead (a timed-out probe). The paper counts this as "wasted"
+            traffic; 1 is the natural unit.
+        backtrack_cost: Messages charged for returning to the previous hop
+            when a node has no live improving neighbor.
+    """
+
+    budget: int = 10_000
+    probe_cost: int = 1
+    backtrack_cost: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.budget >= 1, f"budget must be >= 1, got {self.budget}")
+        _require(self.probe_cost >= 0, f"probe_cost must be >= 0, got {self.probe_cost}")
+        _require(self.backtrack_cost >= 0, f"backtrack_cost must be >= 0, got {self.backtrack_cost}")
+
+
+@dataclass(frozen=True)
+class GrowthConfig:
+    """Bootstrap-and-grow harness parameters (paper §3, first paragraph).
+
+    The network starts from ``seed_size`` peers wired into a ring, grows by
+    joins to each size in ``measure_sizes``; at each measured size all
+    peers re-estimate partitions and rewire their long links, then average
+    search cost is measured over ``n_queries`` random queries —
+    ``n_queries = 0`` (the default) means "as many queries as live peers",
+    the paper's "N random queries".
+    """
+
+    seed_size: int = 16
+    measure_sizes: tuple[int, ...] = (2000, 4000, 6000, 8000, 10000)
+    n_queries: int = 0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        _require(self.seed_size >= 2, f"seed_size must be >= 2, got {self.seed_size}")
+        _require(len(self.measure_sizes) >= 1, "measure_sizes must not be empty")
+        _require(
+            all(s >= self.seed_size for s in self.measure_sizes),
+            "every measure size must be >= seed_size",
+        )
+        _require(
+            tuple(sorted(self.measure_sizes)) == tuple(self.measure_sizes),
+            "measure_sizes must be sorted ascending",
+        )
+        _require(self.n_queries >= 0, f"n_queries must be >= 0, got {self.n_queries}")
+
+    @property
+    def final_size(self) -> int:
+        """The largest measured network size."""
+        return self.measure_sizes[-1]
+
+    def queries_at(self, size: int) -> int:
+        """Queries to issue at a measured ``size`` (paper: one per peer)."""
+        return size if self.n_queries == 0 else self.n_queries
+
+    def scaled(self, factor: float) -> "GrowthConfig":
+        """Return a proportionally smaller/larger copy (benchmark helper).
+
+        Sizes are scaled and deduplicated while preserving order; the seed
+        population and query count are scaled with a sensible floor.
+        """
+        _require(factor > 0, f"factor must be > 0, got {factor}")
+        sizes: list[int] = []
+        for s in self.measure_sizes:
+            scaled_size = max(self.seed_size, int(round(s * factor)))
+            if not sizes or scaled_size > sizes[-1]:
+                sizes.append(scaled_size)
+        scaled_queries = self.n_queries if self.n_queries == 0 else max(50, int(round(self.n_queries * factor)))
+        return replace(self, measure_sizes=tuple(sizes), n_queries=scaled_queries)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Failure-injection parameters (paper §3, "Oscar under churn").
+
+    Attributes:
+        kill_fraction: Fraction of the population crashed simultaneously
+            (paper: 0.10 and 0.33).
+        repair_ring: Apply the Chord-style ring repair the paper assumes
+            ("the ring structure was preserved by the devised
+            self-stabilizing techniques").
+        seed: Stream label for selecting victims.
+    """
+
+    kill_fraction: float = 0.0
+    repair_ring: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.kill_fraction < 1.0, f"kill_fraction must be in [0, 1), got {self.kill_fraction}")
+
+    @property
+    def is_faulty(self) -> bool:
+        """True when any peers are crashed at all."""
+        return self.kill_fraction > 0.0
+
+
+# Paper-default experiment shapes, importable by benches and the CLI.
+PAPER_GROWTH = GrowthConfig()
+PAPER_CHURN_CASES: tuple[ChurnConfig, ...] = (
+    ChurnConfig(kill_fraction=0.0),
+    ChurnConfig(kill_fraction=0.10),
+    ChurnConfig(kill_fraction=0.33),
+)

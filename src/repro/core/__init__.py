@@ -1,0 +1,28 @@
+"""Oscar core: the paper's primary contribution.
+
+* :class:`PartitionTable` — recursive-median logarithmic partitions;
+* :func:`estimate_partitions` — oracle / uniform-sample / restricted-walk
+  estimators;
+* :func:`acquire_links` / :func:`rewire_all` — capacity-respecting link
+  acquisition with power-of-two balancing;
+* :class:`OscarOverlay` — the facade tying ring, links and routing
+  together.
+"""
+
+from .construction import LinkAcquisitionStats, acquire_links, rewire_all
+from .estimators import estimate_partitions, oracle_partitions, sampled_partitions
+from .node import OscarNode
+from .overlay import OscarOverlay
+from .partitions import PartitionTable
+
+__all__ = [
+    "LinkAcquisitionStats",
+    "OscarNode",
+    "OscarOverlay",
+    "PartitionTable",
+    "acquire_links",
+    "estimate_partitions",
+    "oracle_partitions",
+    "rewire_all",
+    "sampled_partitions",
+]

@@ -1,0 +1,155 @@
+"""Building partition tables: exact (oracle) and sampled estimators.
+
+The paper's nodes cannot see the population; they *estimate* each median
+"by uniformly sampling each subpopulation B_i" with restricted random
+walkers. This module provides the three fidelity levels declared in
+:class:`~repro.config.SamplingMode`:
+
+* :func:`oracle_partitions` — exact recursive medians straight from the
+  ring's order statistics (`O(k log N)`); ground truth for tests and the
+  upper-bound ablation;
+* :func:`sampled_partitions` with ``UNIFORM`` — i.i.d. uniform samples
+  per subpopulation, the idealized walk outcome (the experiments'
+  default, matching the paper's observation that very low sample sizes
+  already work well);
+* :func:`sampled_partitions` with ``WALK`` — true restricted
+  Metropolis–Hastings walks over the current overlay links.
+
+All estimators return a :class:`~repro.core.partitions.PartitionTable`
+whose monotonicity invariants are enforced on construction, so a buggy
+estimate fails loudly rather than silently degrading routing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..config import OscarConfig, SamplingMode
+from ..errors import SamplingError
+from ..ring import Ring
+from ..ring.identifiers import cw_distance
+from ..sampling import RestrictedWalker, cw_sample_median, sample_arc_uniform
+from ..types import NodeId
+from .partitions import PartitionTable
+
+__all__ = ["oracle_partitions", "sampled_partitions", "estimate_partitions"]
+
+NeighborFn = Callable[[NodeId], Sequence[NodeId]]
+
+
+def oracle_partitions(ring: Ring, node_id: NodeId, k: int) -> PartitionTable:
+    """Exact recursive-median partitions for ``node_id``.
+
+    ``k`` caps the partition count; fewer result when the population runs
+    out (each level must keep at least one peer on the near side).
+    """
+    origin = ring.position(node_id)
+    live = ring.live_count
+    population = live - 1 if ring.is_alive(node_id) else live
+    if population < 1:
+        raise SamplingError(f"node {node_id} sees an empty population")
+    far_end = ring.position(ring.predecessor(node_id, live_only=True))
+
+    medians: list[float] = []
+    remaining = population
+    for __ in range(k - 1):
+        half = remaining // 2
+        if half < 1:
+            break
+        # The peer at clockwise rank `half` splits the remaining near-side
+        # population; everything beyond it joins the current partition.
+        medians.append(ring.position_at_cw_rank(origin, half, live_only=True))
+        remaining = half
+    return PartitionTable(origin=origin, far_end=far_end, medians=tuple(medians))
+
+
+def sampled_partitions(
+    ring: Ring,
+    node_id: NodeId,
+    k: int,
+    config: OscarConfig,
+    rng: np.random.Generator,
+    neighbor_fn: NeighborFn | None = None,
+) -> PartitionTable:
+    """Estimate partitions from samples (``UNIFORM`` or ``WALK`` mode).
+
+    Per level ``i`` the estimator samples the remaining arc
+    ``(origin, m_{i-1}]`` and takes the clockwise sample median as the
+    border ``m_i``; levels stop early when a subpopulation yields no
+    non-self samples. Estimated borders are clamped to preserve the
+    table's monotonicity invariant under sampling noise.
+    """
+    origin = ring.position(node_id)
+    if ring.live_count - (1 if ring.is_alive(node_id) else 0) < 1:
+        raise SamplingError(f"node {node_id} sees an empty population")
+    far_end = ring.position(ring.predecessor(node_id, live_only=True))
+    if far_end == origin:
+        # Sole live peer aside from dead entries: single-partition table.
+        return PartitionTable(origin=origin, far_end=far_end)
+
+    walker_start: NodeId | None = None
+    if config.sampling_mode is SamplingMode.WALK:
+        if neighbor_fn is None:
+            raise SamplingError("WALK sampling requires a neighbor_fn")
+        walker_start = ring.successor(node_id, live_only=True)
+
+    medians: list[float] = []
+    previous_end = far_end
+    for __ in range(k - 1):
+        positions = _sample_arc(
+            ring, config, rng, node_id, origin, previous_end, neighbor_fn, walker_start
+        )
+        if positions.size == 0:
+            break
+        border = cw_sample_median(origin, positions)
+        # Clamp: sampling can place the border at (never beyond) the arc
+        # end; equal borders would make the next arc degenerate, so stop.
+        if border == previous_end or cw_distance(origin, border) >= cw_distance(origin, previous_end):
+            break
+        medians.append(border)
+        previous_end = border
+    return PartitionTable(origin=origin, far_end=far_end, medians=tuple(medians))
+
+
+def estimate_partitions(
+    ring: Ring,
+    node_id: NodeId,
+    config: OscarConfig,
+    rng: np.random.Generator,
+    neighbor_fn: NeighborFn | None = None,
+) -> PartitionTable:
+    """Dispatch on ``config.sampling_mode`` (the public entry point)."""
+    k = config.partitions_for(max(1, ring.live_count))
+    if config.sampling_mode is SamplingMode.ORACLE:
+        return oracle_partitions(ring, node_id, k)
+    return sampled_partitions(ring, node_id, k, config, rng, neighbor_fn)
+
+
+def _sample_arc(
+    ring: Ring,
+    config: OscarConfig,
+    rng: np.random.Generator,
+    node_id: NodeId,
+    origin: float,
+    arc_end: float,
+    neighbor_fn: NeighborFn | None,
+    walker_start: NodeId | None,
+) -> np.ndarray:
+    """Positions of sampled peers in ``(origin, arc_end]``, self excluded."""
+    if config.sampling_mode is SamplingMode.UNIFORM:
+        ids = sample_arc_uniform(ring, rng, origin, arc_end, config.sample_size)
+    else:
+        assert neighbor_fn is not None and walker_start is not None
+        walker = RestrictedWalker(ring, neighbor_fn, start=origin, end=arc_end)
+        start = walker_start
+        if not walker._in_arc(start):
+            # The node's direct successor can fall outside a shrunken arc
+            # only if the arc is empty of live peers; bail out.
+            return np.empty(0, dtype=float)
+        ids = walker.walk(rng, start, config.sample_size, hops_per_sample=config.walk_hops)
+    ids = ids[ids != node_id]
+    if ids.size == 0:
+        return np.empty(0, dtype=float)
+    return np.array([ring.position(int(i)) for i in ids], dtype=float)

@@ -1,0 +1,92 @@
+"""Per-peer state of the Oscar overlay.
+
+A node's state is deliberately small: capacities, its current partition
+table, and its link sets. Link *semantics* (acceptance, choice-of-two,
+rewiring) live in :mod:`repro.core.construction`; the node only does the
+local bookkeeping a real peer would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityExhaustedError
+from ..types import NodeId
+from .partitions import PartitionTable
+
+__all__ = ["OscarNode"]
+
+
+@dataclass
+class OscarNode:
+    """One Oscar peer.
+
+    Attributes:
+        node_id: Stable id (dense integer, assigned at join).
+        position: Key-space position in ``[0, 1)``.
+        rho_max_in: Max incoming long links this peer accepts — its
+            locally chosen contribution budget.
+        rho_max_out: Max outgoing long links it tries to hold.
+        out_links: Current outgoing long-range neighbors (ordered,
+            duplicates disallowed). Ring links are *not* stored here —
+            they live in the shared :class:`~repro.ring.RingPointers`
+            and are exempt from caps, as the ring is mandatory.
+        in_degree: Count of long links currently pointing at this peer.
+        partitions: The node's current view of the key space; ``None``
+            until first estimated.
+        samples_spent: Cumulative sampling messages this peer has issued
+            (cost-accounting for the sampling ablation).
+    """
+
+    node_id: NodeId
+    position: float
+    rho_max_in: int
+    rho_max_out: int
+    out_links: list[NodeId] = field(default_factory=list)
+    in_degree: int = 0
+    partitions: PartitionTable | None = None
+    samples_spent: int = 0
+
+    @property
+    def can_accept(self) -> bool:
+        """Whether this peer acknowledges one more incoming long link."""
+        return self.in_degree < self.rho_max_in
+
+    @property
+    def wants_more_links(self) -> bool:
+        """Whether this peer still has unused outgoing slots."""
+        return len(self.out_links) < self.rho_max_out
+
+    @property
+    def spare_in_capacity(self) -> int:
+        """Remaining incoming slots (>= 0)."""
+        return max(0, self.rho_max_in - self.in_degree)
+
+    def accept_in_link(self) -> None:
+        """Register an incoming link; raises if the cap is exhausted.
+
+        The raise (rather than a silent clamp) enforces the protocol: the
+        requesting peer must have asked first, so hitting this means a
+        bug in link acquisition, not an unlucky draw.
+        """
+        if not self.can_accept:
+            raise CapacityExhaustedError(
+                f"node {self.node_id} is at its in-degree cap ({self.rho_max_in})"
+            )
+        self.in_degree += 1
+
+    def drop_in_link(self) -> None:
+        """Unregister an incoming link (rewiring teardown)."""
+        if self.in_degree <= 0:
+            raise CapacityExhaustedError(f"node {self.node_id} has no incoming links to drop")
+        self.in_degree -= 1
+
+    def reset_links(self) -> None:
+        """Forget outgoing links (the caller fixes the targets' in-degrees)."""
+        self.out_links.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"OscarNode(id={self.node_id}, pos={self.position:.6f}, "
+            f"out={len(self.out_links)}/{self.rho_max_out}, in={self.in_degree}/{self.rho_max_in})"
+        )

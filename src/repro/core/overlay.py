@@ -1,0 +1,234 @@
+"""The Oscar overlay facade — the library's primary public object.
+
+:class:`OscarOverlay` ties the substrates together: the membership ring,
+maintained ring pointers, per-peer state, partition estimation, link
+acquisition, rewiring, and routing. It implements the
+:class:`~repro.routing.NeighborProvider` protocol so both routers work
+against it directly.
+
+Typical use::
+
+    from repro import OscarOverlay, OscarConfig
+    from repro.workloads import GnutellaLikeDistribution
+    from repro.degree import ConstantDegrees
+    from repro import rng as rngmod
+
+    overlay = OscarOverlay(OscarConfig(), seed=42)
+    keys = GnutellaLikeDistribution()
+    caps = ConstantDegrees(27)
+    overlay.grow(1000, keys, caps)
+    result = overlay.route(source=overlay.random_live_node(), target_key=0.25)
+    print(result.hops, result.success)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import OscarConfig, RoutingConfig
+from ..degree import DegreeDistribution, assign_caps
+from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from ..ring import Ring, RingPointers, attach_node
+from ..ring import repair as repair_ring
+from ..routing import RouteResult, route_faulty, route_greedy
+from ..rng import split
+from ..types import Key, NodeId
+from ..workloads import KeyDistribution
+from .construction import LinkAcquisitionStats, acquire_links, rewire_all
+from .estimators import estimate_partitions
+from .node import OscarNode
+
+__all__ = ["OscarOverlay"]
+
+
+class OscarOverlay:
+    """A full Oscar network under simulation.
+
+    Args:
+        config: Construction parameters (partitions, sampling, caps
+            behaviour, power-of-two).
+        seed: Root seed; all internal randomness derives from it via
+            labelled streams, so two overlays with equal arguments are
+            identical.
+        routing: Router cost model (budgets, probe/backtrack charges).
+    """
+
+    def __init__(
+        self,
+        config: OscarConfig | None = None,
+        seed: int = 42,
+        routing: RoutingConfig | None = None,
+    ) -> None:
+        self.config = config or OscarConfig()
+        self.routing = routing or RoutingConfig()
+        self.seed = seed
+        self.ring = Ring()
+        self.pointers = RingPointers()
+        self.nodes: dict[NodeId, OscarNode] = {}
+        self._next_id = 0
+        self._join_rng = split(seed, "join")
+        self._rewire_rng = split(seed, "rewire")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, position: Key, rho_max_in: int, rho_max_out: int) -> NodeId:
+        """Add a peer at ``position`` with the given capacity caps.
+
+        The new peer is spliced into the ring, estimates its partitions
+        against the current population and immediately acquires long
+        links (bounded by the caps of already-present peers). Raises
+        :class:`DuplicateNodeError` on position collision — callers
+        redraw their key.
+        """
+        node_id = self._next_id
+        self.ring.insert(node_id, position)  # raises DuplicateNodeError on collision
+        self._next_id += 1
+        node = OscarNode(
+            node_id=node_id,
+            position=position,
+            rho_max_in=int(rho_max_in),
+            rho_max_out=int(rho_max_out),
+        )
+        self.nodes[node_id] = node
+        self._attach_pointers(node_id)
+        if self.ring.live_count > 1:
+            node.partitions = estimate_partitions(
+                self.ring, node_id, self.config, self._join_rng, neighbor_fn=self.neighbors_of
+            )
+            acquire_links(self.ring, self.nodes, node, self.config, self._join_rng)
+        return node_id
+
+    def grow(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> None:
+        """Grow the network to ``target_size`` live peers by joins.
+
+        Keys come from ``keys`` (collisions redrawn), caps from
+        ``degrees``. Growth is incremental — existing links stay as they
+        are until :meth:`rewire` is called, mirroring the paper's
+        bootstrap-then-periodically-rewire procedure.
+        """
+        current = self.ring.live_count
+        missing = target_size - current
+        if missing <= 0:
+            return
+        caps_in, caps_out = assign_caps(degrees, self._join_rng, missing, paired=paired_caps)
+        joined = 0
+        while joined < missing:
+            key = float(keys.sample(self._join_rng, 1)[0])
+            try:
+                self.join(key, int(caps_in[joined]), int(caps_out[joined]))
+            except DuplicateNodeError:
+                continue
+            joined += 1
+
+    def _attach_pointers(self, node_id: NodeId) -> None:
+        """Splice a fresh peer into the maintained ring pointers."""
+        attach_node(self.ring, self.pointers, node_id)
+
+    # ------------------------------------------------------------------
+    # topology access (NeighborProvider)
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, node_id: NodeId) -> Sequence[NodeId]:
+        """Outgoing neighbors: ring successor + predecessor + long links.
+
+        Includes links currently pointing at dead peers — discovering
+        that costs the router a probe, as in a real deployment.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise UnknownNodeError(node_id)
+        out: list[NodeId] = []
+        succ = self.pointers.successor.get(node_id)
+        pred = self.pointers.predecessor.get(node_id)
+        if succ is not None and succ != node_id:
+            out.append(succ)
+        if pred is not None and pred != node_id and pred != succ:
+            out.append(pred)
+        out.extend(node.out_links)
+        return out
+
+    def random_live_node(self, rng: np.random.Generator | None = None) -> NodeId:
+        """A uniformly random live peer (convenience for examples)."""
+        ids = self.ring.ids_array(live_only=True)
+        if ids.size == 0:
+            raise EmptyPopulationError("overlay has no live peers")
+        generator = rng if rng is not None else self._join_rng
+        return int(ids[int(generator.integers(0, ids.size))])
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def rewire(self, rng: np.random.Generator | None = None) -> LinkAcquisitionStats:
+        """One global rewiring round (see
+        :func:`repro.core.construction.rewire_all`)."""
+        return rewire_all(self, rng if rng is not None else self._rewire_rng)
+
+    def repair_ring(self) -> int:
+        """Re-stabilize ring pointers after churn; returns pointers fixed."""
+        return repair_ring(self.ring, self.pointers)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def route(
+        self,
+        source: NodeId,
+        target_key: Key,
+        faulty: bool = False,
+        record_path: bool = False,
+    ) -> RouteResult:
+        """Route one lookup; ``faulty=True`` uses the probing/backtracking
+        router required when the overlay contains crashed peers."""
+        if faulty:
+            return route_faulty(
+                self.ring, self.pointers, self, source, target_key, self.routing, record_path
+            )
+        return route_greedy(
+            self.ring, self.pointers, self, source, target_key, self.routing, record_path
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> Iterable[OscarNode]:
+        """Live peers' states, in ring order."""
+        for node_id in self.ring.node_ids(live_only=True):
+            yield self.nodes[node_id]
+
+    def in_degree_array(self) -> np.ndarray:
+        """Long-link in-degrees of live peers (ring order)."""
+        return np.array([n.in_degree for n in self.live_nodes()], dtype=np.int64)
+
+    def in_cap_array(self) -> np.ndarray:
+        """``rho_max_in`` of live peers (ring order)."""
+        return np.array([n.rho_max_in for n in self.live_nodes()], dtype=np.int64)
+
+    def out_degree_array(self) -> np.ndarray:
+        """Long-link out-degrees of live peers (ring order)."""
+        return np.array([len(n.out_links) for n in self.live_nodes()], dtype=np.int64)
+
+    def out_cap_array(self) -> np.ndarray:
+        """``rho_max_out`` of live peers (ring order)."""
+        return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.ring.live_count
+
+    def __repr__(self) -> str:
+        return (
+            f"OscarOverlay(live={self.ring.live_count}, total={len(self.ring)}, "
+            f"config={self.config!r})"
+        )

@@ -1,0 +1,67 @@
+"""Degree-capacity distribution interface.
+
+A *degree distribution* models each peer's self-imposed connection
+budget: ``rho_max_in`` (incoming long links it will accept) and
+``rho_max_out`` (outgoing long links it will try to hold). Peers pick
+these from local bandwidth/storage constraints — the heterogeneity axis
+of the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import DistributionError
+
+__all__ = ["DegreeDistribution", "assign_caps"]
+
+
+class DegreeDistribution(abc.ABC):
+    """Abstract base class for integer degree-cap distributions."""
+
+    #: Short machine-readable name used in CSV output and CLI flags.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` caps as an integer array (each >= 1)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean cap (experiments keep this at 27, per the paper)."""
+
+    def support(self) -> tuple[int, int]:
+        """Inclusive (min, max) degree values the distribution can emit."""
+        raise NotImplementedError(f"{type(self).__name__} has no declared support")
+
+    @staticmethod
+    def _validate_batch(caps: np.ndarray) -> np.ndarray:
+        out = np.asarray(caps)
+        if out.size and out.min() < 1:
+            raise DistributionError("degree caps must all be >= 1")
+        return out.astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, mean={self.mean():.2f})"
+
+
+def assign_caps(
+    distribution: DegreeDistribution,
+    rng: np.random.Generator,
+    size: int,
+    paired: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``(rho_max_in, rho_max_out)`` caps for ``size`` peers.
+
+    With ``paired=True`` (default) one draw per peer sets both caps — a
+    peer's in/out budgets stem from the same bandwidth class, and the
+    paper keeps the in/out means identical. ``paired=False`` draws the
+    two caps independently (an ablation knob).
+    """
+    if size < 0:
+        raise DistributionError(f"size must be >= 0, got {size}")
+    caps_in = distribution.sample(rng, size)
+    caps_out = caps_in.copy() if paired else distribution.sample(rng, size)
+    return caps_in, caps_out

@@ -1,0 +1,146 @@
+"""The "realistic" synthetic spiky degree distribution (paper Fig 1a).
+
+Measurement studies of deployed unstructured P2P networks (Stutzbach,
+Rejaie & Sen, IMC'05 — the paper's [12]) find node-degree distributions
+that are neither constant nor clean power laws: strong *spikes* at the
+default neighbor-count settings of popular client software, riding on a
+heavy-tailed body of custom configurations. The paper emulates this with
+"a synthetic spiky distribution" whose mean is scaled to 27 links;
+Figure 1(a) plots its pmf on log-log axes (degrees 1..~10^2,
+probabilities ~1e-5..1e-1).
+
+We reproduce the same construction:
+
+* point-mass spikes at common client defaults carrying ``spike_fraction``
+  of the probability (defaults dominate in the measured data), plus
+* a truncated power-law body ``P(d) ∝ d**-gamma`` on ``[d_min, d_max]``
+  for the peers running custom budgets,
+
+with the body exponent ``gamma`` solved by bisection so the overall mean
+hits ``mean_degree`` exactly (the mean is strictly decreasing in
+``gamma``, so the root is unique when it exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DistributionError
+from .base import DegreeDistribution
+
+__all__ = ["SpikyDegreeDistribution"]
+
+#: Spike locations modeled on common client default neighbor caps.
+DEFAULT_SPIKES = (8, 16, 24, 32, 50, 64)
+
+
+class SpikyDegreeDistribution(DegreeDistribution):
+    """Client-default spikes + truncated power-law body, exact mean.
+
+    Args:
+        mean_degree: Target mean cap (paper: 27).
+        spike_fraction: Probability mass carried by the spikes.
+        d_min: Smallest cap of the power-law body.
+        d_max: Largest representable cap (body tail end).
+        spikes: Spike locations (client default values).
+        spike_decay: Spike weight decays as ``rank**-spike_decay`` over
+            the sorted spike list (smaller defaults are more common).
+
+    Raises:
+        DistributionError: No body exponent can realize the target mean
+            given the other parameters (the body mean ranges over
+            roughly ``(d_min, (d_min + d_max) / 2)`` as ``gamma`` sweeps
+            its search interval).
+    """
+
+    name = "realistic"
+
+    _GAMMA_LO = 0.0
+    _GAMMA_HI = 8.0
+
+    def __init__(
+        self,
+        mean_degree: float = 27.0,
+        spike_fraction: float = 0.7,
+        d_min: int = 2,
+        d_max: int = 200,
+        spikes: tuple[int, ...] = DEFAULT_SPIKES,
+        spike_decay: float = 0.35,
+    ) -> None:
+        if mean_degree < 1.0:
+            raise DistributionError(f"mean_degree must be >= 1, got {mean_degree}")
+        if not 0.0 <= spike_fraction < 1.0:
+            raise DistributionError(f"spike_fraction must be in [0, 1), got {spike_fraction}")
+        if d_max < 2:
+            raise DistributionError(f"d_max must be >= 2, got {d_max}")
+        if not 1 <= d_min < d_max:
+            raise DistributionError(f"d_min must be in [1, d_max), got {d_min}")
+        if not spikes:
+            raise DistributionError("spikes must not be empty")
+        if any(not 1 <= s <= d_max for s in spikes):
+            raise DistributionError(f"every spike must lie in [1, {d_max}], got {spikes}")
+
+        self.mean_degree = float(mean_degree)
+        self.spike_fraction = float(spike_fraction)
+        self.d_min = int(d_min)
+        self.d_max = int(d_max)
+        self.spikes = tuple(sorted(int(s) for s in spikes))
+
+        degrees = np.arange(1, d_max + 1, dtype=float)
+
+        spike_pmf = np.zeros(d_max)
+        ranks = np.arange(1, len(self.spikes) + 1, dtype=float)
+        spike_weights = ranks**-spike_decay
+        spike_weights /= spike_weights.sum()
+        for spike, weight in zip(self.spikes, spike_weights):
+            spike_pmf[spike - 1] += weight
+        spike_mean = float((degrees * spike_pmf).sum())
+
+        body_mean_target = (mean_degree - spike_fraction * spike_mean) / (1.0 - spike_fraction)
+
+        def body_for(gamma: float) -> np.ndarray:
+            body = degrees**-gamma
+            body[: d_min - 1] = 0.0
+            return body / body.sum()
+
+        def mean_for(gamma: float) -> float:
+            return float((degrees * body_for(gamma)).sum())
+
+        if not mean_for(self._GAMMA_HI) <= body_mean_target <= mean_for(self._GAMMA_LO):
+            raise DistributionError(
+                f"mean_degree {mean_degree} unreachable: required body mean "
+                f"{body_mean_target:.2f} outside "
+                f"[{mean_for(self._GAMMA_HI):.2f}, {mean_for(self._GAMMA_LO):.2f}]; "
+                f"adjust spike_fraction/d_min/d_max"
+            )
+        lo, hi = self._GAMMA_LO, self._GAMMA_HI
+        for __ in range(80):  # bisection: mean is strictly decreasing in gamma
+            mid = (lo + hi) / 2.0
+            if mean_for(mid) > body_mean_target:
+                lo = mid
+            else:
+                hi = mid
+        self.gamma = (lo + hi) / 2.0
+
+        self._pmf = spike_fraction * spike_pmf + (1.0 - spike_fraction) * body_for(self.gamma)
+        self._pmf /= self._pmf.sum()
+        self._degrees = np.arange(1, d_max + 1, dtype=np.int64)
+
+    def pmf(self) -> np.ndarray:
+        """The full probability mass function over degrees ``1..d_max``.
+
+        This array *is* Figure 1(a): plot it against
+        ``numpy.arange(1, d_max + 1)`` on log-log axes.
+        """
+        return self._pmf.copy()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise DistributionError(f"size must be >= 0, got {size}")
+        return self._validate_batch(rng.choice(self._degrees, size=size, p=self._pmf))
+
+    def mean(self) -> float:
+        return float((self._degrees * self._pmf).sum())
+
+    def support(self) -> tuple[int, int]:
+        return (self.d_min if self.d_min < self.spikes[0] else min(self.d_min, self.spikes[0]), self.d_max)

@@ -1,0 +1,71 @@
+"""The paper's constant and "stepped" degree-cap distributions.
+
+* constant: every peer caps at exactly 27 links (the homogeneous
+  control);
+* stepped: caps drawn uniformly from {19, 23, 27, 39} — note the values
+  average to 27, so all three experimental cases share the same total
+  degree "volume" and differ only in how it is spread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DistributionError
+from .base import DegreeDistribution
+
+__all__ = ["ConstantDegrees", "SteppedDegrees"]
+
+#: The paper's cap value shared by all peers in the constant case.
+PAPER_CONSTANT_CAP = 27
+
+#: The paper's four-step cap menu (mean 27).
+PAPER_STEPPED_CAPS = (19, 23, 27, 39)
+
+
+class ConstantDegrees(DegreeDistribution):
+    """Every peer has the same cap (paper default: 27)."""
+
+    name = "constant"
+
+    def __init__(self, cap: int = PAPER_CONSTANT_CAP) -> None:
+        if cap < 1:
+            raise DistributionError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        del rng  # deterministic; signature kept uniform
+        if size < 0:
+            raise DistributionError(f"size must be >= 0, got {size}")
+        return self._validate_batch(np.full(size, self.cap, dtype=np.int64))
+
+    def mean(self) -> float:
+        return float(self.cap)
+
+    def support(self) -> tuple[int, int]:
+        return (self.cap, self.cap)
+
+
+class SteppedDegrees(DegreeDistribution):
+    """Caps drawn uniformly from a small menu (paper: {19, 23, 27, 39})."""
+
+    name = "stepped"
+
+    def __init__(self, steps: tuple[int, ...] = PAPER_STEPPED_CAPS) -> None:
+        if not steps:
+            raise DistributionError("steps must not be empty")
+        if any(s < 1 for s in steps):
+            raise DistributionError(f"all steps must be >= 1, got {steps}")
+        self.steps = tuple(int(s) for s in steps)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise DistributionError(f"size must be >= 0, got {size}")
+        menu = np.asarray(self.steps, dtype=np.int64)
+        return self._validate_batch(menu[rng.integers(0, menu.size, size=size)])
+
+    def mean(self) -> float:
+        return float(np.mean(self.steps))
+
+    def support(self) -> tuple[int, int]:
+        return (min(self.steps), max(self.steps))

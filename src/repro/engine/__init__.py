@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel (simpy-style, dependency-free).
+
+:class:`Environment` drives generator-based :class:`Process` objects
+through :class:`Event`/:class:`Timeout` scheduling; :class:`Resource`
+adds counted capacities. Deterministic same-time FIFO ordering keeps
+simulations reproducible.
+"""
+
+from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .resources import Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Timeout",
+]

@@ -1,0 +1,346 @@
+"""A minimal discrete-event simulation kernel (simpy-flavoured).
+
+The paper's evaluation is a growth simulation with periodic measurement;
+the continuous-churn extension and several examples additionally need a
+notion of simulated time with interleaved processes (joins, crashes,
+repairs, queries). This kernel provides exactly the simpy subset the
+library uses — environments, events, timeouts, generator-based processes
+with interrupt support — with deterministic FIFO ordering for same-time
+events so simulations are reproducible.
+
+No external dependency is used (simpy is not available offline); the
+semantics follow simpy closely so the code reads familiarly:
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(5)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 5 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt", "AllOf", "AnyOf"]
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called,
+    scheduled on the queue) -> *processed* (callbacks ran).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event propagates its exception into every process that
+        waits on it (unless the process catches it).
+        """
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on its return.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with
+    the event's value (or the exception thrown in, if the event failed
+    or the process was interrupted).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        bootstrap = Event(env)
+        bootstrap._value = None
+        bootstrap._ok = True
+        env._schedule(bootstrap)
+        bootstrap.callbacks.append(self._resume)  # type: ignore[union-attr]
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not finished yet."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting detaches it from the awaited event (the
+        event itself is unaffected).
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        exc = Interrupt(cause)
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke = Event(self.env)
+        poke._value = exc
+        poke._ok = False
+        poke._interrupt = True  # type: ignore[attr-defined]
+        self.env._schedule(poke, priority=0)
+        poke.callbacks.append(self._resume)  # type: ignore[union-attr]
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            if not self.triggered:
+                self.fail(exc)
+            return
+        except Exception as exc:
+            if not self.triggered:
+                self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.throw(
+                SimulationError(f"processes may only yield events, got {target!r}")
+            )
+            return
+        if target.processed:
+            # Already-processed events resume the process immediately
+            # (at the current time) via a fresh poke.
+            poke = Event(self.env)
+            poke._value = target._value
+            poke._ok = target._ok
+            self.env._schedule(poke)
+            poke.callbacks.append(self._resume)  # type: ignore[union-attr]
+        else:
+            target.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self._waiting_on = target
+
+
+class AllOf(Event):
+    """Triggers when all child events have succeeded (value: list)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)  # type: ignore[union-attr]
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child._ok:
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event succeeds (value: that value)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            self.succeed(None)
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+                break
+            child.callbacks.append(self._on_child)  # type: ignore[union-attr]
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child._ok:
+            self.succeed(child._value)
+        else:
+            self.fail(child._value)
+
+
+class Environment:
+    """Scheduler and clock."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self.now = initial_time
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    # -- factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        heapq.heappush(self._queue, (self.now + delay, priority, next(self._counter), event))
+
+    def step(self) -> None:
+        """Process the single next event; raises on an empty queue."""
+        if not self._queue:
+            raise SimulationError("no more events scheduled")
+        when, __, ___, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past (kernel bug)")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        if not event._ok and not callbacks and not getattr(event, "_defused", False):
+            # A failed event nobody waited on: surface the error loudly
+            # instead of dropping it (simpy behaves the same way).
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue empties, a deadline passes, or an event fires.
+
+        * ``until=None`` — drain the queue;
+        * ``until=<number>`` — advance the clock to that time;
+        * ``until=<event>`` — run until the event is processed and return
+          its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            sentinel: list[Any] = []
+            if until.processed:
+                if not until._ok:
+                    raise until._value
+                return until._value
+            until.callbacks.append(lambda ev: sentinel.append(ev))  # type: ignore[union-attr]
+            setattr(until, "_defused", True)
+            while not sentinel:
+                if not self._queue:
+                    raise SimulationError("queue drained before the awaited event fired")
+                self.step()
+            if not until._ok:
+                raise until._value
+            return until._value
+        if until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError(f"cannot run backwards to {deadline} (now {self.now})")
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self.now = deadline
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when idle)."""
+        return self._queue[0][0] if self._queue else float("inf")

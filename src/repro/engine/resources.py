@@ -1,0 +1,58 @@
+"""A FIFO capacity resource for the event kernel.
+
+Used by simulations that model contended capacities (e.g. a peer's
+bandwidth slots while answering queries). Semantics follow simpy's
+``Resource``: ``request()`` returns an event that succeeds once a slot
+is granted; ``release()`` frees one and wakes the next waiter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event succeeds when granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot (caller must hold one)."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a granted slot")
+        if self._waiting:
+            waiter = self._waiting.popleft()
+            waiter.succeed(self)  # slot transfers; _in_use unchanged
+        else:
+            self._in_use -= 1

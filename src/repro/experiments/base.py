@@ -1,0 +1,103 @@
+"""Experiment result container and shared plumbing.
+
+Every experiment module exposes ``run(scale=1.0, seed=42, ...)``
+returning an :class:`ExperimentResult`: named (x, y) series (one per
+curve of the paper figure), scalar findings (e.g. exploited degree
+volume), and metadata recording the exact parameters — enough for
+EXPERIMENTS.md to be regenerated mechanically.
+
+``scale`` shrinks the paper-sized workload proportionally (network
+sizes, query counts) so the same code path serves full reproductions,
+CI smoke runs and pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..reporting import ascii_chart, format_table, write_series
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes:
+        experiment_id: Index key (``fig1a`` .. ``abl-partitions``).
+        title: Human title matching the paper's figure caption.
+        series: Curve name -> (x, y) points.
+        scalars: Named scalar findings.
+        metadata: Exact run parameters (seed, scale, distribution names).
+    """
+
+    experiment_id: str
+    title: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def render(
+        self,
+        width: int = 72,
+        height: int = 18,
+        log_x: bool = False,
+        log_y: bool = False,
+    ) -> str:
+        """ASCII figure + scalar table, ready for the terminal or a log."""
+        parts: list[str] = []
+        if self.series:
+            parts.append(
+                ascii_chart(
+                    self.series,
+                    title=f"{self.experiment_id}: {self.title}",
+                    width=width,
+                    height=height,
+                    log_x=log_x,
+                    log_y=log_y,
+                )
+            )
+        else:
+            parts.append(f"{self.experiment_id}: {self.title}")
+        if self.scalars:
+            parts.append("")
+            parts.append(format_table(("scalar", "value"), sorted(self.scalars.items())))
+        if self.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(self.metadata.items()))
+            parts.append("")
+            parts.append(f"[{meta}]")
+        return "\n".join(parts)
+
+    def write_csv(self, directory: str | Path) -> Path:
+        """Write the series (long format) to ``directory/<id>.csv``."""
+        return write_series(Path(directory) / f"{self.experiment_id}.csv", self.series)
+
+    def summary_rows(self) -> list[tuple[str, float, float]]:
+        """(series, last_x, last_y) per curve — the headline numbers."""
+        rows = []
+        for name, points in self.series.items():
+            if points:
+                rows.append((name, points[-1][0], points[-1][1]))
+        return rows
+
+
+def merged_metadata(base: Mapping[str, object], **extra: object) -> dict[str, object]:
+    """Small helper: copy + extend metadata dictionaries."""
+    out = dict(base)
+    out.update(extra)
+    return out
+
+
+def scaled_sizes(paper_sizes: Sequence[int], scale: float, floor: int = 64) -> tuple[int, ...]:
+    """Scale the paper's measurement sizes, deduplicated and floored."""
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    out: list[int] = []
+    for size in paper_sizes:
+        value = max(floor, int(round(size * scale)))
+        if not out or value > out[-1]:
+            out.append(value)
+    return tuple(out)

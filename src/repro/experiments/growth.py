@@ -1,0 +1,123 @@
+"""The bootstrap-grow-rewire-measure harness (paper §3, first paragraph).
+
+"We base our experiments on a simulation of the bootstrap of the Oscar
+network starting from scratch and simulating the network growth until it
+reaches 10000 peers. ... During the growth of the networks we were
+periodically rewiring long-range links of all the peers and measuring
+the performance of a current network."
+
+:func:`grow_and_measure` is that loop, generalized over overlay kind
+(Oscar / Mercury), key distribution, degree distribution and a set of
+churn cases evaluated at every measured size. One harness feeds Figures
+1(b), 1(c), 2(a), 2(b) and the Mercury comparison, so all of them share
+identical growth mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..churn import apply_churn, revive_all
+from ..config import ChurnConfig, GrowthConfig, MercuryConfig, OscarConfig, RoutingConfig
+from ..core import OscarOverlay
+from ..degree import DegreeDistribution
+from ..mercury import MercuryOverlay
+from ..metrics import measure_search_cost, relative_degree_load, volume_exploitation
+from ..routing import RouteStats
+from ..rng import split
+from ..workloads import KeyDistribution, QueryWorkload
+
+__all__ = ["SizeMeasurement", "make_overlay", "grow_and_measure"]
+
+OverlayKind = Literal["oscar", "mercury"]
+
+
+@dataclass(frozen=True)
+class SizeMeasurement:
+    """Everything measured at one network size.
+
+    Attributes:
+        size: Live peer count at measurement time.
+        stats_by_kill: ``kill_fraction -> RouteStats`` for every churn
+            case measured at this size (0.0 = fault-free).
+        volume: Exploited in-degree volume after the rewiring round
+            (measured fault-free, before any crash wave).
+        load_ratios: Sorted per-peer relative degree load (Figure 1b).
+    """
+
+    size: int
+    stats_by_kill: dict[float, RouteStats]
+    volume: float
+    load_ratios: np.ndarray
+
+
+def make_overlay(
+    kind: OverlayKind,
+    seed: int,
+    oscar_config: OscarConfig | None = None,
+    mercury_config: MercuryConfig | None = None,
+    routing: RoutingConfig | None = None,
+) -> OscarOverlay | MercuryOverlay:
+    """Construct an overlay facade by kind (shared by CLI and benches)."""
+    if kind == "oscar":
+        return OscarOverlay(oscar_config or OscarConfig(), seed=seed, routing=routing)
+    if kind == "mercury":
+        return MercuryOverlay(mercury_config or MercuryConfig(), seed=seed, routing=routing)
+    raise ValueError(f"unknown overlay kind {kind!r}")
+
+
+def grow_and_measure(
+    overlay: OscarOverlay | MercuryOverlay,
+    keys: KeyDistribution,
+    degrees: DegreeDistribution,
+    growth: GrowthConfig,
+    churn_cases: Sequence[ChurnConfig] = (ChurnConfig(),),
+    workload: QueryWorkload | None = None,
+) -> list[SizeMeasurement]:
+    """Grow ``overlay`` through ``growth.measure_sizes``, measuring each.
+
+    At each size: join up to the size, rewire every peer, record volume
+    and load ratios, then for every churn case crash the victims, route
+    ``growth.queries_at(size)`` random queries (fault-aware router as
+    soon as the case is faulty), revive and re-repair the ring.
+
+    Churn cases never leak into one another or into later sizes: victims
+    are revived and ring pointers re-stabilized after every case.
+    """
+    results: list[SizeMeasurement] = []
+    for size in growth.measure_sizes:
+        overlay.grow(size, keys, degrees)
+        overlay.rewire(split(growth.seed, "rewire-round", size))
+
+        volume = volume_exploitation(overlay.in_degree_array(), overlay.in_cap_array())
+        ratios = relative_degree_load(overlay.in_degree_array(), overlay.in_cap_array())
+
+        stats_by_kill: dict[float, RouteStats] = {}
+        for case in churn_cases:
+            victims = apply_churn(overlay.ring, overlay.pointers, case)
+            query_rng = split(
+                growth.seed, "queries", size, int(case.kill_fraction * 1_000_000)
+            )
+            stats_by_kill[case.kill_fraction] = measure_search_cost(
+                overlay,
+                query_rng,
+                n_queries=growth.queries_at(size),
+                workload=workload,
+                faulty=case.is_faulty,
+            )
+            if victims:
+                revive_all(overlay.ring, victims)
+                overlay.repair_ring()
+
+        results.append(
+            SizeMeasurement(
+                size=overlay.ring.live_count,
+                stats_by_kill=stats_by_kill,
+                volume=volume,
+                load_ratios=ratios,
+            )
+        )
+    return results

@@ -1,0 +1,5 @@
+"""Application layer: a distributed key-value index over the overlay."""
+
+from .store import DistributedIndex, IndexedItem, OperationReceipt
+
+__all__ = ["DistributedIndex", "IndexedItem", "OperationReceipt"]

@@ -1,0 +1,12 @@
+"""Mercury baseline (Bharambe et al., SIGCOMM'04) — the comparator.
+
+Histogram-learned harmonic long links over the same ring substrate:
+:class:`MercuryOverlay` mirrors the Oscar facade so experiments swap the
+two freely.
+"""
+
+from .construction import build_histogram, harmonic_rank_fraction
+from .node import MercuryNode
+from .overlay import MercuryOverlay
+
+__all__ = ["MercuryNode", "MercuryOverlay", "build_histogram", "harmonic_rank_fraction"]

@@ -1,0 +1,54 @@
+"""Per-peer state of the Mercury baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityExhaustedError
+from ..sampling import NodeDensityHistogram
+from ..types import NodeId
+
+__all__ = ["MercuryNode"]
+
+
+@dataclass
+class MercuryNode:
+    """One Mercury peer.
+
+    Mirrors :class:`~repro.core.node.OscarNode` bookkeeping (the two
+    systems share the acceptance protocol) but carries Mercury's learned
+    state: the equi-width density histogram it built from its uniform
+    samples, instead of a recursive-median partition table.
+    """
+
+    node_id: NodeId
+    position: float
+    rho_max_in: int
+    rho_max_out: int
+    out_links: list[NodeId] = field(default_factory=list)
+    in_degree: int = 0
+    histogram: NodeDensityHistogram | None = None
+    samples_spent: int = 0
+
+    @property
+    def can_accept(self) -> bool:
+        """Whether this peer acknowledges one more incoming long link."""
+        return self.in_degree < self.rho_max_in
+
+    def accept_in_link(self) -> None:
+        """Register an incoming link; raises past the cap (protocol bug)."""
+        if not self.can_accept:
+            raise CapacityExhaustedError(
+                f"node {self.node_id} is at its in-degree cap ({self.rho_max_in})"
+            )
+        self.in_degree += 1
+
+    def reset_links(self) -> None:
+        """Forget outgoing links (the caller fixes targets' in-degrees)."""
+        self.out_links.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MercuryNode(id={self.node_id}, pos={self.position:.6f}, "
+            f"out={len(self.out_links)}/{self.rho_max_out}, in={self.in_degree}/{self.rho_max_in})"
+        )

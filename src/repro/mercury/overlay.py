@@ -1,0 +1,178 @@
+"""The Mercury baseline overlay facade.
+
+Public surface mirrors :class:`~repro.core.overlay.OscarOverlay` (same
+join/grow/rewire/route/stat methods), so the experiment harness treats
+the two systems interchangeably. Only the *link selection machinery*
+differs — see :mod:`repro.mercury.construction`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import MercuryConfig, RoutingConfig
+from ..degree import DegreeDistribution, assign_caps
+from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from ..ring import Ring, RingPointers, attach_node
+from ..ring import repair as repair_ring
+from ..routing import RouteResult, route_faulty, route_greedy
+from ..rng import split
+from ..types import Key, NodeId
+from ..workloads import KeyDistribution
+from .construction import acquire_links, build_histogram, rewire_all
+from .node import MercuryNode
+
+__all__ = ["MercuryOverlay"]
+
+
+class MercuryOverlay:
+    """A Mercury network under simulation (the paper's baseline)."""
+
+    def __init__(
+        self,
+        config: MercuryConfig | None = None,
+        seed: int = 42,
+        routing: RoutingConfig | None = None,
+    ) -> None:
+        self.config = config or MercuryConfig()
+        self.routing = routing or RoutingConfig()
+        self.seed = seed
+        self.ring = Ring()
+        self.pointers = RingPointers()
+        self.nodes: dict[NodeId, MercuryNode] = {}
+        self._next_id = 0
+        self._join_rng = split(seed, "mercury-join")
+        self._rewire_rng = split(seed, "mercury-rewire")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, position: Key, rho_max_in: int, rho_max_out: int) -> NodeId:
+        """Add a peer: splice into the ring, sample a histogram, link up."""
+        node_id = self._next_id
+        self.ring.insert(node_id, position)
+        self._next_id += 1
+        node = MercuryNode(
+            node_id=node_id,
+            position=position,
+            rho_max_in=int(rho_max_in),
+            rho_max_out=int(rho_max_out),
+        )
+        self.nodes[node_id] = node
+        attach_node(self.ring, self.pointers, node_id)
+        if self.ring.live_count > 1:
+            node.histogram = build_histogram(self.ring, self.config, self._join_rng)
+            node.samples_spent += self.config.sample_size
+            acquire_links(self.ring, self.nodes, node, self.config, self._join_rng)
+        return node_id
+
+    def grow(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> None:
+        """Grow to ``target_size`` live peers by joins (same contract as
+        :meth:`OscarOverlay.grow <repro.core.overlay.OscarOverlay.grow>`)."""
+        current = self.ring.live_count
+        missing = target_size - current
+        if missing <= 0:
+            return
+        caps_in, caps_out = assign_caps(degrees, self._join_rng, missing, paired=paired_caps)
+        joined = 0
+        while joined < missing:
+            key = float(keys.sample(self._join_rng, 1)[0])
+            try:
+                self.join(key, int(caps_in[joined]), int(caps_out[joined]))
+            except DuplicateNodeError:
+                continue
+            joined += 1
+
+    # ------------------------------------------------------------------
+    # topology access (NeighborProvider)
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, node_id: NodeId) -> Sequence[NodeId]:
+        """Ring successor + predecessor + long links (dead links included)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise UnknownNodeError(node_id)
+        out: list[NodeId] = []
+        succ = self.pointers.successor.get(node_id)
+        pred = self.pointers.predecessor.get(node_id)
+        if succ is not None and succ != node_id:
+            out.append(succ)
+        if pred is not None and pred != node_id and pred != succ:
+            out.append(pred)
+        out.extend(node.out_links)
+        return out
+
+    def random_live_node(self, rng: np.random.Generator | None = None) -> NodeId:
+        """A uniformly random live peer."""
+        ids = self.ring.ids_array(live_only=True)
+        if ids.size == 0:
+            raise EmptyPopulationError("overlay has no live peers")
+        generator = rng if rng is not None else self._join_rng
+        return int(ids[int(generator.integers(0, ids.size))])
+
+    # ------------------------------------------------------------------
+    # maintenance / routing / statistics (same surface as Oscar)
+    # ------------------------------------------------------------------
+
+    def rewire(self, rng: np.random.Generator | None = None) -> int:
+        """One global rewiring round; returns links placed."""
+        return rewire_all(self, rng if rng is not None else self._rewire_rng)
+
+    def repair_ring(self) -> int:
+        """Re-stabilize ring pointers after churn; returns pointers fixed."""
+        return repair_ring(self.ring, self.pointers)
+
+    def route(
+        self,
+        source: NodeId,
+        target_key: Key,
+        faulty: bool = False,
+        record_path: bool = False,
+    ) -> RouteResult:
+        """Route one lookup (``faulty=True`` after crashes)."""
+        if faulty:
+            return route_faulty(
+                self.ring, self.pointers, self, source, target_key, self.routing, record_path
+            )
+        return route_greedy(
+            self.ring, self.pointers, self, source, target_key, self.routing, record_path
+        )
+
+    def live_nodes(self) -> Iterable[MercuryNode]:
+        """Live peers' states, in ring order."""
+        for node_id in self.ring.node_ids(live_only=True):
+            yield self.nodes[node_id]
+
+    def in_degree_array(self) -> np.ndarray:
+        """Long-link in-degrees of live peers (ring order)."""
+        return np.array([n.in_degree for n in self.live_nodes()], dtype=np.int64)
+
+    def in_cap_array(self) -> np.ndarray:
+        """``rho_max_in`` of live peers (ring order)."""
+        return np.array([n.rho_max_in for n in self.live_nodes()], dtype=np.int64)
+
+    def out_degree_array(self) -> np.ndarray:
+        """Long-link out-degrees of live peers (ring order)."""
+        return np.array([len(n.out_links) for n in self.live_nodes()], dtype=np.int64)
+
+    def out_cap_array(self) -> np.ndarray:
+        """``rho_max_out`` of live peers (ring order)."""
+        return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.ring.live_count
+
+    def __repr__(self) -> str:
+        return (
+            f"MercuryOverlay(live={self.ring.live_count}, total={len(self.ring)}, "
+            f"config={self.config!r})"
+        )

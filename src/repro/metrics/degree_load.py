@@ -1,0 +1,77 @@
+"""Degree-load metrics (paper Figure 1b).
+
+The paper's heterogeneity metric is the *relative degree load* of each
+peer — ``actual in-degree / available in-degree`` (``rho_max_in``) —
+plotted over peers sorted by that ratio, plus the scalar "degree volume
+exploitation": what fraction of the total contributed in-capacity the
+construction managed to use (Oscar ≈ 85%, Mercury ≈ 61% at 10k peers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relative_degree_load", "volume_exploitation", "load_curve_points", "load_gini"]
+
+
+def relative_degree_load(in_degrees: np.ndarray, in_caps: np.ndarray) -> np.ndarray:
+    """Per-peer ``actual / available`` in-degree ratios, sorted ascending.
+
+    Sorted so the curve is directly comparable across runs and matches
+    the presentation of Figure 1(b) (peer index on x, ratio on y).
+    """
+    degrees = np.asarray(in_degrees, dtype=float)
+    caps = np.asarray(in_caps, dtype=float)
+    if degrees.shape != caps.shape:
+        raise ValueError(f"shape mismatch: {degrees.shape} vs {caps.shape}")
+    if degrees.size == 0:
+        return np.empty(0)
+    if (caps <= 0).any():
+        raise ValueError("all in-degree caps must be positive")
+    ratios = degrees / caps
+    ratios.sort()
+    return ratios
+
+
+def volume_exploitation(in_degrees: np.ndarray, in_caps: np.ndarray) -> float:
+    """Fraction of total contributed in-capacity actually used."""
+    degrees = np.asarray(in_degrees, dtype=float)
+    caps = np.asarray(in_caps, dtype=float)
+    if degrees.shape != caps.shape:
+        raise ValueError(f"shape mismatch: {degrees.shape} vs {caps.shape}")
+    total = caps.sum()
+    if total <= 0:
+        raise ValueError("total in-capacity must be positive")
+    return float(degrees.sum() / total)
+
+
+def load_curve_points(ratios: np.ndarray, n_points: int = 100) -> list[tuple[float, float]]:
+    """Down-sample a sorted ratio curve to ``n_points`` (x, y) pairs.
+
+    x is the peer index (original scale, so curves from different
+    network sizes overlay meaningfully), y the load ratio.
+    """
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    arr = np.asarray(ratios, dtype=float)
+    if arr.size == 0:
+        return []
+    idx = np.unique(np.linspace(0, arr.size - 1, min(n_points, arr.size)).astype(int))
+    return [(float(i), float(arr[i])) for i in idx]
+
+
+def load_gini(ratios: np.ndarray) -> float:
+    """Gini coefficient of the load ratios (0 = perfectly even).
+
+    A scalar summary of Figure 1(b)'s "how similar are peers' relative
+    loads" claim; the power-of-two ablation reports it.
+    """
+    arr = np.sort(np.asarray(ratios, dtype=float))
+    if arr.size == 0:
+        raise ValueError("no ratios supplied")
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    n = arr.size
+    index = np.arange(1, n + 1, dtype=float)
+    return float((2.0 * (index * arr).sum() / (n * total)) - (n + 1.0) / n)

@@ -1,0 +1,60 @@
+"""Search-cost measurement: the paper's primary performance metric.
+
+"As the performance metric we chose the average search cost which was
+induced by N random queries in the network." This module runs a query
+batch against any overlay exposing the shared facade surface
+(:class:`~repro.core.OscarOverlay` or
+:class:`~repro.mercury.MercuryOverlay`) and folds it into
+:class:`~repro.routing.RouteStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..ring import Ring
+from ..routing import RouteResult, RouteStats, summarize_routes
+from ..types import Key, NodeId
+from ..workloads import QueryWorkload
+
+__all__ = ["RoutableOverlay", "measure_search_cost"]
+
+
+@runtime_checkable
+class RoutableOverlay(Protocol):
+    """The facade subset the measurement layer needs."""
+
+    ring: Ring
+
+    def route(
+        self, source: NodeId, target_key: Key, faulty: bool = False, record_path: bool = False
+    ) -> RouteResult: ...
+
+
+def measure_search_cost(
+    overlay: RoutableOverlay,
+    rng: np.random.Generator,
+    n_queries: int | None = None,
+    workload: QueryWorkload | None = None,
+    faulty: bool = False,
+) -> RouteStats:
+    """Average search cost of random queries against ``overlay``.
+
+    Args:
+        overlay: Any facade exposing ``ring`` and ``route``.
+        rng: Query randomness (labelled stream per measurement round).
+        n_queries: Number of queries; defaults to the live population
+            size — exactly the paper's "N random queries".
+        workload: Target selection policy (default: uniform over peers).
+        faulty: Use the probing/backtracking router (required whenever
+            the overlay contains crashed peers).
+    """
+    count = overlay.ring.live_count if n_queries is None else n_queries
+    wl = workload if workload is not None else QueryWorkload()
+    results = [
+        overlay.route(query.source, query.target_key, faulty=faulty)
+        for query in wl.generate(overlay.ring, rng, count)
+    ]
+    return summarize_routes(results)

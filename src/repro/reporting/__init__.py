@@ -1,0 +1,15 @@
+"""Result rendering: CSV files, terminal (ASCII) figures, markdown tables."""
+
+from .ascii_chart import ascii_chart, format_table
+from .csvout import write_rows, write_series
+from .markdown import markdown_report, markdown_table, series_endpoints_table
+
+__all__ = [
+    "ascii_chart",
+    "format_table",
+    "markdown_report",
+    "markdown_table",
+    "series_endpoints_table",
+    "write_rows",
+    "write_series",
+]

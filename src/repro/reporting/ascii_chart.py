@@ -1,0 +1,101 @@
+"""Terminal rendering of experiment figures.
+
+No plotting backend is assumed (the reproduction environment is
+offline); instead each figure is rendered as an ASCII chart faithful
+enough to eyeball the paper's shapes — curve ordering, flatness,
+crossovers — directly in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "format_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map ``value`` in [lo, hi] to a cell index in [0, steps - 1]."""
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(ratio * (steps - 1))))
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as a scatter chart string.
+
+    Each series gets a marker from ``o x + * ...``; a legend, axis
+    ranges and an optional title are included. Log axes require strictly
+    positive data.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n<no data>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_x and min(xs) <= 0:
+        raise ValueError("log_x requires positive x values")
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if not log_y:
+        y_lo = min(y_lo, 0.0)  # anchor linear y at 0 like the paper's axes
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        del name
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.4g}"
+    y_bot = f"{y_lo:.4g}"
+    pad = max(len(y_top), len(y_bot))
+    for i, row_cells in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row_cells)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    x_left = f"{x_lo:.4g}"
+    x_right = f"{x_hi:.4g}"
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(f"{'':>{pad}}  {x_left}{' ' * gap}{x_right}")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"{'':>{pad}}  [{legend}]")
+    return "\n".join(lines)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned text)."""
+    cells = [list(map(_fmt, header))] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    out = []
+    for r, row in enumerate(cells):
+        out.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

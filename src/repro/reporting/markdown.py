@@ -1,0 +1,75 @@
+"""Markdown rendering of experiment results.
+
+EXPERIMENTS.md records paper-vs-measured for every artifact; these
+helpers turn :class:`~repro.experiments.base.ExperimentResult` objects
+into the tables that file uses, so the record can be regenerated
+mechanically after a full run::
+
+    result = run_experiment("fig1c", scale=1.0)
+    print(markdown_report(result))
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["markdown_table", "series_endpoints_table", "markdown_report"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavoured markdown table."""
+    if not header:
+        raise ValueError("header must not be empty")
+    lines = [
+        "| " + " | ".join(_format_cell(cell) for cell in header) + " |",
+        "|" + "|".join("---" for __ in header) + "|",
+    ]
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(f"row {row!r} does not match header width {len(header)}")
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def series_endpoints_table(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """First/last point per curve — the headline trend of a figure."""
+    rows = []
+    for name, points in series.items():
+        if not points:
+            continue
+        (x0, y0), (x1, y1) = points[0], points[-1]
+        rows.append((name, f"{x0:g}", f"{y0:.3f}", f"{x1:g}", f"{y1:.3f}"))
+    return markdown_table(
+        ("series", f"first {x_label}", f"{y_label}", f"last {x_label}", f"{y_label} "),
+        rows,
+    )
+
+
+def markdown_report(result) -> str:
+    """One experiment's full markdown section (tables + metadata)."""
+    parts = [f"### `{result.experiment_id}` — {result.title}", ""]
+    if result.series:
+        parts.append(series_endpoints_table(result.series))
+        parts.append("")
+    if result.scalars:
+        parts.append(
+            markdown_table(
+                ("scalar", "value"),
+                sorted(result.scalars.items()),
+            )
+        )
+        parts.append("")
+    if result.metadata:
+        meta = ", ".join(f"`{k}={v}`" for k, v in sorted(result.metadata.items()))
+        parts.append(f"Parameters: {meta}")
+    return "\n".join(parts).rstrip() + "\n"

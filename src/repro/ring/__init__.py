@@ -1,0 +1,39 @@
+"""Ring substrate: circular key space, peer ring, and maintenance.
+
+Public surface:
+
+* :mod:`repro.ring.identifiers` — clockwise arithmetic on ``[0, 1)``;
+* :class:`repro.ring.Ring` — the sorted, liveness-aware peer circle;
+* :mod:`repro.ring.maintenance` — Chord-style pointer repair the paper
+  assumes survives churn.
+"""
+
+from .identifiers import (
+    KeyspaceError,
+    ccw_distance,
+    circular_distance,
+    cw_distance,
+    cw_distances,
+    cw_midpoint,
+    in_cw_interval,
+    normalize,
+)
+from .maintenance import RingPointers, attach_node, build_pointers, repair, verify
+from .ring import Ring
+
+__all__ = [
+    "KeyspaceError",
+    "Ring",
+    "RingPointers",
+    "attach_node",
+    "build_pointers",
+    "ccw_distance",
+    "circular_distance",
+    "cw_distance",
+    "cw_distances",
+    "cw_midpoint",
+    "in_cw_interval",
+    "normalize",
+    "repair",
+    "verify",
+]

@@ -1,0 +1,139 @@
+"""Chord-style ring maintenance: explicit successor/predecessor pointers.
+
+The paper *assumes* that "the ring structure was preserved by the devised
+self-stabilizing techniques (e.g. Chord ring maintenance algorithms)"
+while long-range links are left dangling after crashes. This module
+implements exactly that contract:
+
+* :func:`build_pointers` wires every live peer to its live ring neighbors;
+* :func:`repair` is the self-stabilization outcome — after failures it
+  re-points any successor/predecessor that references a dead peer to the
+  nearest live one, returning how many pointers had to change;
+* :func:`verify` checks the two ring invariants (pointer closure over live
+  peers, mutual successor/predecessor consistency) and raises
+  :class:`~repro.errors.RingInvariantError` on violation.
+
+Keeping the pointers explicit (rather than recomputing successors from the
+sorted order on demand) makes the repair step observable and testable, and
+lets the fault-aware router distinguish "ring link, always live after
+repair" from "long link, possibly dangling".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EmptyPopulationError, RingInvariantError
+from ..types import NodeId
+from .ring import Ring
+
+__all__ = ["RingPointers", "attach_node", "build_pointers", "repair", "verify"]
+
+
+@dataclass
+class RingPointers:
+    """Per-peer ring neighbor pointers (only meaningful for live peers)."""
+
+    successor: dict[NodeId, NodeId] = field(default_factory=dict)
+    predecessor: dict[NodeId, NodeId] = field(default_factory=dict)
+
+    def copy(self) -> "RingPointers":
+        """Deep-enough copy (new dicts, shared immutable ids)."""
+        return RingPointers(dict(self.successor), dict(self.predecessor))
+
+
+def build_pointers(ring: Ring) -> RingPointers:
+    """Construct correct pointers for the current live population.
+
+    A single live peer points at itself (the degenerate Chord ring).
+    """
+    live = ring.node_ids(live_only=True)
+    if not live:
+        raise EmptyPopulationError("cannot build ring pointers with no live peers")
+    pointers = RingPointers()
+    n = len(live)
+    for i, node in enumerate(live):
+        pointers.successor[node] = live[(i + 1) % n]
+        pointers.predecessor[node] = live[(i - 1) % n]
+    return pointers
+
+
+def attach_node(ring: Ring, pointers: RingPointers, node_id: NodeId) -> None:
+    """Splice a freshly joined live peer into maintained pointers.
+
+    The Chord join step: the new peer adopts its geometric neighbors and
+    they adopt it back. A first (sole) peer points at itself.
+    """
+    if ring.live_count == 1:
+        pointers.successor[node_id] = node_id
+        pointers.predecessor[node_id] = node_id
+        return
+    succ = ring.successor(node_id, live_only=True)
+    pred = ring.predecessor(node_id, live_only=True)
+    pointers.successor[node_id] = succ
+    pointers.predecessor[node_id] = pred
+    pointers.successor[pred] = node_id
+    pointers.predecessor[succ] = node_id
+
+
+def repair(ring: Ring, pointers: RingPointers) -> int:
+    """Self-stabilize ``pointers`` after membership changes.
+
+    Every live peer whose successor (resp. predecessor) is dead, missing
+    or stale is re-pointed to its current live ring neighbor. Entries for
+    dead peers are dropped. Returns the number of pointer entries that
+    were added, changed or removed — 0 means the ring was already stable.
+    """
+    live = ring.node_ids(live_only=True)
+    if not live:
+        raise EmptyPopulationError("cannot repair a ring with no live peers")
+    changes = 0
+    n = len(live)
+    correct_succ = {node: live[(i + 1) % n] for i, node in enumerate(live)}
+    correct_pred = {node: live[(i - 1) % n] for i, node in enumerate(live)}
+
+    for table, correct in ((pointers.successor, correct_succ), (pointers.predecessor, correct_pred)):
+        for node in list(table):
+            if node not in correct:  # owner died: drop its state
+                del table[node]
+                changes += 1
+        for node, target in correct.items():
+            if table.get(node) != target:
+                table[node] = target
+                changes += 1
+    return changes
+
+
+def verify(ring: Ring, pointers: RingPointers) -> None:
+    """Check ring invariants; raise :class:`RingInvariantError` on failure.
+
+    Invariants checked:
+
+    1. every live peer has successor and predecessor entries, and they
+       reference live peers;
+    2. the pointers agree with the geometric order of positions (each
+       peer's successor is its true live clockwise neighbor);
+    3. successor and predecessor are mutually inverse;
+    4. no entries exist for dead or unknown peers.
+    """
+    live = ring.node_ids(live_only=True)
+    live_set = set(live)
+    n = len(live)
+    for node in live:
+        if node not in pointers.successor or node not in pointers.predecessor:
+            raise RingInvariantError(f"live node {node} is missing ring pointers")
+    for table_name, table in (("successor", pointers.successor), ("predecessor", pointers.predecessor)):
+        for node, target in table.items():
+            if node not in live_set:
+                raise RingInvariantError(f"{table_name} entry for non-live node {node}")
+            if target not in live_set:
+                raise RingInvariantError(f"{table_name} of {node} points at non-live node {target}")
+    for i, node in enumerate(live):
+        expected = live[(i + 1) % n]
+        actual = pointers.successor[node]
+        if actual != expected:
+            raise RingInvariantError(f"successor of {node} is {actual}, expected {expected}")
+        if pointers.predecessor[expected] != node:
+            raise RingInvariantError(
+                f"predecessor of {expected} is {pointers.predecessor[expected]}, expected {node}"
+            )

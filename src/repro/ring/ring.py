@@ -1,0 +1,284 @@
+"""The ring substrate: a sorted circle of peers with liveness tracking.
+
+The :class:`Ring` is the ground-truth membership structure shared by the
+Oscar overlay, the Mercury baseline, the samplers and the experiment
+harness. It stores, for every peer that ever joined, a unique position on
+the unit circle and an alive/dead flag; it answers successor/predecessor
+and clockwise-range queries in ``O(log N)`` using cached sorted arrays.
+
+Design notes
+------------
+
+* **Positions are unique.** Joins with a colliding position are rejected
+  with :class:`~repro.errors.DuplicateNodeError`; callers draw a fresh key
+  (collisions of continuous keys have probability ~0 but a float can
+  repeat, so the overlay perturbs and retries).
+* **Crashes mark, never remove.** Failure injection flips the alive flag;
+  dead peers stay in the structure so that long-range links pointing at
+  them can be discovered as dangling by the fault-aware router, exactly
+  like a timed-out probe in a deployed system.
+* **Numpy caches.** Sorted position/id arrays (all peers, and live-only)
+  are cached and invalidated on mutation, so the hot lookups used by
+  sampling and link acquisition are vectorized.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from ..types import NodeId
+from .identifiers import _check  # shared range validation
+
+__all__ = ["Ring"]
+
+
+class Ring:
+    """A circle of peers ordered by their key-space position."""
+
+    def __init__(self) -> None:
+        self._pos_of: dict[NodeId, float] = {}
+        self._alive: dict[NodeId, bool] = {}
+        self._sorted_positions: list[float] = []
+        self._sorted_ids: list[NodeId] = []
+        self._cache_all: tuple[np.ndarray, np.ndarray] | None = None
+        self._cache_live: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def insert(self, node_id: NodeId, position: float) -> None:
+        """Add a live peer at ``position``.
+
+        Raises :class:`DuplicateNodeError` if the id is already present or
+        the position is occupied (positions must be unique for the
+        clockwise order to be total).
+        """
+        _check(position, "position")
+        if node_id in self._pos_of:
+            raise DuplicateNodeError(f"node {node_id} already joined")
+        idx = bisect.bisect_left(self._sorted_positions, position)
+        if idx < len(self._sorted_positions) and self._sorted_positions[idx] == position:
+            raise DuplicateNodeError(f"position {position!r} already occupied by node {self._sorted_ids[idx]}")
+        self._sorted_positions.insert(idx, position)
+        self._sorted_ids.insert(idx, node_id)
+        self._pos_of[node_id] = position
+        self._alive[node_id] = True
+        self._invalidate()
+
+    def mark_dead(self, node_id: NodeId) -> None:
+        """Crash a peer. Idempotent."""
+        self._require_known(node_id)
+        if self._alive[node_id]:
+            self._alive[node_id] = False
+            self._cache_live = None
+
+    def mark_alive(self, node_id: NodeId) -> None:
+        """Revive a crashed peer (used by churn processes). Idempotent."""
+        self._require_known(node_id)
+        if not self._alive[node_id]:
+            self._alive[node_id] = True
+            self._cache_live = None
+
+    def is_alive(self, node_id: NodeId) -> bool:
+        """Whether the peer is currently live."""
+        self._require_known(node_id)
+        return self._alive[node_id]
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._pos_of
+
+    def __len__(self) -> int:
+        """Total number of peers ever joined (live + dead)."""
+        return len(self._pos_of)
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live peers."""
+        __, ids = self._arrays(live_only=True)
+        return int(ids.size)
+
+    def position(self, node_id: NodeId) -> float:
+        """The key-space position of a peer (live or dead)."""
+        self._require_known(node_id)
+        return self._pos_of[node_id]
+
+    def node_ids(self, live_only: bool = False) -> list[NodeId]:
+        """All node ids in clockwise (position) order."""
+        __, ids = self._arrays(live_only)
+        return [int(i) for i in ids]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.node_ids())
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def successor_of_key(self, key: float, live_only: bool = True) -> NodeId:
+        """The peer responsible for ``key``: the first peer at or after it
+        clockwise (Chord's ``successor(key)``)."""
+        _check(key, "key")
+        positions, ids = self._arrays(live_only)
+        if ids.size == 0:
+            raise EmptyPopulationError("ring has no " + ("live " if live_only else "") + "peers")
+        idx = int(np.searchsorted(positions, key, side="left"))
+        return int(ids[idx % ids.size])
+
+    def responsible_for(self, key: float, live_only: bool = True) -> NodeId:
+        """Alias of :meth:`successor_of_key` — the data-placement rule."""
+        return self.successor_of_key(key, live_only)
+
+    def successor(self, node_id: NodeId, live_only: bool = True) -> NodeId:
+        """The next peer clockwise after ``node_id`` (never itself, unless
+        it is the only peer in scope)."""
+        return self._neighbor(node_id, step=+1, live_only=live_only)
+
+    def predecessor(self, node_id: NodeId, live_only: bool = True) -> NodeId:
+        """The previous peer counter-clockwise before ``node_id``."""
+        return self._neighbor(node_id, step=-1, live_only=live_only)
+
+    def _neighbor(self, node_id: NodeId, step: int, live_only: bool) -> NodeId:
+        pos = self.position(node_id)
+        positions, ids = self._arrays(live_only)
+        if ids.size == 0:
+            raise EmptyPopulationError("ring has no live peers")
+        idx = int(np.searchsorted(positions, pos, side="left"))
+        if idx >= ids.size or positions[idx] != pos or ids[idx] != node_id:
+            # node is dead and excluded from the live view: walk from the
+            # insertion point (its would-be slot).
+            if step > 0:
+                return int(ids[idx % ids.size])
+            return int(ids[(idx - 1) % ids.size])
+        return int(ids[(idx + step) % ids.size])
+
+    # ------------------------------------------------------------------
+    # clockwise ranges and ranks
+    # ------------------------------------------------------------------
+
+    def cw_range_size(self, start: float, end: float, live_only: bool = True) -> int:
+        """Number of peers with positions in the clockwise interval
+        ``(start, end]`` (the whole circle when ``start == end``)."""
+        base, count, __ = self._range_span(start, end, live_only)
+        del base
+        return count
+
+    def ids_in_cw_range(self, start: float, end: float, live_only: bool = True) -> np.ndarray:
+        """Node ids with positions in clockwise ``(start, end]``, in
+        clockwise order starting just after ``start``."""
+        base, count, ids = self._range_span(start, end, live_only)
+        if count == 0:
+            return np.empty(0, dtype=ids.dtype)
+        idx = (base + np.arange(count)) % ids.size
+        return ids[idx]
+
+    def choose_in_cw_range(
+        self,
+        rng: np.random.Generator,
+        start: float,
+        end: float,
+        k: int = 1,
+        live_only: bool = True,
+    ) -> np.ndarray:
+        """Draw ``k`` peers uniformly (with replacement) from clockwise
+        ``(start, end]`` without materializing the range.
+
+        Returns an empty array when the range holds no peers — callers
+        treat that as "partition currently empty, redraw".
+        """
+        base, count, ids = self._range_span(start, end, live_only)
+        if count == 0:
+            return np.empty(0, dtype=int)
+        offsets = rng.integers(0, count, size=k)
+        return ids[(base + offsets) % ids.size]
+
+    def position_at_cw_rank(self, origin: float, rank: int, live_only: bool = True) -> float:
+        """Position of the peer at clockwise rank ``rank`` from ``origin``.
+
+        Rank 1 is the first peer strictly after ``origin``; rank ``n``
+        wraps all the way around. Used by the oracle partitioner to read
+        exact median borders in ``O(log N)``.
+        """
+        positions, __ = self._arrays(live_only)
+        n = positions.size
+        if n == 0:
+            raise EmptyPopulationError("ring has no live peers")
+        if not 1 <= rank <= n:
+            raise ValueError(f"rank must be in [1, {n}], got {rank}")
+        base = int(np.searchsorted(positions, origin, side="right"))
+        return float(positions[(base + rank - 1) % n])
+
+    def cw_rank_of(self, origin: float, node_id: NodeId, live_only: bool = True) -> int:
+        """Clockwise rank of ``node_id`` as seen from ``origin`` (>= 1)."""
+        positions, ids = self._arrays(live_only)
+        if ids.size == 0:
+            raise EmptyPopulationError("ring has no live peers")
+        pos = self.position(node_id)
+        idx = int(np.searchsorted(positions, pos, side="left"))
+        if idx >= ids.size or ids[idx] != node_id:
+            raise UnknownNodeError(node_id)
+        base = int(np.searchsorted(positions, origin, side="right"))
+        return (idx - base) % ids.size + 1
+
+    def positions_array(self, live_only: bool = False) -> np.ndarray:
+        """Sorted copy of all peer positions (read-only view semantics:
+        callers must not mutate)."""
+        positions, __ = self._arrays(live_only)
+        return positions
+
+    def ids_array(self, live_only: bool = False) -> np.ndarray:
+        """Node ids sorted by position, aligned with :meth:`positions_array`."""
+        __, ids = self._arrays(live_only)
+        return ids
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_known(self, node_id: NodeId) -> None:
+        if node_id not in self._pos_of:
+            raise UnknownNodeError(node_id)
+
+    def _invalidate(self) -> None:
+        self._cache_all = None
+        self._cache_live = None
+
+    def _arrays(self, live_only: bool) -> tuple[np.ndarray, np.ndarray]:
+        if live_only:
+            if self._cache_live is None:
+                mask = np.fromiter(
+                    (self._alive[i] for i in self._sorted_ids),
+                    dtype=bool,
+                    count=len(self._sorted_ids),
+                )
+                positions = np.asarray(self._sorted_positions, dtype=float)[mask]
+                ids = np.asarray(self._sorted_ids, dtype=np.int64)[mask]
+                self._cache_live = (positions, ids)
+            return self._cache_live
+        if self._cache_all is None:
+            self._cache_all = (
+                np.asarray(self._sorted_positions, dtype=float),
+                np.asarray(self._sorted_ids, dtype=np.int64),
+            )
+        return self._cache_all
+
+    def _range_span(self, start: float, end: float, live_only: bool) -> tuple[int, int, np.ndarray]:
+        """Return ``(base_index, count, ids_array)`` describing clockwise
+        ``(start, end]`` as a contiguous (mod n) span of the sorted order."""
+        _check(start, "start")
+        _check(end, "end")
+        positions, ids = self._arrays(live_only)
+        n = positions.size
+        if n == 0:
+            return 0, 0, ids
+        lo = int(np.searchsorted(positions, start, side="right"))
+        hi = int(np.searchsorted(positions, end, side="right"))
+        if start < end:
+            return lo, hi - lo, ids
+        if start == end:  # whole circle
+            return lo % n, n, ids
+        return lo, (n - lo) + hi, ids

@@ -1,0 +1,25 @@
+"""Routing: greedy clockwise lookup and its fault-aware variant.
+
+* :func:`route_greedy` — fault-free Chord-style greedy routing;
+* :func:`route_faulty` — dead-link probing + backtracking (paper §3,
+  churn experiments);
+* :class:`RouteResult` / :func:`summarize_routes` — per-query and
+  aggregate cost accounting (the paper's "average search cost").
+"""
+
+from .base import NeighborProvider
+from .faulty import route_faulty
+from .greedy import route_greedy
+from .range_query import RangeQueryResult, route_range
+from .result import RouteResult, RouteStats, summarize_routes
+
+__all__ = [
+    "NeighborProvider",
+    "RangeQueryResult",
+    "RouteResult",
+    "RouteStats",
+    "route_faulty",
+    "route_greedy",
+    "route_range",
+    "summarize_routes",
+]

@@ -1,0 +1,33 @@
+"""Shared routing abstractions.
+
+Routing operates against two narrow interfaces so the same router serves
+the Oscar overlay, the Mercury baseline and synthetic test topologies:
+
+* a :class:`~repro.ring.Ring` for positions/liveness/responsibility, and
+* a :class:`NeighborProvider` for each node's outgoing links (ring
+  successor + long-range links, in greedy-preference order or not — the
+  router sorts).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..types import NodeId
+
+__all__ = ["NeighborProvider"]
+
+
+@runtime_checkable
+class NeighborProvider(Protocol):
+    """Read access to a node's outgoing neighbor set.
+
+    Implementations must return *all* outgoing links (ring + long-range),
+    including links that currently point at dead peers — discovering
+    those is the fault-aware router's job, and charging for it is the
+    point of the churn experiments.
+    """
+
+    def neighbors_of(self, node_id: NodeId) -> Sequence[NodeId]:
+        """Outgoing neighbor ids of ``node_id`` (order irrelevant)."""
+        ...

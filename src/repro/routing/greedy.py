@@ -1,0 +1,124 @@
+"""Fault-free greedy clockwise routing (Chord orientation).
+
+A query for key ``k`` starting at peer ``s`` repeatedly forwards to the
+neighbor that makes the most clockwise progress toward ``k`` without
+passing it (Chord's *closest preceding node* rule), and delivers on the
+final ring hop to ``successor(k)``, the peer responsible for ``k``.
+
+Because every hop strictly decreases the remaining clockwise distance and
+the final interval check uses the always-live ring successor, the walk
+terminates in at most ``N`` hops; in an Oscar network the expected cost is
+``O(log^2 N / rho)`` for per-peer out-degree ``rho`` (Kleinberg's bound
+applied to rank space — see :mod:`repro.smallworld.theory`).
+"""
+
+from __future__ import annotations
+
+from ..config import RoutingConfig
+from ..errors import RoutingError
+from ..ring import Ring, RingPointers, cw_distance, in_cw_interval
+from ..types import Key, NodeId
+from .base import NeighborProvider
+from .result import RouteResult
+
+__all__ = ["route_greedy"]
+
+_DEFAULT = RoutingConfig()
+
+
+def route_greedy(
+    ring: Ring,
+    pointers: RingPointers,
+    neighbors: NeighborProvider,
+    source: NodeId,
+    target_key: Key,
+    config: RoutingConfig = _DEFAULT,
+    record_path: bool = False,
+) -> RouteResult:
+    """Route one query in a fault-free network.
+
+    Args:
+        ring: Ground-truth membership (used for positions and for the
+            ground-truth responsible peer).
+        pointers: Maintained ring successor pointers (the mandatory ring
+            links every peer holds).
+        neighbors: Outgoing long-range/ring links per peer.
+        source: Originating peer id; must be live.
+        target_key: Key in ``[0, 1)`` being looked up.
+        config: Message budget (exceeding it raises — in a fault-free
+            network that indicates a broken topology, not bad luck).
+        record_path: Keep the full visited path on the result (slower;
+            off for bulk measurements).
+
+    Returns:
+        A successful :class:`RouteResult`; ``wasted_probes`` and
+        ``backtracks`` are always zero here.
+
+    Raises:
+        RoutingError: No neighbor made progress (topology violates the
+            ring invariant) or the budget was exhausted.
+    """
+    responsible = ring.successor_of_key(target_key, live_only=True)
+    current = source
+    hops = 0
+    path: list[NodeId] = [source] if record_path else []
+
+    while current != responsible:
+        if hops >= config.budget:
+            raise RoutingError(
+                f"fault-free route from {source} to key {target_key!r} exceeded budget {config.budget}"
+            )
+        current_pos = ring.position(current)
+        succ = pointers.successor.get(current)
+        if succ is None:
+            raise RoutingError(f"node {current} has no ring successor pointer")
+        # Final-interval rule: the key lives between me and my successor.
+        if in_cw_interval(target_key, current_pos, ring.position(succ)):
+            current = succ
+        else:
+            current = _closest_preceding(ring, neighbors, current, current_pos, target_key, succ)
+        hops += 1
+        if record_path:
+            path.append(current)
+
+    return RouteResult(
+        source=source,
+        target_key=target_key,
+        responsible=responsible,
+        delivered_to=current,
+        success=True,
+        hops=hops,
+        path=tuple(path),
+    )
+
+
+def _closest_preceding(
+    ring: Ring,
+    neighbors: NeighborProvider,
+    current: NodeId,
+    current_pos: float,
+    target_key: Key,
+    ring_successor: NodeId,
+) -> NodeId:
+    """The neighbor making maximal clockwise progress without passing the key.
+
+    The ring successor is always a valid fallback (it cannot pass the key —
+    the caller already handled the final interval), so in a consistent
+    topology this never fails.
+    """
+    best: NodeId = ring_successor
+    best_progress = cw_distance(current_pos, ring.position(ring_successor))
+    span = cw_distance(current_pos, target_key)
+    for candidate in neighbors.neighbors_of(current):
+        if candidate == current:
+            continue
+        progress = cw_distance(current_pos, ring.position(candidate))
+        # "(current, key]" guard: skip neighbors past the key.
+        if progress > span:
+            continue
+        if progress > best_progress:
+            best = candidate
+            best_progress = progress
+    if best == current or best_progress == 0.0:
+        raise RoutingError(f"node {current} has no progressing neighbor toward {target_key!r}")
+    return best

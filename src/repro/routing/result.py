@@ -1,0 +1,108 @@
+"""Route outcomes and their aggregation into experiment statistics.
+
+The paper's performance metric is the *average search cost*: the mean
+number of messages induced by N random queries, where messages include
+forward hops and — under churn — wasted probes to dead neighbors and
+backtracking steps. :class:`RouteResult` accounts for each component
+separately so the fault-free and faulty experiments share one metric
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Iterable, Sequence
+
+from ..types import Key, NodeId
+
+__all__ = ["RouteResult", "RouteStats", "summarize_routes"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing one query.
+
+    Attributes:
+        source: Originating peer.
+        target_key: The key being looked up.
+        responsible: The peer that owns ``target_key`` (ground truth).
+        delivered_to: Peer the route actually terminated at (equals
+            ``responsible`` on success).
+        success: Whether the query reached the responsible peer within
+            budget.
+        hops: Forward hops taken (path length - 1, counting backtracked
+            segments once per traversal).
+        wasted_probes: Messages spent discovering dead neighbors.
+        backtracks: Messages spent returning to a previous hop.
+        path: The sequence of live peers visited, in order (first element
+            is ``source``).
+    """
+
+    source: NodeId
+    target_key: Key
+    responsible: NodeId
+    delivered_to: NodeId | None
+    success: bool
+    hops: int
+    wasted_probes: int = 0
+    backtracks: int = 0
+    path: tuple[NodeId, ...] = ()
+
+    @property
+    def cost(self) -> int:
+        """Total messages charged to this query (the paper's search cost)."""
+        return self.hops + self.wasted_probes + self.backtracks
+
+    @property
+    def wasted(self) -> int:
+        """Total non-productive messages (probes + backtracks)."""
+        return self.wasted_probes + self.backtracks
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """Aggregate statistics over a batch of routes."""
+
+    n_routes: int
+    n_success: int
+    mean_cost: float
+    mean_hops: float
+    mean_wasted: float
+    max_cost: int
+    p95_cost: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of queries delivered to the responsible peer."""
+        return self.n_success / self.n_routes if self.n_routes else 0.0
+
+
+def _percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return float(sorted_values[rank])
+
+
+def summarize_routes(routes: Iterable[RouteResult]) -> RouteStats:
+    """Fold a batch of :class:`RouteResult` into :class:`RouteStats`.
+
+    Failed routes are *included* in the cost averages (their partial cost
+    was really spent) — matching a deployed system where an abandoned
+    query still consumed bandwidth.
+    """
+    batch = list(routes)
+    if not batch:
+        return RouteStats(0, 0, 0.0, 0.0, 0.0, 0, 0.0)
+    costs = sorted(r.cost for r in batch)
+    return RouteStats(
+        n_routes=len(batch),
+        n_success=sum(1 for r in batch if r.success),
+        mean_cost=mean(r.cost for r in batch),
+        mean_hops=mean(r.hops for r in batch),
+        mean_wasted=mean(r.wasted for r in batch),
+        max_cost=costs[-1],
+        p95_cost=_percentile(costs, 0.95),
+    )

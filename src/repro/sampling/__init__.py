@@ -1,0 +1,22 @@
+"""Sampling substrate: restricted walks, medians, density histograms.
+
+* :func:`sample_arc_uniform` / :class:`RestrictedWalker` — the paper's
+  Mercury-style uniform samplers over clockwise arcs (``UNIFORM`` and
+  ``WALK`` fidelity modes);
+* :func:`cw_sample_median` / :func:`cw_sample_quantile` — clockwise
+  order statistics used for Oscar's recursive partition borders;
+* :class:`NodeDensityHistogram` — Mercury's equi-width density learner.
+"""
+
+from .histogram import NodeDensityHistogram
+from .median import cw_sample_median, cw_sample_quantile, lower_median_index
+from .random_walk import RestrictedWalker, sample_arc_uniform
+
+__all__ = [
+    "NodeDensityHistogram",
+    "RestrictedWalker",
+    "cw_sample_median",
+    "cw_sample_quantile",
+    "lower_median_index",
+    "sample_arc_uniform",
+]

@@ -1,0 +1,63 @@
+"""Median and quantile estimation on the key circle.
+
+Oscar's partition borders are medians "of the peer identifiers" in
+progressively halved subpopulations, always measured *clockwise from the
+partitioning node* — a node at position 0.9 partitioning the arc
+(0.9, 0.3] must treat 0.95 as *nearer* than 0.1. All estimators here
+therefore operate in clockwise-distance space relative to an explicit
+origin and convert back to absolute keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InsufficientSamplesError
+from ..ring.identifiers import normalize
+
+__all__ = ["cw_sample_median", "cw_sample_quantile", "lower_median_index"]
+
+
+def lower_median_index(n: int) -> int:
+    """Index of the lower median in a 0-indexed sorted sequence of ``n``.
+
+    For even ``n`` the lower of the two middle elements is used: Oscar's
+    border must be an actual peer identifier (the border peer), not an
+    interpolated midpoint.
+    """
+    if n < 1:
+        raise InsufficientSamplesError(needed=1, got=n)
+    return (n - 1) // 2
+
+
+def cw_sample_median(origin: float, positions: np.ndarray) -> float:
+    """Sample median of ``positions`` ordered clockwise from ``origin``.
+
+    Args:
+        origin: Reference point; distances are measured clockwise from it.
+        positions: Sampled peer positions in ``[0, 1)`` (any order, may
+            contain duplicates from with-replacement sampling).
+
+    Returns:
+        The absolute key of the (lower) median sample.
+    """
+    return cw_sample_quantile(origin, positions, 0.5)
+
+
+def cw_sample_quantile(origin: float, positions: np.ndarray, q: float) -> float:
+    """Sample ``q``-quantile in clockwise order from ``origin``.
+
+    Uses the "lower" (type-1) empirical quantile so the result is always
+    one of the sampled identifiers. ``q`` = 0.5 gives the median used for
+    partition borders; other values support generalized (base-``a``)
+    logarithmic partitionings.
+    """
+    arr = np.asarray(positions, dtype=float)
+    if arr.size == 0:
+        raise InsufficientSamplesError(needed=1, got=0)
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    distances = (arr - origin) % 1.0
+    distances.sort()
+    index = min(arr.size - 1, max(0, int(np.ceil(q * arr.size)) - 1))
+    return normalize(origin + float(distances[index]))

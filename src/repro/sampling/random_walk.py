@@ -1,0 +1,164 @@
+"""Uniform peer sampling by (restricted) random walks.
+
+Oscar estimates each partition border as the median of a *uniform* sample
+of a clockwise arc of the population; the paper adopts Mercury's
+random-walk sampler, restricted so walkers "do not visit nodes with
+identifiers that do not belong to the current population".
+
+Three fidelity modes are offered (see
+:class:`~repro.config.SamplingMode`):
+
+* ``ORACLE`` bypasses sampling entirely (exact subpopulation access) —
+  handled by the caller;
+* ``UNIFORM`` draws i.i.d. uniform members of the arc, the idealized
+  outcome of a long, well-mixed walk — the fast default;
+* ``WALK`` runs a real Metropolis–Hastings walk over the overlay links,
+  restricted to the arc, collecting every ``walk_hops``-th position.
+
+The MH correction (accept a move ``u -> v`` with probability
+``min(1, deg_R(u) / deg_R(v))``, degrees counted within the restricted
+subgraph) removes the degree bias of a plain walk, so the stationary
+distribution is uniform over the arc regardless of the heterogeneous
+degree caps — without it, high-capacity peers would be oversampled and
+median estimates would skew systematically.
+
+Connectivity inside an arc is guaranteed by the mandatory ring links:
+the peers of any clockwise arc form a ring path, so a restricted walker
+can always move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..ring import Ring, in_cw_interval
+from ..types import NodeId
+
+__all__ = ["sample_arc_uniform", "RestrictedWalker"]
+
+
+def sample_arc_uniform(
+    ring: Ring,
+    rng: np.random.Generator,
+    start: float,
+    end: float,
+    size: int,
+    live_only: bool = True,
+) -> np.ndarray:
+    """Draw ``size`` peers i.i.d. uniformly from clockwise arc ``(start, end]``.
+
+    Returns node ids (with replacement); empty array when the arc holds no
+    peers. This is the ``UNIFORM`` sampling mode.
+    """
+    if size < 1:
+        raise SamplingError(f"sample size must be >= 1, got {size}")
+    return ring.choose_in_cw_range(rng, start, end, k=size, live_only=live_only)
+
+
+class RestrictedWalker:
+    """A Metropolis–Hastings random walk confined to a clockwise arc.
+
+    Args:
+        ring: Membership/position source.
+        neighbor_fn: Maps a node id to its outgoing neighbor ids — ring
+            *and* long links; the walk treats links as undirected edges in
+            the sense that it only ever needs forward traversal.
+        start: Arc start (exclusive) — walkers refuse nodes outside
+            ``(start, end]``.
+        end: Arc end (inclusive).
+        live_only: Skip dead peers (walkers time out on them).
+    """
+
+    def __init__(
+        self,
+        ring: Ring,
+        neighbor_fn: Callable[[NodeId], Sequence[NodeId]],
+        start: float,
+        end: float,
+        live_only: bool = True,
+    ) -> None:
+        self._ring = ring
+        self._neighbor_fn = neighbor_fn
+        self._start = start
+        self._end = end
+        self._live_only = live_only
+        self._degree_cache: dict[NodeId, list[NodeId]] = {}
+
+    def _in_arc(self, node: NodeId) -> bool:
+        if self._live_only and not self._ring.is_alive(node):
+            return False
+        return in_cw_interval(self._ring.position(node), self._start, self._end)
+
+    def _arc_neighbors(self, node: NodeId) -> list[NodeId]:
+        """Neighbors of ``node`` that a restricted walker may visit."""
+        cached = self._degree_cache.get(node)
+        if cached is None:
+            cached = [v for v in self._neighbor_fn(node) if v != node and self._in_arc(v)]
+            self._degree_cache[node] = cached
+        return cached
+
+    def walk(
+        self,
+        rng: np.random.Generator,
+        origin: NodeId,
+        n_samples: int,
+        hops_per_sample: int = 8,
+        burn_in: int | None = None,
+    ) -> np.ndarray:
+        """Collect ``n_samples`` node ids from the arc.
+
+        The walk starts at ``origin`` (which must lie in the arc), takes
+        ``burn_in`` mixing steps (default: ``2 * hops_per_sample``), then
+        records the current node every ``hops_per_sample`` steps.
+
+        A proposal that leaves the arc, hits a dead peer, or fails the MH
+        acceptance test is rejected: the walker stays put for that step
+        (standard lazy-chain behaviour — staying put is what preserves
+        uniformity, and it models a walker message bounced back).
+
+        Raises:
+            SamplingError: ``origin`` lies outside the arc or is isolated
+                within it (impossible when ring links are present).
+        """
+        if n_samples < 1:
+            raise SamplingError(f"n_samples must be >= 1, got {n_samples}")
+        if hops_per_sample < 1:
+            raise SamplingError(f"hops_per_sample must be >= 1, got {hops_per_sample}")
+        if not self._in_arc(origin):
+            raise SamplingError(f"walk origin {origin} is outside the sampled arc")
+
+        if burn_in is None:
+            burn_in = 2 * hops_per_sample
+        current = origin
+        collected = np.empty(n_samples, dtype=np.int64)
+        steps_until_sample = burn_in if burn_in > 0 else hops_per_sample
+        taken = 0
+        # Guard against pathological topologies: each recorded sample
+        # costs at most hops_per_sample steps plus the burn-in.
+        max_steps = burn_in + n_samples * hops_per_sample + 1
+        for __ in range(max_steps):
+            here = self._arc_neighbors(current)
+            if here:
+                proposal = here[int(rng.integers(0, len(here)))]
+                there = self._arc_neighbors(proposal)
+                deg_here = len(here)
+                deg_there = max(1, len(there))
+                if deg_there <= deg_here or rng.random() < deg_here / deg_there:
+                    current = proposal
+            steps_until_sample -= 1
+            if steps_until_sample == 0:
+                collected[taken] = current
+                taken += 1
+                if taken == n_samples:
+                    return collected
+                steps_until_sample = hops_per_sample
+        raise SamplingError(
+            f"walk collected only {taken}/{n_samples} samples within {max_steps} steps"
+        )
+
+    def positions(self, node_ids: np.ndarray) -> np.ndarray:
+        """Positions of sampled node ids (convenience for estimators)."""
+        return np.array([self._ring.position(int(n)) for n in node_ids], dtype=float)

@@ -1,0 +1,30 @@
+"""Message-level network simulation on the discrete-event kernel.
+
+The topology experiments count messages; this package measures *time*.
+Queries run as kernel processes over the overlay's real routes: every
+hop queues at the target peer (a FIFO :class:`~repro.engine.Resource`
+whose service rate is the peer's bandwidth) and then pays a propagation
+delay. That makes peer **bandwidth heterogeneity** — the paper's
+motivating constraint for letting peers choose their own degree caps —
+observable as query latency:
+
+* :class:`BandwidthModel` — per-peer service rates (uniform or matched
+  to the peer's declared degree cap);
+* :class:`LatencyModel` — seeded per-hop propagation delays;
+* :class:`QuerySimulation` — Poisson query arrivals over an overlay,
+  returning per-query latency samples.
+
+The EXT-L experiment uses this to show *why* caps should track
+bandwidth: a network that assigns every peer equal link load while
+bandwidths vary queues up at its slow peers.
+"""
+
+from .model import BandwidthModel, LatencyModel
+from .simulation import QueryLatencyStats, QuerySimulation
+
+__all__ = [
+    "BandwidthModel",
+    "LatencyModel",
+    "QueryLatencyStats",
+    "QuerySimulation",
+]

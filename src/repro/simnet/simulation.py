@@ -1,0 +1,171 @@
+"""Query-latency simulation: Poisson arrivals over real overlay routes.
+
+Each query is a kernel process replaying a route recorded from the
+overlay's own router. At every intermediate hop the message must be
+*forwarded*: it queues for the hop peer's single server, occupies it
+for the peer's service time, then pays the link's propagation delay.
+Queueing is where heterogeneity bites — a popular slow peer backs up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+import numpy as np
+
+from ..engine import Environment, Event, Resource
+from ..errors import ConfigError, EmptyPopulationError
+from ..metrics import RoutableOverlay
+from ..types import NodeId
+from ..workloads import QueryWorkload
+from .model import BandwidthModel, LatencyModel
+
+__all__ = ["QueryLatencyStats", "QuerySimulation"]
+
+
+@dataclass(frozen=True)
+class QueryLatencyStats:
+    """Latency summary over one simulation run.
+
+    Attributes:
+        n_queries: Completed queries.
+        mean: Mean end-to-end latency (simulated seconds).
+        p50: Median latency.
+        p95: 95th-percentile latency (tail — what users feel).
+        max: Worst query.
+        mean_queue_wait: Mean time spent waiting in peer queues, the
+            heterogeneity-mismatch signal.
+    """
+
+    n_queries: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+    mean_queue_wait: float
+
+    @classmethod
+    def from_samples(
+        cls, latencies: Sequence[float], queue_waits: Sequence[float]
+    ) -> "QueryLatencyStats":
+        if not latencies:
+            raise EmptyPopulationError("no queries completed")
+        arr = np.asarray(latencies, dtype=float)
+        return cls(
+            n_queries=arr.size,
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            max=float(arr.max()),
+            mean_queue_wait=float(np.mean(queue_waits)),
+        )
+
+
+class QuerySimulation:
+    """Run a Poisson query workload over an overlay, in simulated time.
+
+    Args:
+        overlay: Any routable overlay facade (Oscar / Mercury / Chord).
+        bandwidth: Per-peer service rates.
+        latency: Per-link propagation model.
+        arrival_rate: Mean query arrivals per simulated second (the
+            offered load; keep below the bottleneck service capacity or
+            queues grow without bound — that, too, is measurable).
+        seed: Stream label for arrivals and workload draws.
+    """
+
+    def __init__(
+        self,
+        overlay: RoutableOverlay,
+        bandwidth: BandwidthModel,
+        latency: LatencyModel,
+        arrival_rate: float = 50.0,
+        seed: int = 42,
+    ) -> None:
+        if arrival_rate <= 0:
+            raise ConfigError(f"arrival_rate must be > 0, got {arrival_rate}")
+        self.overlay = overlay
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.arrival_rate = arrival_rate
+        self.seed = seed
+        self.latencies: list[float] = []
+        self.queue_waits: list[float] = []
+
+    # ------------------------------------------------------------------
+    # kernel processes
+    # ------------------------------------------------------------------
+
+    def _query_process(
+        self,
+        env: Environment,
+        servers: dict[NodeId, Resource],
+        path: tuple[NodeId, ...],
+    ) -> Generator[Event, object, None]:
+        started = env.now
+        queued = 0.0
+        # The source emits for free; every subsequent hop must be
+        # received, serviced and forwarded by its peer.
+        for prev, node in zip(path, path[1:]):
+            wait_started = env.now
+            grant = servers[node].request()
+            yield grant
+            queued += env.now - wait_started
+            yield env.timeout(self.bandwidth.service_time(node))
+            servers[node].release()
+            yield env.timeout(self.latency.delay(prev, node))
+        self.latencies.append(env.now - started)
+        self.queue_waits.append(queued)
+
+    def _arrival_process(
+        self,
+        env: Environment,
+        servers: dict[NodeId, Resource],
+        paths: list[tuple[NodeId, ...]],
+        rng: np.random.Generator,
+    ) -> Generator[Event, object, None]:
+        for path in paths:
+            yield env.timeout(float(rng.exponential(1.0 / self.arrival_rate)))
+            env.process(self._query_process(env, servers, path))
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        n_queries: int,
+        workload: QueryWorkload | None = None,
+        faulty: bool = False,
+    ) -> QueryLatencyStats:
+        """Simulate ``n_queries`` arrivals; returns the latency summary.
+
+        Routes are resolved through the overlay's real router (with
+        paths recorded), then replayed in simulated time. The run ends
+        when every query has completed.
+        """
+        if n_queries < 1:
+            raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+        from ..rng import split
+
+        rng = split(self.seed, "simnet-run")
+        wl = workload if workload is not None else QueryWorkload()
+        paths: list[tuple[NodeId, ...]] = []
+        for query in wl.generate(self.overlay.ring, rng, n_queries):
+            result = self.overlay.route(
+                query.source, query.target_key, faulty=faulty, record_path=True
+            )
+            if result.success and len(result.path) >= 1:
+                paths.append(result.path)
+
+        env = Environment()
+        servers = {
+            node: Resource(env, capacity=1)
+            for node in self.overlay.ring.node_ids(live_only=True)
+        }
+        self.latencies.clear()
+        self.queue_waits.clear()
+        env.process(self._arrival_process(env, servers, paths, rng))
+        env.run()
+        return QueryLatencyStats.from_samples(self.latencies, self.queue_waits)

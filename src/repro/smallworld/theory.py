@@ -1,0 +1,57 @@
+"""Closed-form expectations used to sanity-check measurements.
+
+These are the paper's analytic anchors: greedy routing on a ring with
+``rho`` harmonic long links per peer takes ``O(log^2 N / rho)`` expected
+hops (Kleinberg's argument applied in rank space), and Oscar's
+partition-uniform approximation preserves that bound up to a constant
+([7], [8]). Tests assert measured costs stay within a small multiple of
+these predictions, which catches silent navigability regressions that
+absolute-number comparisons would miss.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_greedy_cost",
+    "worst_case_greedy_cost",
+    "min_long_links_for_cost",
+]
+
+
+def expected_greedy_cost(n: int, links_per_node: float, constant: float = 1.0) -> float:
+    """Expected greedy hops: ``constant * log2(n)**2 / links``.
+
+    ``constant`` absorbs the per-topology factor; with partition-uniform
+    links it is close to 1 in practice (measured in tests).
+    """
+    if n < 2:
+        return 0.0
+    if links_per_node <= 0:
+        raise ValueError(f"links_per_node must be > 0, got {links_per_node}")
+    return constant * math.log2(n) ** 2 / links_per_node
+
+
+def worst_case_greedy_cost(n: int) -> float:
+    """The paper's stated worst case for one link per peer: ``O(log^2 N)``.
+
+    Returned without a hidden constant (callers multiply); tests use it
+    as an upper envelope, never as an exact value.
+    """
+    if n < 2:
+        return 0.0
+    return math.log2(n) ** 2
+
+
+def min_long_links_for_cost(n: int, target_cost: float, constant: float = 1.0) -> int:
+    """Links per peer needed to hit an expected cost (capacity planning).
+
+    Inverts :func:`expected_greedy_cost`; useful for the examples that
+    size peer budgets against a latency goal.
+    """
+    if target_cost <= 0:
+        raise ValueError(f"target_cost must be > 0, got {target_cost}")
+    if n < 2:
+        return 1
+    return max(1, math.ceil(constant * math.log2(n) ** 2 / target_cost))

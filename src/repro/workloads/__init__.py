@@ -1,0 +1,40 @@
+"""Key and query workloads.
+
+Distributions over the key circle (:class:`UniformKeys`,
+:class:`ClusteredKeys`, :class:`ZipfKeys`, and the Gnutella-trace
+substitute :class:`GnutellaLikeDistribution`) plus the random-query
+generator used by every experiment.
+"""
+
+from .base import KeyDistribution
+from .gnutella import GnutellaLikeDistribution
+from .queries import Query, QueryWorkload
+from .standard import ClusteredKeys, UniformKeys, ZipfKeys
+
+__all__ = [
+    "ClusteredKeys",
+    "GnutellaLikeDistribution",
+    "KeyDistribution",
+    "Query",
+    "QueryWorkload",
+    "UniformKeys",
+    "ZipfKeys",
+]
+
+
+def by_name(name: str, **kwargs: object) -> KeyDistribution:
+    """Construct a key distribution from its CLI name.
+
+    Recognized names: ``uniform``, ``clustered``, ``zipf``, ``gnutella``.
+    """
+    registry = {
+        "uniform": UniformKeys,
+        "clustered": ClusteredKeys,
+        "zipf": ZipfKeys,
+        "gnutella": GnutellaLikeDistribution,
+    }
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown key distribution {name!r}; known: {sorted(registry)}") from None
+    return factory(**kwargs)  # type: ignore[arg-type]

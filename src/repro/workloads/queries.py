@@ -1,0 +1,80 @@
+"""Query workload generation.
+
+The paper measures "the average search cost ... induced by N random
+queries in the network". Query targets can be drawn three ways, and the
+choice matters under skew:
+
+* ``peer`` (default, matches the paper): the target is the position of a
+  uniformly chosen live peer — every peer is equally likely to be looked
+  up, regardless of how keys cluster;
+* ``key``: the target key is drawn from a key distribution (models
+  *data-access* skew: hot key regions attract proportionally more
+  queries);
+* ``uniform``: the target key is uniform on the circle (stresses the
+  sparse regions that hold little data).
+
+Sources are always uniformly random live peers, distinct from the
+trivial case where source already owns the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+from ..errors import EmptyPopulationError, ExperimentError
+from ..ring import Ring
+from ..types import Key, NodeId
+from .base import KeyDistribution
+
+__all__ = ["Query", "QueryWorkload"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One lookup: ``source`` asks for ``target_key``."""
+
+    source: NodeId
+    target_key: Key
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible stream of random queries.
+
+    Args:
+        target_mode: ``"peer"``, ``"key"`` or ``"uniform"`` (see module
+            docstring).
+        key_distribution: Required iff ``target_mode == "key"``.
+    """
+
+    target_mode: Literal["peer", "key", "uniform"] = "peer"
+    key_distribution: KeyDistribution | None = None
+
+    def __post_init__(self) -> None:
+        if self.target_mode not in ("peer", "key", "uniform"):
+            raise ExperimentError(f"unknown target_mode {self.target_mode!r}")
+        if self.target_mode == "key" and self.key_distribution is None:
+            raise ExperimentError('target_mode="key" requires a key_distribution')
+
+    def generate(self, ring: Ring, rng: np.random.Generator, count: int) -> Iterator[Query]:
+        """Yield ``count`` queries against the current live population."""
+        if count < 0:
+            raise ExperimentError(f"count must be >= 0, got {count}")
+        live = ring.ids_array(live_only=True)
+        if live.size == 0:
+            raise EmptyPopulationError("cannot generate queries: no live peers")
+        sources = live[rng.integers(0, live.size, size=count)]
+        if self.target_mode == "peer":
+            targets = np.array(
+                [ring.position(int(t)) for t in live[rng.integers(0, live.size, size=count)]]
+            )
+        elif self.target_mode == "key":
+            assert self.key_distribution is not None  # enforced in __post_init__
+            targets = self.key_distribution.sample(rng, count)
+        else:
+            targets = rng.random(count)
+        for source, target in zip(sources, targets):
+            yield Query(source=int(source), target_key=float(target))

@@ -1,0 +1,121 @@
+"""Standard key distributions: uniform, clustered, Zipf-vocabulary.
+
+These cover the homogeneity spectrum between "what DHTs assume" (uniform
+hashed keys) and "what data-oriented applications produce" (clustered,
+heavy-tailed key populations), and serve as controls in the experiments:
+Oscar must match plain DHT behaviour on uniform keys and keep working as
+skew grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import split
+from .base import KeyDistribution
+
+__all__ = ["UniformKeys", "ClusteredKeys", "ZipfKeys"]
+
+
+class UniformKeys(KeyDistribution):
+    """Uniform keys — the classical hashed-identifier assumption."""
+
+    name = "uniform"
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._validate_batch(rng.random(size))
+
+    def cdf(self, key: float) -> float:
+        if not 0.0 <= key <= 1.0:
+            raise DistributionError(f"key must be in [0, 1], got {key!r}")
+        return key
+
+
+class ClusteredKeys(KeyDistribution):
+    """A mixture of wrapped Gaussian clusters.
+
+    Models applications whose keys pile up around a few hot regions
+    (e.g. popular attribute values in a range-queriable index). Cluster
+    centers, widths and weights are drawn once from ``layout_seed`` so a
+    distribution object denotes one fixed, reproducible landscape.
+
+    Args:
+        n_clusters: Number of Gaussian bumps.
+        width: Common scale of cluster standard deviations; individual
+            widths vary by up to 4x around it.
+        layout_seed: Seed fixing the landscape (independent from the
+            experiment seed that drives sampling).
+    """
+
+    name = "clustered"
+
+    def __init__(self, n_clusters: int = 5, width: float = 0.02, layout_seed: int = 2007) -> None:
+        if n_clusters < 1:
+            raise DistributionError(f"n_clusters must be >= 1, got {n_clusters}")
+        if not 0.0 < width < 0.5:
+            raise DistributionError(f"width must be in (0, 0.5), got {width}")
+        layout = split(layout_seed, "clustered-layout")
+        self.n_clusters = n_clusters
+        self.centers = layout.random(n_clusters)
+        self.widths = width * (0.25 + 3.75 * layout.random(n_clusters))
+        raw = layout.random(n_clusters) + 0.25
+        self.weights = raw / raw.sum()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        which = rng.choice(self.n_clusters, size=size, p=self.weights)
+        keys = self.centers[which] + rng.normal(0.0, 1.0, size) * self.widths[which]
+        return self._validate_batch(keys % 1.0)
+
+
+class ZipfKeys(KeyDistribution):
+    """Zipf-weighted vocabulary keys.
+
+    A vocabulary of ``vocabulary`` tokens is laid out in shuffled order
+    over equal-width slots of the circle; token ``r`` (by popularity
+    rank) is drawn with probability proportional to ``1 / r**exponent``
+    and the key is then uniform within the token's slot. This yields the
+    staircase-shaped CDF typical of term/filename populations.
+
+    Args:
+        vocabulary: Number of tokens (slots).
+        exponent: Zipf exponent; larger = more skew.
+        layout_seed: Seed fixing the token-to-slot shuffle.
+    """
+
+    name = "zipf"
+
+    def __init__(self, vocabulary: int = 512, exponent: float = 1.0, layout_seed: int = 2007) -> None:
+        if vocabulary < 2:
+            raise DistributionError(f"vocabulary must be >= 2, got {vocabulary}")
+        if exponent <= 0.0:
+            raise DistributionError(f"exponent must be > 0, got {exponent}")
+        self.vocabulary = vocabulary
+        self.exponent = exponent
+        weights = 1.0 / np.arange(1, vocabulary + 1, dtype=float) ** exponent
+        layout = split(layout_seed, "zipf-layout")
+        slots = np.arange(vocabulary)
+        layout.shuffle(slots)
+        self._slot_of_token = slots
+        self._probabilities = weights / weights.sum()
+        # Per-slot mass, then CDF over slot space for the analytic cdf().
+        slot_mass = np.zeros(vocabulary)
+        slot_mass[slots] = self._probabilities
+        self._slot_cdf = np.concatenate(([0.0], np.cumsum(slot_mass)))
+        self._slot_cdf[-1] = 1.0
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        tokens = rng.choice(self.vocabulary, size=size, p=self._probabilities)
+        slots = self._slot_of_token[tokens]
+        keys = (slots + rng.random(size)) / self.vocabulary
+        return self._validate_batch(keys)
+
+    def cdf(self, key: float) -> float:
+        if not 0.0 <= key <= 1.0:
+            raise DistributionError(f"key must be in [0, 1], got {key!r}")
+        scaled = key * self.vocabulary
+        slot = min(self.vocabulary - 1, int(scaled))
+        frac = scaled - slot
+        lo = self._slot_cdf[slot]
+        hi = self._slot_cdf[slot + 1]
+        return float(lo + (hi - lo) * frac)

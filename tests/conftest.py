@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic rings and overlays.
+
+Expensive overlays are session-scoped and treated as read-only by the
+tests that share them; tests that mutate topology build their own via
+the ``build_overlay`` helper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MercuryConfig, MercuryOverlay, OscarConfig, OscarOverlay
+from repro.degree import ConstantDegrees
+from repro.ring import Ring, build_pointers
+from repro.workloads import GnutellaLikeDistribution, UniformKeys
+
+
+def build_overlay(
+    n: int = 100,
+    seed: int = 42,
+    cap: int = 8,
+    skewed: bool = True,
+    rewire: bool = True,
+    **config_kwargs: object,
+) -> OscarOverlay:
+    """A small Oscar network for tests (fresh instance every call)."""
+    overlay = OscarOverlay(OscarConfig(**config_kwargs), seed=seed)
+    keys = GnutellaLikeDistribution() if skewed else UniformKeys()
+    overlay.grow(n, keys, ConstantDegrees(cap))
+    if rewire:
+        overlay.rewire()
+    return overlay
+
+
+def build_mercury(
+    n: int = 100,
+    seed: int = 42,
+    cap: int = 8,
+    skewed: bool = True,
+    rewire: bool = True,
+    **config_kwargs: object,
+) -> MercuryOverlay:
+    """A small Mercury network for tests (fresh instance every call)."""
+    overlay = MercuryOverlay(MercuryConfig(**config_kwargs), seed=seed)
+    keys = GnutellaLikeDistribution() if skewed else UniformKeys()
+    overlay.grow(n, keys, ConstantDegrees(cap))
+    if rewire:
+        overlay.rewire()
+    return overlay
+
+
+@pytest.fixture
+def five_ring() -> tuple[Ring, list[int]]:
+    """A five-peer ring at known positions 0.1 .. 0.9."""
+    ring = Ring()
+    positions = [0.1, 0.3, 0.5, 0.7, 0.9]
+    for node_id, pos in enumerate(positions):
+        ring.insert(node_id, pos)
+    return ring, list(range(len(positions)))
+
+
+@pytest.fixture
+def five_ring_with_pointers(five_ring):
+    """Five-peer ring plus correct pointers."""
+    ring, ids = five_ring
+    return ring, ids, build_pointers(ring)
+
+
+@pytest.fixture(scope="session")
+def shared_overlay() -> OscarOverlay:
+    """A 300-peer Oscar network shared by read-only tests."""
+    return build_overlay(n=300, seed=7, cap=10)
+
+
+@pytest.fixture(scope="session")
+def shared_mercury() -> MercuryOverlay:
+    """A 300-peer Mercury network shared by read-only tests."""
+    return build_mercury(n=300, seed=7, cap=10)

@@ -1,0 +1,134 @@
+"""Tests for failure injection (repro.churn.failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn import apply_churn, crash_fraction, revive_all
+from repro.config import ChurnConfig
+from repro.errors import EmptyPopulationError
+from repro.ring import Ring, build_pointers, verify
+from repro.rng import make_rng
+
+
+def ring_of(n: int) -> Ring:
+    ring = Ring()
+    for node_id in range(n):
+        ring.insert(node_id, node_id / n)
+    return ring
+
+
+class TestCrashFraction:
+    def test_kills_requested_share(self):
+        ring = ring_of(100)
+        victims = crash_fraction(ring, make_rng(0), 0.33)
+        assert len(victims) == 33
+        assert ring.live_count == 67
+
+    def test_victims_are_actually_dead(self):
+        ring = ring_of(50)
+        victims = crash_fraction(ring, make_rng(1), 0.2)
+        for victim in victims:
+            assert not ring.is_alive(victim)
+
+    def test_zero_fraction_kills_nobody(self):
+        ring = ring_of(10)
+        assert crash_fraction(ring, make_rng(2), 0.0) == []
+        assert ring.live_count == 10
+
+    def test_never_kills_everyone(self):
+        ring = ring_of(3)
+        victims = crash_fraction(ring, make_rng(3), 0.99)
+        assert ring.live_count >= 1
+        assert len(victims) <= 2
+
+    def test_rejects_full_fraction(self):
+        with pytest.raises(ValueError):
+            crash_fraction(ring_of(5), make_rng(4), 1.0)
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(EmptyPopulationError):
+            crash_fraction(Ring(), make_rng(5), 0.1)
+
+    def test_victims_unique(self):
+        ring = ring_of(60)
+        victims = crash_fraction(ring, make_rng(6), 0.5)
+        assert len(victims) == len(set(victims))
+
+    def test_repeated_waves_compound(self):
+        ring = ring_of(100)
+        crash_fraction(ring, make_rng(7), 0.5)
+        crash_fraction(ring, make_rng(8), 0.5)
+        assert ring.live_count == 25
+
+
+class TestReviveAll:
+    def test_round_trip(self):
+        ring = ring_of(40)
+        victims = crash_fraction(ring, make_rng(9), 0.25)
+        revive_all(ring, victims)
+        assert ring.live_count == 40
+
+    def test_revive_empty_list_noop(self):
+        ring = ring_of(5)
+        revive_all(ring, [])
+        assert ring.live_count == 5
+
+
+class TestApplyChurn:
+    def test_faultless_config_is_noop(self):
+        ring = ring_of(20)
+        pointers = build_pointers(ring)
+        victims = apply_churn(ring, pointers, ChurnConfig(kill_fraction=0.0))
+        assert victims == []
+        assert ring.live_count == 20
+
+    def test_kill_and_repair(self):
+        ring = ring_of(60)
+        pointers = build_pointers(ring)
+        victims = apply_churn(ring, pointers, ChurnConfig(kill_fraction=0.33))
+        assert len(victims) == 19
+        verify(ring, pointers)  # the paper's assumed self-stabilization
+
+    def test_repair_can_be_disabled(self):
+        from repro.errors import RingInvariantError
+
+        ring = ring_of(60)
+        pointers = build_pointers(ring)
+        apply_churn(ring, pointers, ChurnConfig(kill_fraction=0.33, repair_ring=False))
+        with pytest.raises(RingInvariantError):
+            verify(ring, pointers)
+
+    def test_victim_choice_is_seeded(self):
+        ring_a, ring_b = ring_of(50), ring_of(50)
+        victims_a = apply_churn(ring_a, build_pointers(ring_a), ChurnConfig(kill_fraction=0.2, seed=5))
+        victims_b = apply_churn(ring_b, build_pointers(ring_b), ChurnConfig(kill_fraction=0.2, seed=5))
+        assert victims_a == victims_b
+
+    def test_different_fractions_use_disjoint_streams(self):
+        ring_a, ring_b = ring_of(50), ring_of(50)
+        victims_a = apply_churn(ring_a, build_pointers(ring_a), ChurnConfig(kill_fraction=0.2, seed=5))
+        victims_b = apply_churn(ring_b, build_pointers(ring_b), ChurnConfig(kill_fraction=0.4, seed=5))
+        assert set(victims_a) != set(victims_b)
+
+
+class TestChurnOnOverlay:
+    def test_overlay_survives_wave_and_revival(self):
+        from repro.rng import make_rng as rng_of
+
+        from .conftest import build_overlay
+
+        overlay = build_overlay(n=150, seed=40, cap=8)
+        victims = apply_churn(
+            overlay.ring, overlay.pointers, ChurnConfig(kill_fraction=0.33)
+        )
+        rng = rng_of(41)
+        for __ in range(40):
+            source = overlay.random_live_node(rng)
+            assert overlay.route(source, float(rng.random()), faulty=True).success
+        revive_all(overlay.ring, victims)
+        overlay.repair_ring()
+        verify(overlay.ring, overlay.pointers)
+        for __ in range(20):
+            source = overlay.random_live_node(rng)
+            assert overlay.route(source, float(rng.random())).success

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_experiment_choices_cover_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1a"])
+        assert args.experiment == "fig1a"
+        for name in EXPERIMENTS:
+            assert parser.parse_args([name]).experiment == name
+
+    def test_all_keyword(self):
+        assert build_parser().parse_args(["all"]).experiment == "all"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig1c"])
+        assert args.scale == 1.0
+        assert args.seed == 42
+        assert args.csv_dir is None
+
+    def test_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig1b", "--scale", "0.1", "--seed", "7", "--csv-dir", str(tmp_path), "--log-y"]
+        )
+        assert args.scale == 0.1
+        assert args.seed == 7
+        assert args.csv_dir == tmp_path
+        assert args.log_y and not args.log_x
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figZZ"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestMain:
+    def test_fig1a_renders(self, capsys):
+        exit_code = main(["fig1a", "--scale", "0.02"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+        assert "analytic_mean" in out
+        assert "finished in" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        exit_code = main(["fig1a", "--scale", "0.02", "--csv-dir", str(tmp_path)])
+        assert exit_code == 0
+        csv_file = tmp_path / "fig1a.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().startswith("series,x,y")
+        assert "series written to" in capsys.readouterr().out
+
+    def test_small_growth_experiment(self, capsys):
+        exit_code = main(["fig1c", "--scale", "0.015", "--seed", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "constant" in out and "stepped" in out
+
+    def test_queries_flag_caps_measurement(self, capsys):
+        exit_code = main(["fig1c", "--scale", "0.015", "--queries", "20"])
+        assert exit_code == 0
+        assert "fig1c" in capsys.readouterr().out
+
+    def test_queries_flag_ignored_by_fig1a(self, capsys):
+        exit_code = main(["fig1a", "--scale", "0.02", "--queries", "20"])
+        assert exit_code == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "fig1a", "--scale", "0.02"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "fig1a" in completed.stdout
+
+    def test_help_lists_experiments(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        for name in ("fig1c", "ext-range", "abl-sampling"):
+            assert name in completed.stdout

@@ -1,0 +1,197 @@
+"""Tests for the frozen configuration dataclasses (repro.config)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import (
+    PAPER_CHURN_CASES,
+    PAPER_GROWTH,
+    ChurnConfig,
+    GrowthConfig,
+    MercuryConfig,
+    OscarConfig,
+    RoutingConfig,
+    SamplingMode,
+)
+from repro.errors import ConfigError
+
+
+class TestOscarConfig:
+    def test_defaults_are_valid(self):
+        config = OscarConfig()
+        assert config.sample_size == 16
+        assert config.sampling_mode is SamplingMode.UNIFORM
+        assert config.power_of_two
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            OscarConfig().sample_size = 3  # type: ignore[misc]
+
+    def test_is_hashable_and_comparable(self):
+        assert OscarConfig() == OscarConfig()
+        assert hash(OscarConfig(sample_size=4)) == hash(OscarConfig(sample_size=4))
+        assert OscarConfig(sample_size=4) != OscarConfig(sample_size=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_partitions": -1},
+            {"sample_size": 0},
+            {"walk_hops": 0},
+            {"link_retries": -1},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ConfigError):
+            OscarConfig(**kwargs)
+
+    def test_partitions_for_auto_is_log2(self):
+        config = OscarConfig(n_partitions=0)
+        assert config.partitions_for(1024) == 10
+        assert config.partitions_for(1025) == 11
+
+    def test_partitions_for_explicit_overrides(self):
+        assert OscarConfig(n_partitions=7).partitions_for(1_000_000) == 7
+
+    def test_partitions_for_tiny_population(self):
+        config = OscarConfig()
+        assert config.partitions_for(1) >= 1
+        assert config.partitions_for(2) == 1
+
+    def test_partitions_for_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            OscarConfig().partitions_for(0)
+
+    def test_with_mode_returns_modified_copy(self):
+        base = OscarConfig()
+        oracle = base.with_mode(SamplingMode.ORACLE)
+        assert oracle.sampling_mode is SamplingMode.ORACLE
+        assert base.sampling_mode is SamplingMode.UNIFORM
+        assert oracle.sample_size == base.sample_size
+
+
+class TestMercuryConfig:
+    def test_defaults_are_valid(self):
+        config = MercuryConfig()
+        assert config.sample_size == 192
+        assert config.histogram_buckets == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_size": 1},
+            {"histogram_buckets": 0},
+            {"link_retries": -1},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ConfigError):
+            MercuryConfig(**kwargs)
+
+    def test_budget_parity_with_oscar(self):
+        # The Mercury default budget matches Oscar's total per-peer
+        # sampling spend (16 samples x 12 levels) so comparisons isolate
+        # the mechanism, not the budget.
+        oscar = OscarConfig()
+        mercury = MercuryConfig()
+        levels = math.ceil(math.log2(10_000))
+        assert mercury.sample_size >= oscar.sample_size * (levels - 2)
+
+
+class TestRoutingConfig:
+    def test_defaults_are_valid(self):
+        config = RoutingConfig()
+        assert config.budget >= 1
+        assert config.probe_cost == 1
+        assert config.backtrack_cost == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"budget": 0}, {"probe_cost": -1}, {"backtrack_cost": -1}],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ConfigError):
+            RoutingConfig(**kwargs)
+
+    def test_free_probes_allowed(self):
+        # Zero-cost probes are a legitimate ablation (count hops only).
+        config = RoutingConfig(probe_cost=0, backtrack_cost=0)
+        assert config.probe_cost == 0
+
+
+class TestGrowthConfig:
+    def test_paper_defaults(self):
+        assert PAPER_GROWTH.measure_sizes == (2000, 4000, 6000, 8000, 10000)
+        assert PAPER_GROWTH.final_size == 10000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seed_size": 1},
+            {"measure_sizes": ()},
+            {"measure_sizes": (10, 5)},
+            {"measure_sizes": (8,), "seed_size": 16},
+            {"n_queries": -1},
+        ],
+    )
+    def test_rejects_inconsistent(self, kwargs):
+        with pytest.raises(ConfigError):
+            GrowthConfig(**kwargs)
+
+    def test_queries_at_defaults_to_population(self):
+        growth = GrowthConfig(n_queries=0)
+        assert growth.queries_at(2000) == 2000
+
+    def test_queries_at_fixed_override(self):
+        growth = GrowthConfig(n_queries=500)
+        assert growth.queries_at(2000) == 500
+
+    def test_scaled_shrinks_and_dedupes(self):
+        growth = GrowthConfig(measure_sizes=(2000, 4000, 6000, 8000, 10000))
+        small = growth.scaled(0.01)
+        assert small.measure_sizes[0] >= small.seed_size
+        assert list(small.measure_sizes) == sorted(set(small.measure_sizes))
+
+    def test_scaled_preserves_query_semantics(self):
+        assert GrowthConfig(n_queries=0).scaled(0.5).n_queries == 0
+        assert GrowthConfig(n_queries=1000).scaled(0.5).n_queries == 500
+
+    def test_scaled_floors_queries(self):
+        assert GrowthConfig(n_queries=100).scaled(0.01).n_queries == 50
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            GrowthConfig().scaled(0.0)
+
+    def test_scaled_identity(self):
+        assert GrowthConfig().scaled(1.0).measure_sizes == GrowthConfig().measure_sizes
+
+
+class TestChurnConfig:
+    def test_paper_cases(self):
+        fractions = [case.kill_fraction for case in PAPER_CHURN_CASES]
+        assert fractions == [0.0, 0.10, 0.33]
+
+    def test_is_faulty_flag(self):
+        assert not ChurnConfig(kill_fraction=0.0).is_faulty
+        assert ChurnConfig(kill_fraction=0.1).is_faulty
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.0, 1.5])
+    def test_rejects_out_of_range_fraction(self, fraction):
+        with pytest.raises(ConfigError):
+            ChurnConfig(kill_fraction=fraction)
+
+    def test_repair_defaults_on(self):
+        # The paper assumes ring self-stabilization; that must be the default.
+        assert ChurnConfig().repair_ring
+
+
+class TestSamplingMode:
+    def test_three_modes(self):
+        assert {m.value for m in SamplingMode} == {"oracle", "uniform", "walk"}
+
+    def test_lookup_by_value(self):
+        assert SamplingMode("walk") is SamplingMode.WALK

@@ -1,0 +1,195 @@
+"""Tests for degree-cap distributions (repro.degree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.degree import (
+    ConstantDegrees,
+    SpikyDegreeDistribution,
+    SteppedDegrees,
+    assign_caps,
+    by_name,
+)
+from repro.degree.standard import PAPER_CONSTANT_CAP, PAPER_STEPPED_CAPS
+from repro.errors import DistributionError
+from repro.rng import make_rng
+
+ALL_DISTRIBUTIONS = [ConstantDegrees(), SteppedDegrees(), SpikyDegreeDistribution()]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.name)
+class TestCommonContract:
+    def test_samples_are_positive_integers(self, dist):
+        caps = dist.sample(make_rng(0), 2000)
+        assert caps.dtype == np.int64
+        assert caps.min() >= 1
+
+    def test_empirical_mean_near_analytic(self, dist):
+        caps = dist.sample(make_rng(1), 50_000)
+        assert caps.mean() == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_samples_within_declared_support(self, dist):
+        lo, hi = dist.support()
+        caps = dist.sample(make_rng(2), 5000)
+        assert caps.min() >= lo
+        assert caps.max() <= hi
+
+    def test_paper_mean_is_27(self, dist):
+        # All three experimental cases share mean 27 by design.
+        assert dist.mean() == pytest.approx(27.0, abs=0.2)
+
+    def test_repr_mentions_name(self, dist):
+        assert dist.name in repr(dist)
+
+
+class TestConstantDegrees:
+    def test_every_cap_identical(self):
+        caps = ConstantDegrees(13).sample(make_rng(0), 100)
+        assert set(caps.tolist()) == {13}
+
+    def test_paper_default(self):
+        assert ConstantDegrees().cap == PAPER_CONSTANT_CAP == 27
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(DistributionError):
+            ConstantDegrees(0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(DistributionError):
+            ConstantDegrees().sample(make_rng(0), -1)
+
+
+class TestSteppedDegrees:
+    def test_paper_menu(self):
+        assert SteppedDegrees().steps == PAPER_STEPPED_CAPS == (19, 23, 27, 39)
+        assert SteppedDegrees().mean() == pytest.approx(27.0)
+
+    def test_only_menu_values_drawn(self):
+        caps = SteppedDegrees().sample(make_rng(3), 5000)
+        assert set(caps.tolist()) <= set(PAPER_STEPPED_CAPS)
+
+    def test_uniform_over_menu(self):
+        caps = SteppedDegrees().sample(make_rng(4), 40_000)
+        for step in PAPER_STEPPED_CAPS:
+            share = (caps == step).mean()
+            assert share == pytest.approx(0.25, abs=0.02)
+
+    def test_custom_menu(self):
+        dist = SteppedDegrees((5, 10))
+        assert dist.mean() == 7.5
+        assert dist.support() == (5, 10)
+
+    def test_rejects_bad_menu(self):
+        with pytest.raises(DistributionError):
+            SteppedDegrees(())
+        with pytest.raises(DistributionError):
+            SteppedDegrees((0, 5))
+
+
+class TestSpikyDistribution:
+    def test_pmf_is_a_probability_vector(self):
+        pmf = SpikyDegreeDistribution().pmf()
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+        assert pmf.min() >= 0.0
+
+    def test_mean_solved_exactly(self):
+        # Targets must stay above the floor the fixed spikes impose
+        # (~0.7 * spike_mean + 0.3 * min body mean ≈ 21).
+        for target in (22.0, 27.0, 40.0):
+            dist = SpikyDegreeDistribution(mean_degree=target)
+            assert dist.mean() == pytest.approx(target, abs=1e-6)
+
+    def test_spikes_are_visible(self):
+        dist = SpikyDegreeDistribution()
+        pmf = dist.pmf()
+        for spike in dist.spikes:
+            # Each spike must dominate its immediate neighborhood.
+            neighborhood = [
+                pmf[spike - 2] if spike >= 2 else 0.0,
+                pmf[spike] if spike < pmf.size else 0.0,
+            ]
+            assert pmf[spike - 1] > 2 * max(neighborhood)
+
+    def test_heavy_tail_present(self):
+        pmf = SpikyDegreeDistribution().pmf()
+        # Mass beyond degree 100 is small but strictly positive (Fig 1a's
+        # log-log tail extends past 10^2).
+        tail = pmf[100:].sum()
+        assert 0.0 < tail < 0.1
+
+    def test_probability_range_matches_figure(self):
+        # Figure 1(a) spans pdf values roughly 1e-5 .. 1e-1 over several
+        # decades; ours covers max ~0.18, min ~1e-4 — same shape class.
+        pmf = SpikyDegreeDistribution().pmf()
+        positive = pmf[pmf > 0]
+        assert positive.max() < 0.5
+        assert positive.max() > 1e-2
+        assert positive.min() < 5e-4
+        # At least three decades of spread, as in the paper's log-log plot.
+        assert positive.max() / positive.min() > 1e3
+
+    def test_mutating_returned_pmf_is_safe(self):
+        dist = SpikyDegreeDistribution()
+        pmf = dist.pmf()
+        pmf[:] = 0.0
+        assert dist.pmf().sum() == pytest.approx(1.0)
+
+    def test_unreachable_mean_rejected(self):
+        with pytest.raises(DistributionError):
+            SpikyDegreeDistribution(mean_degree=1.0, spike_fraction=0.9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_degree": 0.5},
+            {"spike_fraction": 1.0},
+            {"spike_fraction": -0.1},
+            {"d_max": 1},
+            {"d_min": 0},
+            {"d_min": 300},
+            {"spikes": ()},
+            {"spikes": (500,)},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(DistributionError):
+            SpikyDegreeDistribution(**kwargs)
+
+
+class TestAssignCaps:
+    def test_paired_caps_are_identical(self):
+        caps_in, caps_out = assign_caps(SteppedDegrees(), make_rng(5), 100, paired=True)
+        np.testing.assert_array_equal(caps_in, caps_out)
+
+    def test_unpaired_caps_drawn_independently(self):
+        caps_in, caps_out = assign_caps(SteppedDegrees(), make_rng(5), 500, paired=False)
+        assert not np.array_equal(caps_in, caps_out)
+
+    def test_paired_copy_is_not_aliased(self):
+        caps_in, caps_out = assign_caps(ConstantDegrees(5), make_rng(0), 10, paired=True)
+        caps_out[0] = 99
+        assert caps_in[0] == 5
+
+    def test_size_zero(self):
+        caps_in, caps_out = assign_caps(ConstantDegrees(), make_rng(0), 0)
+        assert caps_in.size == 0 and caps_out.size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DistributionError):
+            assign_caps(ConstantDegrees(), make_rng(0), -1)
+
+
+class TestByName:
+    def test_known_names(self):
+        assert isinstance(by_name("constant"), ConstantDegrees)
+        assert isinstance(by_name("stepped"), SteppedDegrees)
+        assert isinstance(by_name("realistic"), SpikyDegreeDistribution)
+
+    def test_kwargs_forwarded(self):
+        assert by_name("constant", cap=5).cap == 5  # type: ignore[attr-defined]
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(ValueError, match="constant"):
+            by_name("bogus")

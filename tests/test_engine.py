@@ -1,0 +1,402 @@
+"""Tests for the discrete-event kernel (repro.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource, Timeout
+from repro.errors import SimulationError
+
+
+class TestEventLifecycle:
+    def test_pending_event_has_no_value(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        with pytest.raises(SimulationError):
+            __ = event.value
+        with pytest.raises(SimulationError):
+            __ = event.ok
+
+    def test_succeed_sets_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(41)
+        assert event.triggered
+        assert event.value == 41
+        assert event.ok
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_timeout_rejects_negative_delay(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+
+class TestClockAndProcesses:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        handle = env.process(proc(env))
+        env.run()
+        assert env.now == 5.0
+        assert handle.value == "done"
+
+    def test_nested_timeouts_accumulate(self):
+        env = Environment()
+        log: list[float] = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [1.0, 3.5]
+
+    def test_same_time_events_fifo(self):
+        env = Environment()
+        order: list[str] = []
+
+        def proc(name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            env.process(proc(name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_process_waits_on_custom_event(self):
+        env = Environment()
+        gate = env.event()
+        result: list[int] = []
+
+        def waiter(env):
+            value = yield gate
+            result.append(value)
+
+        def opener(env):
+            yield env.timeout(3.0)
+            gate.succeed(7)
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert result == [7]
+        assert env.now == 3.0
+
+    def test_process_is_an_event(self):
+        env = Environment()
+
+        def inner(env):
+            yield env.timeout(2.0)
+            return 10
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return value * 2
+
+        handle = env.process(outer(env))
+        env.run()
+        assert handle.value == 20
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Process(env, lambda: None)  # type: ignore[arg-type]
+
+    def test_run_until_time(self):
+        env = Environment()
+        fired: list[float] = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_event(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(4.0)
+            return "payload"
+
+        handle = env.process(proc(env))
+        value = env.run(until=handle)
+        assert value == "payload"
+
+    def test_run_backwards_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_on_empty_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+
+class TestFailuresAndInterrupts:
+    def test_exception_in_process_fails_its_event(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        handle = env.process(proc(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=handle)
+
+    def test_unwaited_failure_surfaces_loudly(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("dropped?")
+
+        env.process(proc(env))
+        with pytest.raises(ValueError, match="dropped"):
+            env.run()
+
+    def test_waiter_receives_failure(self):
+        env = Environment()
+        caught: list[str] = []
+
+        def failer(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def watcher(env, target):
+            try:
+                yield target
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        target = env.process(failer(env))
+        env.process(watcher(env, target))
+        env.run()
+        assert caught == ["inner"]
+
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log: list[str] = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+                log.append("overslept")
+            except Interrupt as interrupt:
+                log.append(f"interrupted:{interrupt.cause}@{env.now}")
+
+        def interrupter(env, victim):
+            yield env.timeout(2.0)
+            victim.interrupt("wakeup")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        # The interrupt lands at t=2; the abandoned timeout still drains
+        # the queue afterwards (as in simpy) without waking anyone.
+        assert log == ["interrupted:wakeup@2.0"]
+
+    def test_interrupting_finished_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.0)
+
+        handle = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            handle.interrupt()
+
+
+class TestCompositeEvents:
+    def test_all_of_collects_values(self):
+        env = Environment()
+
+        def worker(env, delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def collector(env):
+            procs = [env.process(worker(env, d, d * 10)) for d in (3.0, 1.0, 2.0)]
+            values = yield env.all_of(procs)
+            return values
+
+        handle = env.process(collector(env))
+        env.run()
+        assert handle.value == [30.0, 10.0, 20.0]
+        assert env.now == 3.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+        event = AllOf(env, [])
+        assert event.triggered
+        assert event.value == []
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+
+        def worker(env, delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def racer(env):
+            procs = [env.process(worker(env, d, d)) for d in (5.0, 1.0, 3.0)]
+            first = yield env.any_of(procs)
+            return first
+
+        handle = env.process(racer(env))
+        env.run(until=handle)
+        assert handle.value == 1.0
+
+    def test_any_of_empty_triggers_immediately(self):
+        env = Environment()
+        event = AnyOf(env, [])
+        assert event.triggered
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        a, b = resource.request(), resource.request()
+        assert a.triggered and b.triggered
+        assert resource.in_use == 2
+        c = resource.request()
+        assert not c.triggered
+        assert resource.queued == 1
+
+    def test_release_wakes_fifo(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and not second.triggered
+        resource.release()
+        assert second.triggered and not third.triggered
+
+    def test_release_without_grant_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env).release()
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_contended_pipeline(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        finished: list[float] = []
+
+        def job(env):
+            grant = resource.request()
+            yield grant
+            yield env.timeout(1.0)
+            resource.release()
+            finished.append(env.now)
+
+        for __ in range(6):
+            env.process(job(env))
+        env.run()
+        # Six unit jobs through two slots: waves at t = 1, 2, 3.
+        assert finished == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+
+
+class TestContinuousChurnProcess:
+    def test_crashes_accumulate_and_ring_repairs(self):
+        import numpy as np
+
+        from repro.churn import ContinuousChurn
+        from repro.ring import Ring, build_pointers, verify
+
+        ring = Ring()
+        for node_id in range(50):
+            ring.insert(node_id, node_id / 50)
+        pointers = build_pointers(ring)
+        churn = ContinuousChurn(
+            ring=ring,
+            pointers=pointers,
+            rng=np.random.default_rng(0),
+            crash_rate=2.0,
+            maintenance_period=1.0,
+        )
+        env = Environment()
+        churn.start(env)
+        env.run(until=10.0)
+        assert len(churn.victims) > 0
+        assert len(churn.repairs) == 10
+        verify(ring, pointers)
+        assert ring.live_count == 50 - len(churn.victims)
+
+    def test_crasher_stops_at_last_peer(self):
+        import numpy as np
+
+        from repro.churn import ContinuousChurn
+        from repro.ring import Ring, build_pointers
+
+        ring = Ring()
+        for node_id in range(3):
+            ring.insert(node_id, node_id / 3)
+        pointers = build_pointers(ring)
+        churn = ContinuousChurn(
+            ring=ring,
+            pointers=pointers,
+            rng=np.random.default_rng(1),
+            crash_rate=100.0,
+            maintenance_period=0.5,
+        )
+        env = Environment()
+        churn.start(env)
+        env.run(until=50.0)
+        assert ring.live_count == 1
+
+    def test_config_validation(self):
+        import numpy as np
+
+        from repro.churn import ContinuousChurn
+        from repro.errors import ConfigError
+        from repro.ring import Ring, RingPointers
+
+        ring = Ring()
+        ring.insert(0, 0.5)
+        with pytest.raises(ConfigError):
+            ContinuousChurn(ring=ring, pointers=RingPointers(), rng=np.random.default_rng(0), crash_rate=0.0)
+        with pytest.raises(ConfigError):
+            ContinuousChurn(ring=ring, pointers=RingPointers(), rng=np.random.default_rng(0), maintenance_period=0.0)

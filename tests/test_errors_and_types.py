@@ -1,0 +1,138 @@
+"""Tests for the exception hierarchy (repro.errors) and shared types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    DegreeSampler,
+    KeySampler,
+    RandomSource,
+    ensure_node_ids,
+)
+
+
+class TestHierarchy:
+    ALL_ERRORS = [
+        errors.ConfigError,
+        errors.EmptyPopulationError,
+        errors.UnknownNodeError,
+        errors.DuplicateNodeError,
+        errors.DeadNodeError,
+        errors.RingInvariantError,
+        errors.RoutingError,
+        errors.RoutingBudgetExceeded,
+        errors.SamplingError,
+        errors.InsufficientSamplesError,
+        errors.PartitionError,
+        errors.LinkAcquisitionError,
+        errors.CapacityExhaustedError,
+        errors.DistributionError,
+        errors.SimulationError,
+        errors.ExperimentError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_every_error_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_value_errors_double_as_value_error(self):
+        # Callers using plain `except ValueError` around config parsing
+        # must still catch library validation failures.
+        for exc in (errors.ConfigError, errors.DuplicateNodeError, errors.DistributionError):
+            assert issubclass(exc, ValueError)
+
+    def test_unknown_node_is_a_key_error(self):
+        assert issubclass(errors.UnknownNodeError, KeyError)
+
+    def test_specializations(self):
+        assert issubclass(errors.RoutingBudgetExceeded, errors.RoutingError)
+        assert issubclass(errors.InsufficientSamplesError, errors.SamplingError)
+        assert issubclass(errors.CapacityExhaustedError, errors.LinkAcquisitionError)
+
+    def test_all_list_matches_module_contents(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name)
+
+
+class TestErrorPayloads:
+    def test_unknown_node_str_is_readable(self):
+        exc = errors.UnknownNodeError(17)
+        assert "17" in str(exc)
+        assert exc.node_id == 17
+
+    def test_dead_node_records_operation(self):
+        exc = errors.DeadNodeError(3, "route")
+        assert exc.node_id == 3
+        assert "route" in str(exc)
+
+    def test_budget_exceeded_carries_partial_cost(self):
+        exc = errors.RoutingBudgetExceeded(budget=100, cost=101)
+        assert exc.budget == 100
+        assert exc.cost == 101
+
+    def test_insufficient_samples_counts(self):
+        exc = errors.InsufficientSamplesError(needed=4, got=1)
+        assert exc.needed == 4
+        assert exc.got == 1
+        assert "4" in str(exc) and "1" in str(exc)
+
+    def test_single_except_clause_catches_everything(self):
+        caught = 0
+        for exc in TestHierarchy.ALL_ERRORS:
+            try:
+                if exc is errors.UnknownNodeError:
+                    raise exc(1)
+                if exc is errors.DeadNodeError:
+                    raise exc(1)
+                if exc is errors.RoutingBudgetExceeded:
+                    raise exc(1, 2)
+                if exc is errors.InsufficientSamplesError:
+                    raise exc(1, 0)
+                raise exc("boom")
+            except errors.ReproError:
+                caught += 1
+        assert caught == len(TestHierarchy.ALL_ERRORS)
+
+
+class TestProtocols:
+    def test_numpy_generator_satisfies_random_source(self):
+        import numpy as np
+
+        assert isinstance(np.random.default_rng(0), RandomSource)
+
+    def test_key_distributions_satisfy_key_sampler(self):
+        from repro.workloads import GnutellaLikeDistribution, UniformKeys
+
+        assert isinstance(UniformKeys(), KeySampler)
+        assert isinstance(GnutellaLikeDistribution(), KeySampler)
+
+    def test_degree_distributions_satisfy_degree_sampler(self):
+        from repro.degree import ConstantDegrees, SpikyDegreeDistribution
+
+        assert isinstance(ConstantDegrees(), DegreeSampler)
+        assert isinstance(SpikyDegreeDistribution(), DegreeSampler)
+
+
+class TestEnsureNodeIds:
+    def test_passes_through_valid_ids(self):
+        assert ensure_node_ids([0, 1, 2]) == [0, 1, 2]
+
+    def test_accepts_any_iterable(self):
+        assert ensure_node_ids(iter((5, 6))) == [5, 6]
+
+    def test_rejects_bools(self):
+        with pytest.raises(TypeError):
+            ensure_node_ids([True])
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            ensure_node_ids([1.0])  # type: ignore[list-item]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_node_ids([-1])
+
+    def test_empty_is_fine(self):
+        assert ensure_node_ids([]) == []

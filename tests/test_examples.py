@@ -1,0 +1,37 @@
+"""Every example script must run clean — examples are executable docs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+    assert EXAMPLES_DIR / "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script: Path):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_runnable_docstring(script: Path):
+    source = script.read_text()
+    assert source.startswith('"""'), f"{script.name} is missing its docstring"
+    assert "Run:" in source, f"{script.name} should say how to run it"
+    assert '__name__ == "__main__"' in source

@@ -1,0 +1,252 @@
+"""Tests for the experiment harness (repro.experiments).
+
+Every experiment runs here at a very small scale; the assertions check
+*structure* (series present, scalars computed, metadata recorded) and the
+coarse claims that survive miniaturization. Paper-shape assertions at a
+meaningful scale live in tests/test_integration.py and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ChurnConfig, GrowthConfig
+from repro.degree import ConstantDegrees
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    grow_and_measure,
+    make_overlay,
+    run_experiment,
+)
+from repro.experiments.base import scaled_sizes
+from repro.workloads import GnutellaLikeDistribution
+
+SMALL = 0.02  # 10,000-peer figures shrink to 200 peers
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert {"fig1a", "fig1b", "fig1c", "fig2a", "fig2b"} <= set(EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        assert {
+            "ext-mercury",
+            "ext-keydist",
+            "abl-power-of-two",
+            "abl-sampling",
+            "abl-partitions",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="fig1a"):
+            run_experiment("fig99")
+
+
+class TestScaledSizes:
+    def test_identity_at_full_scale(self):
+        assert scaled_sizes((2000, 4000), 1.0) == (2000, 4000)
+
+    def test_shrinks_with_floor(self):
+        assert scaled_sizes((2000, 4000), 0.01, floor=64) == (64, 64 + 0) or scaled_sizes(
+            (2000, 4000), 0.01, floor=64
+        ) == (64,)
+
+    def test_deduplicates_preserving_order(self):
+        sizes = scaled_sizes((2000, 4000, 6000, 8000, 10000), 0.001, floor=50)
+        assert list(sizes) == sorted(set(sizes))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scaled_sizes((100,), 0.0)
+
+
+class TestExperimentResult:
+    def test_render_includes_series_and_scalars(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            series={"curve": [(1.0, 2.0), (3.0, 4.0)]},
+            scalars={"answer": 42.0},
+            metadata={"seed": 1},
+        )
+        text = result.render()
+        assert "demo" in text and "curve" in text
+        assert "42.000" in text
+        assert "seed=1" in text
+
+    def test_render_without_series(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        assert "x" in result.render()
+
+    def test_write_csv(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="demo", title="t", series={"c": [(1.0, 2.0)]}
+        )
+        path = result.write_csv(tmp_path)
+        assert path.name == "demo.csv"
+        assert path.read_text().startswith("series,x,y")
+
+    def test_summary_rows(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="t",
+            series={"a": [(1.0, 2.0), (3.0, 4.0)], "b": []},
+        )
+        assert result.summary_rows() == [("a", 3.0, 4.0)]
+
+
+class TestFig1a:
+    def test_structure(self):
+        result = run_experiment("fig1a", scale=SMALL)
+        assert result.experiment_id == "fig1a"
+        assert "degree pdf" in result.series
+        assert result.scalars["analytic_mean"] == pytest.approx(27.0, abs=1e-6)
+        assert result.scalars["empirical_mean"] == pytest.approx(27.0, abs=2.0)
+
+    def test_pdf_points_are_log_log_plottable(self):
+        result = run_experiment("fig1a", scale=SMALL)
+        for degree, probability in result.series["degree pdf"]:
+            assert degree >= 1.0
+            assert probability > 0.0
+
+
+class TestFig1b:
+    def test_structure_and_volume_ordering(self):
+        result = run_experiment("fig1b", scale=SMALL, seed=3)
+        for label in ("constant", "realistic", "stepped", "mercury constant"):
+            assert label in result.series
+            assert len(result.series[label]) > 10
+        # Oscar exploits more volume than Mercury in every cap case.
+        for label in ("constant", "realistic", "stepped"):
+            assert (
+                result.scalars[f"volume_{label}"]
+                > result.scalars["volume_mercury_constant"]
+            )
+
+    def test_mercury_can_be_skipped(self):
+        result = run_experiment("fig1b", scale=SMALL, include_mercury=False)
+        assert "mercury constant" not in result.series
+
+    def test_load_ratios_bounded(self):
+        result = run_experiment("fig1b", scale=SMALL)
+        for points in result.series.values():
+            assert all(0.0 <= y <= 1.0 for __, y in points)
+
+
+class TestFig1c:
+    def test_structure(self):
+        result = run_experiment("fig1c", scale=SMALL, n_queries=60)
+        assert set(result.series) == {"constant", "realistic", "stepped"}
+        sizes = [x for x, __ in result.series["constant"]]
+        assert sizes == sorted(sizes)
+        for label in result.series:
+            assert result.scalars[f"success_{label}"] == 1.0
+
+    def test_curves_close_to_each_other(self):
+        result = run_experiment("fig1c", scale=SMALL, n_queries=100, seed=5)
+        final_costs = [points[-1][1] for points in result.series.values()]
+        assert max(final_costs) - min(final_costs) < 0.5 * max(final_costs)
+
+
+class TestFig2:
+    def test_both_panels(self):
+        results = EXPERIMENTS["fig2a"](scale=SMALL, n_queries=50), EXPERIMENTS["fig2b"](
+            scale=SMALL, n_queries=50
+        )
+        for result in results:
+            assert set(result.series) == {"no faults", "10% crashes", "33% crashes"}
+
+    def test_churn_cost_ordering(self):
+        result = run_experiment("fig2a", scale=SMALL, n_queries=100, seed=7)
+        final = {label: points[-1][1] for label, points in result.series.items()}
+        assert final["no faults"] <= final["10% crashes"] <= final["33% crashes"]
+
+    def test_network_stays_navigable(self):
+        result = run_experiment("fig2a", scale=SMALL, n_queries=100)
+        assert result.scalars["success_33pct"] > 0.99
+
+    def test_panel_validation(self):
+        from repro.experiments import fig2
+
+        with pytest.raises(ValueError):
+            fig2.run(scale=SMALL, panel="fig2z")
+
+
+class TestExtMercury:
+    def test_structure_and_ordering(self):
+        result = run_experiment("ext-mercury", scale=SMALL, n_queries=60, seed=9)
+        assert "oscar (gnutella keys)" in result.series
+        assert "mercury (gnutella keys)" in result.series
+        assert result.scalars["volume_advantage"] > 1.0
+
+
+class TestExtKeydist:
+    def test_structure_and_flatness(self):
+        result = run_experiment("ext-keydist", scale=SMALL, n_queries=50, seed=10)
+        assert set(result.series) == {"uniform", "clustered", "zipf", "gnutella"}
+        for name in result.series:
+            assert result.scalars[f"success_{name}"] == 1.0
+        # Rank-space construction: heavy skew must not blow up cost.
+        assert result.scalars["skew_penalty"] < 1.6
+
+    def test_gini_spectrum_recorded(self):
+        result = run_experiment("ext-keydist", scale=SMALL, n_queries=30, seed=11)
+        assert result.scalars["gini_gnutella"] > result.scalars["gini_uniform"]
+
+
+class TestAblations:
+    def test_power_of_two(self):
+        result = run_experiment("abl-power-of-two", scale=SMALL, n_queries=40)
+        assert result.scalars["load_gini_power-of-two"] <= result.scalars[
+            "load_gini_single-choice"
+        ] + 0.05
+
+    def test_sampling(self):
+        result = run_experiment(
+            "abl-sampling", scale=SMALL, n_queries=40, sample_sizes=(2, 8)
+        )
+        assert len(result.series["uniform sampling"]) == 2
+        assert result.scalars["oracle_cost"] > 0
+
+    def test_partitions(self):
+        result = run_experiment(
+            "abl-partitions", scale=SMALL, n_queries=40, partition_counts=(4, 8)
+        )
+        assert len(result.series["mean cost"]) == 2
+
+
+class TestGrowAndMeasure:
+    def test_measurements_per_size(self):
+        growth = GrowthConfig(measure_sizes=(80, 160), n_queries=30, seed=11)
+        overlay = make_overlay("oscar", seed=11)
+        measurements = grow_and_measure(
+            overlay, GnutellaLikeDistribution(), ConstantDegrees(8), growth
+        )
+        assert [m.size for m in measurements] == [80, 160]
+        for measurement in measurements:
+            assert 0.0 in measurement.stats_by_kill
+            assert 0.0 < measurement.volume <= 1.0
+            assert measurement.load_ratios.size == measurement.size
+
+    def test_churn_cases_leave_no_residue(self):
+        growth = GrowthConfig(measure_sizes=(100,), n_queries=20, seed=12)
+        cases = (ChurnConfig(kill_fraction=0.0), ChurnConfig(kill_fraction=0.33))
+        overlay = make_overlay("oscar", seed=12)
+        grow_and_measure(
+            overlay, GnutellaLikeDistribution(), ConstantDegrees(8), growth, churn_cases=cases
+        )
+        # All victims revived afterwards.
+        assert overlay.ring.live_count == 100
+
+    def test_unknown_overlay_kind(self):
+        with pytest.raises(ValueError):
+            make_overlay("chord", seed=1)  # type: ignore[arg-type]
+
+    def test_mercury_kind(self):
+        growth = GrowthConfig(measure_sizes=(60,), n_queries=10, seed=13)
+        overlay = make_overlay("mercury", seed=13)
+        measurements = grow_and_measure(
+            overlay, GnutellaLikeDistribution(), ConstantDegrees(8), growth
+        )
+        assert measurements[-1].stats_by_kill[0.0].success_rate == 1.0

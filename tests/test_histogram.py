@@ -1,0 +1,168 @@
+"""Tests for Mercury's equi-width density histogram (repro.sampling.histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientSamplesError, SamplingError
+from repro.rng import make_rng
+from repro.sampling import NodeDensityHistogram
+from repro.workloads import GnutellaLikeDistribution
+
+keys = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestFromSamples:
+    def test_cumulative_shape_and_bounds(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.1, 0.5, 0.9]), buckets=8)
+        assert hist.buckets == 8
+        assert hist.cumulative[0] == 0.0
+        assert hist.cumulative[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(hist.cumulative) >= 0.0)
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(InsufficientSamplesError):
+            NodeDensityHistogram.from_samples(np.array([]), buckets=4)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(SamplingError):
+            NodeDensityHistogram.from_samples(np.array([0.5]), buckets=0)
+
+    def test_rejects_out_of_range_samples(self):
+        with pytest.raises(SamplingError):
+            NodeDensityHistogram.from_samples(np.array([1.5]), buckets=4)
+
+    def test_empty_buckets_stay_empty(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.05, 0.06]), buckets=10)
+        # All mass in bucket 0; cdf flat afterwards.
+        assert hist.cdf(0.1) == pytest.approx(1.0)
+        assert hist.cdf(0.9) == pytest.approx(1.0)
+
+
+class TestCdf:
+    def test_exact_on_bucket_aligned_uniform(self):
+        rng = make_rng(0)
+        samples = rng.random(200_000)
+        hist = NodeDensityHistogram.from_samples(samples, buckets=16)
+        for key in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert hist.cdf(key) == pytest.approx(key, abs=0.01)
+
+    def test_piecewise_linear_within_bucket(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.1, 0.3, 0.6, 0.8]), buckets=2)
+        # Half the mass in each half: cdf(0.25) should be exactly 0.25.
+        assert hist.cdf(0.25) == pytest.approx(0.25)
+        assert hist.cdf(0.75) == pytest.approx(0.75)
+
+    def test_rejects_out_of_range_key(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.5]), buckets=4)
+        with pytest.raises(SamplingError):
+            hist.cdf(1.5)
+
+    @given(samples=st.lists(keys, min_size=1, max_size=50), key=keys)
+    def test_cdf_bounded_and_monotone(self, samples, key):
+        hist = NodeDensityHistogram.from_samples(np.array(samples), buckets=8)
+        value = hist.cdf(key)
+        assert 0.0 <= value <= 1.0
+        assert hist.cdf(min(1.0, key + 0.1)) >= value - 1e-12
+
+
+class TestQuantile:
+    def test_inverse_of_cdf_on_uniform(self):
+        rng = make_rng(1)
+        hist = NodeDensityHistogram.from_samples(rng.random(100_000), buckets=32)
+        for mass in (0.1, 0.5, 0.9):
+            key = hist.quantile(mass)
+            assert hist.cdf(key) == pytest.approx(mass, abs=1e-6)
+
+    def test_edge_masses(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.2, 0.7]), buckets=4)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) < 1.0  # stays inside the key space
+
+    def test_rejects_out_of_range_mass(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.5]), buckets=4)
+        with pytest.raises(SamplingError):
+            hist.quantile(-0.1)
+        with pytest.raises(SamplingError):
+            hist.quantile(1.1)
+
+    @given(
+        samples=st.lists(keys, min_size=2, max_size=50),
+        mass=st.floats(min_value=0.001, max_value=0.999),
+    )
+    @settings(max_examples=60)
+    def test_quantile_cdf_roundtrip(self, samples, mass):
+        hist = NodeDensityHistogram.from_samples(np.array(samples), buckets=8)
+        key = hist.quantile(mass)
+        assert 0.0 <= key < 1.0
+        # cdf(quantile(m)) >= m up to interpolation inside empty buckets.
+        assert hist.cdf(key) >= mass - 1e-9
+
+
+class TestKeyAtCwFraction:
+    def test_uniform_density_moves_linearly(self):
+        rng = make_rng(2)
+        hist = NodeDensityHistogram.from_samples(rng.random(100_000), buckets=32)
+        key = hist.key_at_cw_fraction(0.2, 0.25)
+        assert key == pytest.approx(0.45, abs=0.01)
+
+    def test_wraps_past_one(self):
+        rng = make_rng(3)
+        hist = NodeDensityHistogram.from_samples(rng.random(100_000), buckets=32)
+        key = hist.key_at_cw_fraction(0.9, 0.3)
+        assert key == pytest.approx(0.2, abs=0.01)
+
+    def test_rejects_bad_fraction(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.5]), buckets=4)
+        with pytest.raises(SamplingError):
+            hist.key_at_cw_fraction(0.0, 0.0)
+
+    def test_result_always_in_key_space(self):
+        rng = make_rng(4)
+        hist = NodeDensityHistogram.from_samples(rng.random(1000), buckets=16)
+        for origin in (0.0, 0.33, 0.66, 0.99):
+            for fraction in (0.01, 0.5, 1.0):
+                key = hist.key_at_cw_fraction(origin, fraction)
+                assert 0.0 <= key < 1.0
+
+
+class TestDistortionOnCascade:
+    """The histogram is *supposed* to misrepresent multifractal skew —
+    that failure is the mechanism behind the paper's Mercury claims, so
+    we pin it here."""
+
+    def test_rank_error_is_resolution_limited_on_cascade(self):
+        # Give the histogram a *generous* sample budget (4096, so noise is
+        # negligible) and measure how far its rank->key inversion lands
+        # from the requested clockwise rank fraction, from origins where
+        # peers actually sit. On uniform keys the remaining error is tiny
+        # (noise); on the cascade it is a large resolution bias that no
+        # budget can remove — the mechanism behind Mercury's failure.
+        cascade = GnutellaLikeDistribution()
+
+        def log_rank_error(samples: np.ndarray, population: np.ndarray, seed: int) -> float:
+            hist = NodeDensityHistogram.from_samples(samples, buckets=64)
+            ordered = np.sort(population)
+            n = ordered.size
+            origins = ordered[make_rng(seed).integers(0, n, size=40)]
+            errors = []
+            for origin in origins:
+                for fraction in (0.01, 0.05, 0.2):
+                    key = hist.key_at_cw_fraction(float(origin), fraction)
+                    rank_origin = np.searchsorted(ordered, origin, side="right")
+                    rank_key = np.searchsorted(ordered, key, side="right")
+                    actual = max(((rank_key - rank_origin) % n) / n, 1.0 / n)
+                    errors.append(abs(np.log2(actual / fraction)))
+            return float(np.mean(errors))
+
+        cascade_err = log_rank_error(
+            cascade.sample(make_rng(6), 4096), cascade.sample(make_rng(5), 20_000), 10
+        )
+        uniform_err = log_rank_error(
+            make_rng(7).random(4096), make_rng(8).random(20_000), 11
+        )
+        assert cascade_err > 3 * uniform_err
+        assert cascade_err > 0.25

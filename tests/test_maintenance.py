@@ -1,0 +1,194 @@
+"""Tests for Chord-style ring pointer maintenance (repro.ring.maintenance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyPopulationError, RingInvariantError
+from repro.ring import Ring, RingPointers, attach_node, build_pointers, repair, verify
+
+
+def fresh_ring(positions: list[float]) -> Ring:
+    ring = Ring()
+    for node_id, pos in enumerate(positions):
+        ring.insert(node_id, pos)
+    return ring
+
+
+class TestBuildPointers:
+    def test_five_ring_wiring(self, five_ring):
+        ring, ids = five_ring
+        pointers = build_pointers(ring)
+        assert pointers.successor[0] == 1
+        assert pointers.successor[4] == 0  # wraps
+        assert pointers.predecessor[0] == 4
+        verify(ring, pointers)
+
+    def test_single_peer_points_at_itself(self):
+        ring = fresh_ring([0.5])
+        pointers = build_pointers(ring)
+        assert pointers.successor[0] == 0
+        assert pointers.predecessor[0] == 0
+        verify(ring, pointers)
+
+    def test_dead_peers_excluded(self):
+        ring = fresh_ring([0.1, 0.2, 0.3])
+        ring.mark_dead(1)
+        pointers = build_pointers(ring)
+        assert pointers.successor[0] == 2
+        assert 1 not in pointers.successor
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(EmptyPopulationError):
+            build_pointers(Ring())
+
+
+class TestAttachNode:
+    def test_splice_preserves_invariants(self, five_ring):
+        ring, ids = five_ring
+        pointers = build_pointers(ring)
+        ring.insert(99, 0.45)
+        attach_node(ring, pointers, 99)
+        verify(ring, pointers)
+        assert pointers.successor[99] == 2
+        assert pointers.predecessor[99] == 1
+        assert pointers.successor[1] == 99
+        assert pointers.predecessor[2] == 99
+
+    def test_first_node_self_loop(self):
+        ring = Ring()
+        pointers = RingPointers()
+        ring.insert(0, 0.3)
+        attach_node(ring, pointers, 0)
+        assert pointers.successor[0] == 0
+        verify(ring, pointers)
+
+    def test_incremental_join_sequence_stays_valid(self):
+        ring = Ring()
+        pointers = RingPointers()
+        rng = np.random.default_rng(3)
+        for node_id in range(50):
+            ring.insert(node_id, float(rng.random()))
+            attach_node(ring, pointers, node_id)
+            verify(ring, pointers)
+
+
+class TestRepair:
+    def test_noop_on_stable_ring(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        assert repair(ring, pointers) == 0
+
+    def test_repairs_after_single_crash(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(2)
+        changed = repair(ring, pointers)
+        assert changed > 0
+        verify(ring, pointers)
+        assert pointers.successor[1] == 3
+        assert pointers.predecessor[3] == 1
+        assert 2 not in pointers.successor
+        assert 2 not in pointers.predecessor
+
+    def test_repairs_after_mass_crash(self):
+        ring = fresh_ring([i / 20 for i in range(20)])
+        pointers = build_pointers(ring)
+        for victim in (0, 1, 2, 5, 7, 11, 13, 17, 19):
+            ring.mark_dead(victim)
+        repair(ring, pointers)
+        verify(ring, pointers)
+
+    def test_repair_is_idempotent(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(0)
+        ring.mark_dead(3)
+        assert repair(ring, pointers) > 0
+        assert repair(ring, pointers) == 0
+
+    def test_repair_handles_revival(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(2)
+        repair(ring, pointers)
+        ring.mark_alive(2)
+        changed = repair(ring, pointers)
+        assert changed > 0
+        verify(ring, pointers)
+        assert pointers.successor[1] == 2
+
+    def test_repair_empty_ring_rejected(self):
+        ring = fresh_ring([0.5])
+        pointers = build_pointers(ring)
+        ring.mark_dead(0)
+        with pytest.raises(EmptyPopulationError):
+            repair(ring, pointers)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        kill_seed=st.integers(min_value=0, max_value=2**16),
+        kill_fraction=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_repair_always_restores_invariants(self, n, kill_seed, kill_fraction):
+        rng = np.random.default_rng(kill_seed)
+        positions = np.sort(rng.random(n))
+        ring = Ring()
+        for node_id, pos in enumerate(positions):
+            try:
+                ring.insert(node_id, float(pos))
+            except Exception:
+                pass  # duplicate positions possible at tiny probability
+        pointers = build_pointers(ring)
+        live = ring.node_ids(live_only=True)
+        n_kill = min(int(kill_fraction * len(live)), len(live) - 1)
+        for victim in rng.choice(live, size=n_kill, replace=False):
+            ring.mark_dead(int(victim))
+        repair(ring, pointers)
+        verify(ring, pointers)
+
+
+class TestVerify:
+    def test_detects_missing_pointer(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        del pointers.successor[2]
+        with pytest.raises(RingInvariantError):
+            verify(ring, pointers)
+
+    def test_detects_dangling_target(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(3)
+        # no repair: 2's successor still points at dead 3
+        with pytest.raises(RingInvariantError):
+            verify(ring, pointers)
+
+    def test_detects_geometric_mismatch(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        pointers.successor[0], pointers.successor[1] = 2, 1
+        with pytest.raises(RingInvariantError):
+            verify(ring, pointers)
+
+    def test_detects_entry_for_dead_node(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(4)
+        repair(ring, pointers)
+        pointers.successor[4] = 0  # stale entry resurfaces
+        with pytest.raises(RingInvariantError):
+            verify(ring, pointers)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        clone = pointers.copy()
+        clone.successor[0] = 99
+        assert pointers.successor[0] == 1

@@ -1,0 +1,151 @@
+"""Tests for clockwise median/quantile estimation (repro.sampling.median)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientSamplesError
+from repro.ring.identifiers import cw_distance
+from repro.sampling import cw_sample_median, cw_sample_quantile, lower_median_index
+
+keys = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestLowerMedianIndex:
+    @pytest.mark.parametrize(
+        ("n", "expected"),
+        [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (10, 4), (11, 5)],
+    )
+    def test_known_values(self, n, expected):
+        assert lower_median_index(n) == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            lower_median_index(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_always_a_valid_index(self, n):
+        idx = lower_median_index(n)
+        assert 0 <= idx < n
+
+
+class TestCwSampleMedian:
+    def test_simple_no_wrap(self):
+        samples = np.array([0.2, 0.4, 0.6])
+        assert cw_sample_median(0.0, samples) == pytest.approx(0.4)
+
+    def test_median_is_a_sample(self):
+        samples = np.array([0.15, 0.35, 0.55, 0.75, 0.95])
+        result = cw_sample_median(0.1, samples)
+        assert result in samples
+
+    def test_wraps_around_origin(self):
+        # From origin 0.9, clockwise order is 0.95, 0.05, 0.15.
+        samples = np.array([0.05, 0.15, 0.95])
+        assert cw_sample_median(0.9, samples) == pytest.approx(0.05)
+
+    def test_even_count_takes_lower_middle(self):
+        samples = np.array([0.1, 0.2, 0.3, 0.4])
+        assert cw_sample_median(0.0, samples) == pytest.approx(0.2)
+
+    def test_duplicates_are_legal(self):
+        samples = np.array([0.3, 0.3, 0.3, 0.7])
+        assert cw_sample_median(0.0, samples) == pytest.approx(0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            cw_sample_median(0.0, np.array([]))
+
+    @given(
+        origin=keys,
+        samples=st.lists(keys, min_size=1, max_size=40),
+    )
+    def test_median_halves_the_sample(self, origin, samples):
+        arr = np.array(samples)
+        median = cw_sample_median(origin, arr)
+        # Distances computed the estimator's way; the returned key may
+        # differ from the winning sample by one rounding ulp, so compare
+        # with a small tolerance.
+        d_median = float((median - origin) % 1.0)
+        distances = (arr - origin) % 1.0
+        at_or_before = int((distances <= d_median + 1e-9).sum())
+        # The lower median must have at least half the samples at or
+        # before it in clockwise order.
+        assert at_or_before >= (len(samples) + 1) // 2
+
+    # Dyadic grid keys (multiples of 1/1024) make circle arithmetic
+    # exact, so equivariance holds with equality rather than tolerance.
+    dyadic = st.integers(min_value=0, max_value=1023).map(lambda i: i / 1024.0)
+
+    @given(
+        origin=dyadic,
+        samples=st.lists(dyadic, min_size=1, max_size=40),
+        shift=dyadic,
+    )
+    def test_rotation_equivariance(self, origin, samples, shift):
+        # Rotating origin and samples together rotates the median.
+        arr = np.array(samples)
+        base = cw_sample_median(origin, arr)
+        rotated = cw_sample_median(
+            (origin + shift) % 1.0, (arr + shift) % 1.0
+        )
+        expected = (base + shift) % 1.0
+        assert rotated == pytest.approx(expected, abs=1e-12)
+
+
+class TestCwSampleQuantile:
+    def test_full_quantile_is_clockwise_farthest(self):
+        samples = np.array([0.2, 0.5, 0.8])
+        assert cw_sample_quantile(0.1, samples, 1.0) == pytest.approx(0.8)
+
+    def test_small_quantile_is_clockwise_nearest(self):
+        samples = np.array([0.2, 0.5, 0.8])
+        assert cw_sample_quantile(0.1, samples, 0.01) == pytest.approx(0.2)
+
+    def test_median_equals_half_quantile(self):
+        samples = np.array([0.11, 0.31, 0.51, 0.71, 0.91])
+        assert cw_sample_median(0.0, samples) == cw_sample_quantile(0.0, samples, 0.5)
+
+    @pytest.mark.parametrize("q", [0.0, -0.5, 1.5])
+    def test_rejects_bad_q(self, q):
+        with pytest.raises(ValueError):
+            cw_sample_quantile(0.0, np.array([0.5]), q)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            cw_sample_quantile(0.0, np.array([]), 0.5)
+
+    @given(
+        origin=keys,
+        samples=st.lists(keys, min_size=1, max_size=30),
+        q=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_quantile_is_always_a_sample(self, origin, samples, q):
+        arr = np.array(samples)
+        result = cw_sample_quantile(origin, arr, q)
+        # Circular comparison: a sample at 1 - ulp legitimately round-trips
+        # to 0.0 through origin-relative arithmetic.
+        gap = np.abs(arr - result)
+        circular_gap = np.minimum(gap, 1.0 - gap)
+        assert (circular_gap < 1e-9).any()
+
+    @given(
+        origin=keys,
+        samples=st.lists(keys, min_size=2, max_size=30),
+        q1=st.floats(min_value=0.01, max_value=1.0),
+        q2=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_quantiles_are_monotone_in_q(self, origin, samples, q1, q2):
+        if q1 > q2:
+            q1, q2 = q2, q1
+        arr = np.array(samples)
+        lo = cw_sample_quantile(origin, arr, q1)
+        hi = cw_sample_quantile(origin, arr, q2)
+        d = np.sort((arr - origin) % 1.0)
+        d_lo = (lo - origin) % 1.0
+        d_hi = (hi - origin) % 1.0
+        del d
+        assert d_lo <= d_hi + 1e-12

@@ -1,0 +1,181 @@
+"""Tests for the measurement layer (repro.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    RoutableOverlay,
+    load_curve_points,
+    load_gini,
+    measure_search_cost,
+    relative_degree_load,
+    volume_exploitation,
+)
+from repro.ring import Ring
+from repro.routing import RouteResult
+from repro.rng import make_rng
+from repro.workloads import QueryWorkload
+
+
+class TestRelativeDegreeLoad:
+    def test_ratios_sorted_ascending(self):
+        ratios = relative_degree_load(np.array([5, 1, 3]), np.array([10, 10, 10]))
+        np.testing.assert_allclose(ratios, [0.1, 0.3, 0.5])
+
+    def test_heterogeneous_caps(self):
+        ratios = relative_degree_load(np.array([10, 10]), np.array([40, 10]))
+        np.testing.assert_allclose(ratios, [0.25, 1.0])
+
+    def test_empty_input(self):
+        assert relative_degree_load(np.array([]), np.array([])).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_degree_load(np.array([1]), np.array([1, 2]))
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ValueError):
+            relative_degree_load(np.array([0]), np.array([0]))
+
+    def test_input_not_mutated(self):
+        degrees = np.array([5, 1, 3])
+        relative_degree_load(degrees, np.array([10, 10, 10]))
+        np.testing.assert_array_equal(degrees, [5, 1, 3])
+
+
+class TestVolumeExploitation:
+    def test_full_exploitation(self):
+        assert volume_exploitation(np.array([4, 4]), np.array([4, 4])) == 1.0
+
+    def test_partial(self):
+        assert volume_exploitation(np.array([1, 3]), np.array([4, 4])) == 0.5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            volume_exploitation(np.array([0]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            volume_exploitation(np.array([1]), np.array([1, 2]))
+
+
+class TestLoadCurvePoints:
+    def test_downsamples_to_requested_count(self):
+        ratios = np.linspace(0, 1, 1000)
+        points = load_curve_points(ratios, n_points=50)
+        assert len(points) <= 50
+        assert points[0] == (0.0, 0.0)
+        assert points[-1] == (999.0, 1.0)
+
+    def test_short_input_kept_whole(self):
+        ratios = np.array([0.1, 0.2, 0.3])
+        points = load_curve_points(ratios, n_points=100)
+        assert len(points) == 3
+
+    def test_empty_input(self):
+        assert load_curve_points(np.array([])) == []
+
+    def test_rejects_tiny_n_points(self):
+        with pytest.raises(ValueError):
+            load_curve_points(np.array([0.5]), n_points=1)
+
+    def test_x_axis_is_original_index(self):
+        ratios = np.linspace(0, 1, 500)
+        points = load_curve_points(ratios, n_points=10)
+        assert max(x for x, __ in points) == 499.0
+
+
+class TestLoadGini:
+    def test_perfectly_even(self):
+        assert load_gini(np.array([0.5, 0.5, 0.5])) == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximally_uneven(self):
+        gini = load_gini(np.array([0.0] * 99 + [1.0]))
+        assert gini > 0.9
+
+    def test_monotone_in_spread(self):
+        even = load_gini(np.array([0.4, 0.5, 0.6]))
+        spread = load_gini(np.array([0.1, 0.5, 0.9]))
+        assert spread > even
+
+    def test_all_zero_is_zero(self):
+        assert load_gini(np.array([0.0, 0.0])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_gini(np.array([]))
+
+
+class ScriptedOverlay:
+    """A RoutableOverlay stub with deterministic per-route costs."""
+
+    def __init__(self, n: int = 10, hops: int = 3, fail_every: int = 0):
+        self.ring = Ring()
+        for node_id in range(n):
+            self.ring.insert(node_id, node_id / n)
+        self.hops = hops
+        self.fail_every = fail_every
+        self.calls: list[tuple[int, float, bool]] = []
+
+    def route(self, source, target_key, faulty=False, record_path=False):
+        self.calls.append((source, target_key, faulty))
+        responsible = self.ring.successor_of_key(target_key)
+        failed = self.fail_every and len(self.calls) % self.fail_every == 0
+        return RouteResult(
+            source=source,
+            target_key=target_key,
+            responsible=responsible,
+            delivered_to=None if failed else responsible,
+            success=not failed,
+            hops=self.hops,
+            wasted_probes=1 if faulty else 0,
+        )
+
+
+class TestMeasureSearchCost:
+    def test_satisfies_protocol(self):
+        assert isinstance(ScriptedOverlay(), RoutableOverlay)
+
+    def test_defaults_to_one_query_per_live_peer(self):
+        overlay = ScriptedOverlay(n=12)
+        stats = measure_search_cost(overlay, make_rng(0))
+        assert stats.n_routes == 12
+
+    def test_explicit_query_count(self):
+        overlay = ScriptedOverlay(n=12)
+        stats = measure_search_cost(overlay, make_rng(1), n_queries=40)
+        assert stats.n_routes == 40
+
+    def test_cost_statistics(self):
+        overlay = ScriptedOverlay(hops=5)
+        stats = measure_search_cost(overlay, make_rng(2), n_queries=10)
+        assert stats.mean_cost == 5.0
+        assert stats.success_rate == 1.0
+
+    def test_faulty_flag_propagates(self):
+        overlay = ScriptedOverlay()
+        stats = measure_search_cost(overlay, make_rng(3), n_queries=5, faulty=True)
+        assert all(call[2] for call in overlay.calls)
+        assert stats.mean_wasted == 1.0
+
+    def test_failures_counted(self):
+        overlay = ScriptedOverlay(fail_every=2)
+        stats = measure_search_cost(overlay, make_rng(4), n_queries=10)
+        assert stats.success_rate == pytest.approx(0.5)
+
+    def test_custom_workload_used(self):
+        overlay = ScriptedOverlay()
+        workload = QueryWorkload(target_mode="uniform")
+        measure_search_cost(overlay, make_rng(5), n_queries=30, workload=workload)
+        positions = {overlay.ring.position(i) for i in range(10)}
+        targets = {t for __, t, __f in overlay.calls}
+        # Uniform targets are (a.s.) not peer positions.
+        assert not targets <= positions
+
+    def test_real_overlay_end_to_end(self, shared_overlay):
+        stats = measure_search_cost(shared_overlay, make_rng(6), n_queries=50)
+        assert stats.n_routes == 50
+        assert stats.success_rate == 1.0
+        assert 0 < stats.mean_cost < 30

@@ -1,0 +1,99 @@
+"""Tests for per-peer state objects (repro.core.node, repro.mercury.node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OscarNode
+from repro.errors import CapacityExhaustedError
+from repro.mercury.node import MercuryNode
+
+
+def oscar_node(**overrides) -> OscarNode:
+    defaults = dict(node_id=1, position=0.5, rho_max_in=2, rho_max_out=3)
+    defaults.update(overrides)
+    return OscarNode(**defaults)  # type: ignore[arg-type]
+
+
+class TestOscarNodeCapacity:
+    def test_accepts_until_cap(self):
+        node = oscar_node(rho_max_in=2)
+        assert node.can_accept
+        node.accept_in_link()
+        node.accept_in_link()
+        assert not node.can_accept
+        assert node.in_degree == 2
+
+    def test_accept_past_cap_raises(self):
+        node = oscar_node(rho_max_in=1)
+        node.accept_in_link()
+        with pytest.raises(CapacityExhaustedError):
+            node.accept_in_link()
+
+    def test_drop_reopens_capacity(self):
+        node = oscar_node(rho_max_in=1)
+        node.accept_in_link()
+        node.drop_in_link()
+        assert node.can_accept
+        assert node.in_degree == 0
+
+    def test_drop_below_zero_raises(self):
+        with pytest.raises(CapacityExhaustedError):
+            oscar_node().drop_in_link()
+
+    def test_spare_in_capacity(self):
+        node = oscar_node(rho_max_in=3)
+        assert node.spare_in_capacity == 3
+        node.accept_in_link()
+        assert node.spare_in_capacity == 2
+
+    def test_spare_capacity_never_negative(self):
+        node = oscar_node(rho_max_in=2)
+        node.in_degree = 5  # corrupted externally
+        assert node.spare_in_capacity == 0
+
+
+class TestOscarNodeLinks:
+    def test_wants_more_links(self):
+        node = oscar_node(rho_max_out=2)
+        assert node.wants_more_links
+        node.out_links.extend([7, 8])
+        assert not node.wants_more_links
+
+    def test_reset_links_clears_outgoing_only(self):
+        node = oscar_node()
+        node.out_links.extend([4, 5])
+        node.in_degree = 2
+        node.reset_links()
+        assert node.out_links == []
+        assert node.in_degree == 2  # caller's job to fix targets
+
+    def test_repr_shows_occupancy(self):
+        node = oscar_node(rho_max_in=4, rho_max_out=5)
+        node.out_links.append(2)
+        node.accept_in_link()
+        text = repr(node)
+        assert "1/5" in text and "1/4" in text
+
+
+class TestMercuryNode:
+    def test_shares_the_acceptance_protocol(self):
+        node = MercuryNode(node_id=2, position=0.25, rho_max_in=1, rho_max_out=1)
+        node.accept_in_link()
+        with pytest.raises(CapacityExhaustedError):
+            node.accept_in_link()
+
+    def test_carries_histogram_not_partitions(self):
+        node = MercuryNode(node_id=2, position=0.25, rho_max_in=1, rho_max_out=1)
+        assert node.histogram is None
+        assert not hasattr(node, "partitions")
+
+    def test_reset_links(self):
+        node = MercuryNode(node_id=2, position=0.25, rho_max_in=2, rho_max_out=2)
+        node.out_links.append(9)
+        node.reset_links()
+        assert node.out_links == []
+
+    def test_repr(self):
+        node = MercuryNode(node_id=3, position=0.125, rho_max_in=2, rho_max_out=2)
+        assert "MercuryNode" in repr(node)

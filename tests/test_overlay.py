@@ -1,0 +1,238 @@
+"""Tests for the Oscar overlay facade (repro.core.overlay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import OscarConfig, SamplingMode
+from repro.degree import ConstantDegrees, SteppedDegrees
+from repro.errors import EmptyPopulationError, UnknownNodeError
+from repro.ring import verify
+from repro.rng import make_rng
+from repro.workloads import GnutellaLikeDistribution, UniformKeys
+
+from repro import OscarOverlay
+
+from .conftest import build_overlay
+
+
+class TestJoin:
+    def test_first_join_creates_singleton_ring(self):
+        overlay = OscarOverlay()
+        node_id = overlay.join(0.5, 4, 4)
+        assert len(overlay) == 1
+        assert overlay.pointers.successor[node_id] == node_id
+
+    def test_join_assigns_dense_ids(self):
+        overlay = OscarOverlay()
+        ids = [overlay.join(k, 4, 4) for k in (0.1, 0.5, 0.9)]
+        assert ids == [0, 1, 2]
+
+    def test_join_estimates_partitions_and_links(self):
+        overlay = OscarOverlay()
+        for i, key in enumerate(np.linspace(0.05, 0.95, 20)):
+            overlay.join(float(key), 4, 4)
+        late = overlay.nodes[19]
+        assert late.partitions is not None
+        assert len(late.out_links) > 0
+
+    def test_ring_pointers_stay_valid_through_joins(self):
+        overlay = OscarOverlay()
+        rng = make_rng(0)
+        for __ in range(60):
+            overlay.join(float(rng.random()), 4, 4)
+        verify(overlay.ring, overlay.pointers)
+
+    def test_duplicate_position_raises(self):
+        from repro.errors import DuplicateNodeError
+
+        overlay = OscarOverlay()
+        overlay.join(0.5, 4, 4)
+        with pytest.raises(DuplicateNodeError):
+            overlay.join(0.5, 4, 4)
+
+
+class TestGrow:
+    def test_reaches_target_size(self):
+        overlay = OscarOverlay()
+        overlay.grow(100, UniformKeys(), ConstantDegrees(6))
+        assert len(overlay) == 100
+
+    def test_growth_is_incremental(self):
+        overlay = OscarOverlay()
+        overlay.grow(50, UniformKeys(), ConstantDegrees(6))
+        first_ids = set(overlay.nodes)
+        overlay.grow(100, UniformKeys(), ConstantDegrees(6))
+        assert first_ids <= set(overlay.nodes)
+        assert len(overlay) == 100
+
+    def test_grow_to_smaller_size_is_noop(self):
+        overlay = OscarOverlay()
+        overlay.grow(50, UniformKeys(), ConstantDegrees(6))
+        overlay.grow(20, UniformKeys(), ConstantDegrees(6))
+        assert len(overlay) == 50
+
+    def test_caps_drawn_from_distribution(self):
+        overlay = OscarOverlay()
+        overlay.grow(200, UniformKeys(), SteppedDegrees())
+        caps = {n.rho_max_in for n in overlay.live_nodes()}
+        assert caps <= {19, 23, 27, 39}
+        assert len(caps) > 1
+
+    def test_same_seed_same_network(self):
+        a = build_overlay(n=80, seed=21)
+        b = build_overlay(n=80, seed=21)
+        assert [n.position for n in a.live_nodes()] == [n.position for n in b.live_nodes()]
+        assert [n.out_links for n in a.live_nodes()] == [n.out_links for n in b.live_nodes()]
+
+    def test_different_seeds_different_networks(self):
+        a = build_overlay(n=80, seed=21)
+        b = build_overlay(n=80, seed=22)
+        assert [n.position for n in a.live_nodes()] != [n.position for n in b.live_nodes()]
+
+
+class TestNeighbors:
+    def test_neighbors_include_ring_and_long_links(self, shared_overlay):
+        node = next(iter(shared_overlay.live_nodes()))
+        neighbors = shared_overlay.neighbors_of(node.node_id)
+        succ = shared_overlay.pointers.successor[node.node_id]
+        pred = shared_overlay.pointers.predecessor[node.node_id]
+        assert succ in neighbors
+        assert pred in neighbors
+        for link in node.out_links:
+            assert link in neighbors
+
+    def test_unknown_node_rejected(self, shared_overlay):
+        with pytest.raises(UnknownNodeError):
+            shared_overlay.neighbors_of(10_000_000)
+
+    def test_random_live_node_is_live(self, shared_overlay):
+        rng = make_rng(1)
+        for __ in range(20):
+            node_id = shared_overlay.random_live_node(rng)
+            assert shared_overlay.ring.is_alive(node_id)
+
+    def test_random_live_node_empty_overlay(self):
+        with pytest.raises(EmptyPopulationError):
+            OscarOverlay().random_live_node()
+
+
+class TestRouting:
+    def test_routes_succeed_across_the_network(self, shared_overlay):
+        rng = make_rng(2)
+        for __ in range(50):
+            source = shared_overlay.random_live_node(rng)
+            key = float(rng.random())
+            result = shared_overlay.route(source, key)
+            assert result.success
+            assert result.delivered_to == shared_overlay.ring.successor_of_key(key)
+
+    def test_search_cost_is_logarithmic_ish(self, shared_overlay):
+        rng = make_rng(3)
+        costs = []
+        for __ in range(200):
+            source = shared_overlay.random_live_node(rng)
+            costs.append(shared_overlay.route(source, float(rng.random())).cost)
+        n = len(shared_overlay)
+        assert np.mean(costs) < np.log2(n) ** 2  # far below the worst case
+
+    def test_faulty_flag_uses_backtracking_router(self, shared_overlay):
+        rng = make_rng(4)
+        result = shared_overlay.route(
+            shared_overlay.random_live_node(rng), 0.5, faulty=True
+        )
+        assert result.success
+
+
+class TestStatArrays:
+    def test_arrays_align_with_live_nodes(self, shared_overlay):
+        n = len(shared_overlay)
+        assert shared_overlay.in_degree_array().shape == (n,)
+        assert shared_overlay.in_cap_array().shape == (n,)
+        assert shared_overlay.out_degree_array().shape == (n,)
+        assert shared_overlay.out_cap_array().shape == (n,)
+
+    def test_out_degrees_respect_caps(self, shared_overlay):
+        assert np.all(
+            shared_overlay.out_degree_array() <= shared_overlay.out_cap_array()
+        )
+
+    def test_in_degrees_respect_caps(self, shared_overlay):
+        assert np.all(
+            shared_overlay.in_degree_array() <= shared_overlay.in_cap_array()
+        )
+
+    def test_repr_mentions_size(self, shared_overlay):
+        assert str(len(shared_overlay)) in repr(shared_overlay)
+
+
+class TestRepairRing:
+    def test_repair_after_crash(self):
+        overlay = build_overlay(n=60, seed=30)
+        victims = [nid for nid in list(overlay.ring.node_ids())[::7]]
+        for victim in victims:
+            overlay.ring.mark_dead(victim)
+        fixed = overlay.repair_ring()
+        assert fixed > 0
+        verify(overlay.ring, overlay.pointers)
+
+    def test_routes_still_work_after_repair(self):
+        overlay = build_overlay(n=60, seed=31)
+        for victim in list(overlay.ring.node_ids())[::5]:
+            overlay.ring.mark_dead(victim)
+        overlay.repair_ring()
+        rng = make_rng(5)
+        for __ in range(30):
+            source = overlay.random_live_node(rng)
+            result = overlay.route(source, float(rng.random()), faulty=True)
+            assert result.success
+
+
+class TestSamplingModes:
+    @pytest.mark.parametrize("mode", list(SamplingMode))
+    def test_overlay_builds_under_every_mode(self, mode):
+        overlay = build_overlay(n=60, seed=32, sampling_mode=mode)
+        rng = make_rng(6)
+        success = 0
+        for __ in range(30):
+            source = overlay.random_live_node(rng)
+            success += overlay.route(source, float(rng.random())).success
+        assert success == 30
+
+    def test_oracle_partitions_halve_exactly(self):
+        overlay = build_overlay(n=128, seed=33, sampling_mode=SamplingMode.ORACLE)
+        node = next(iter(overlay.live_nodes()))
+        table = node.partitions
+        sizes = []
+        for index in range(1, table.n_partitions + 1):
+            arc = table.arc(index)
+            if arc is None:
+                sizes.append(0)
+                continue
+            sizes.append(overlay.ring.cw_range_size(arc[0], arc[1]))
+        # Outermost partition holds about half the population, then half
+        # of the rest, etc.
+        n = len(overlay) - 1
+        assert sizes[0] == pytest.approx(n / 2, abs=1.5)
+        assert sizes[1] == pytest.approx(n / 4, abs=1.5)
+
+
+class TestSkewResilience:
+    def test_skewed_and_uniform_keys_cost_similarly(self):
+        uniform = build_overlay(n=250, seed=34, skewed=False)
+        skewed = build_overlay(n=250, seed=34, skewed=True)
+        rng_a, rng_b = make_rng(7), make_rng(7)
+
+        def mean_cost(overlay, rng):
+            costs = []
+            for __ in range(150):
+                source = overlay.random_live_node(rng)
+                target = overlay.ring.position(overlay.random_live_node(rng))
+                costs.append(overlay.route(source, target).cost)
+            return float(np.mean(costs))
+
+        cost_uniform = mean_cost(uniform, rng_a)
+        cost_skewed = mean_cost(skewed, rng_b)
+        # The core claim: skew must not blow up routing cost.
+        assert cost_skewed < 2.0 * cost_uniform

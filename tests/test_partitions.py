@@ -1,0 +1,188 @@
+"""Tests for recursive-median partition tables (repro.core.partitions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PartitionTable
+from repro.errors import PartitionError
+from repro.ring.identifiers import cw_distance
+from repro.rng import make_rng
+
+keys = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+def make_table(origin: float, far_end: float, *medians: float) -> PartitionTable:
+    return PartitionTable(origin=origin, far_end=far_end, medians=tuple(medians))
+
+
+class TestConstruction:
+    def test_empty_medians_single_partition(self):
+        table = make_table(0.0, 0.9)
+        assert table.n_partitions == 1
+        assert table.arc(1) == (0.0, 0.9)
+
+    def test_standard_halving_chain(self):
+        # Node at 0, predecessor at 0.9; medians at 0.5, 0.25, 0.125.
+        table = make_table(0.0, 0.9, 0.5, 0.25, 0.125)
+        assert table.n_partitions == 4
+        assert table.arcs() == [
+            (0.5, 0.9),
+            (0.25, 0.5),
+            (0.125, 0.25),
+            (0.0, 0.125),
+        ]
+
+    def test_rejects_median_beyond_far_end(self):
+        with pytest.raises(PartitionError):
+            make_table(0.0, 0.5, 0.7)
+
+    def test_rejects_non_monotone_medians(self):
+        with pytest.raises(PartitionError):
+            make_table(0.0, 0.9, 0.25, 0.5)
+
+    def test_wrapped_medians_accepted(self):
+        # Origin at 0.8: clockwise medians may wrap past 1.0.
+        table = make_table(0.8, 0.7, 0.3, 0.05, 0.9)
+        assert table.n_partitions == 4
+
+    def test_is_frozen(self):
+        table = make_table(0.0, 0.9, 0.5)
+        with pytest.raises(AttributeError):
+            table.origin = 0.5  # type: ignore[misc]
+
+
+class TestArcs:
+    def test_arc_indices_bounds_checked(self):
+        table = make_table(0.0, 0.9, 0.5)
+        with pytest.raises(PartitionError):
+            table.arc(0)
+        with pytest.raises(PartitionError):
+            table.arc(3)
+
+    def test_innermost_arc_starts_at_origin(self):
+        table = make_table(0.2, 0.1, 0.7)
+        assert table.arc(table.n_partitions)[0] == 0.2
+
+    def test_outermost_arc_ends_at_far_end(self):
+        table = make_table(0.2, 0.1, 0.7)
+        assert table.arc(1)[1] == 0.1
+
+    def test_degenerate_inner_arc_is_none(self):
+        # Sampling noise can set a median equal to the previous border;
+        # the resulting empty arc must be reported as None, not (x, x)
+        # which would mean "whole circle".
+        table = make_table(0.0, 0.9, 0.5, 0.5)
+        assert table.arc(2) is None
+
+    def test_arcs_tile_the_population_span(self):
+        # Consecutive arcs share borders: arc(i).start == arc(i+1).end.
+        table = make_table(0.0, 0.9, 0.5, 0.25)
+        arcs = table.arcs()
+        for outer, inner in zip(arcs, arcs[1:]):
+            assert outer[0] == inner[1]
+
+    @given(
+        origin=keys,
+        distances=st.lists(
+            st.floats(min_value=1e-6, max_value=0.999), min_size=1, max_size=8
+        ),
+    )
+    def test_arcs_never_overlap(self, origin, distances):
+        # Build a valid table from sorted clockwise distances.
+        ordered = sorted(set(distances), reverse=True)
+        far = (origin + ordered[0]) % 1.0
+        medians = tuple((origin + d) % 1.0 for d in ordered[1:])
+        table = PartitionTable(origin=origin, far_end=far, medians=medians)
+        widths = [
+            cw_distance(a[0], a[1]) for a in table.arcs() if a is not None
+        ]
+        total = sum(widths)
+        # The arcs tile (origin, far_end] exactly: widths sum to the span.
+        assert total == pytest.approx(cw_distance(origin, far), abs=1e-9)
+
+
+class TestPartitionOf:
+    def test_locates_keys_in_each_partition(self):
+        table = make_table(0.0, 0.9, 0.5, 0.25)
+        assert table.partition_of(0.7) == 1
+        assert table.partition_of(0.4) == 2
+        assert table.partition_of(0.1) == 3
+
+    def test_borders_belong_to_outer_partition(self):
+        # Arcs are (start, end]: the median itself closes the outer arc.
+        table = make_table(0.0, 0.9, 0.5, 0.25)
+        assert table.partition_of(0.5) == 2
+        assert table.partition_of(0.25) == 3
+        assert table.partition_of(0.9) == 1
+
+    def test_origin_belongs_to_no_partition(self):
+        table = make_table(0.0, 0.9, 0.5)
+        with pytest.raises(PartitionError):
+            table.partition_of(0.0)
+
+    def test_key_beyond_far_end_rejected(self):
+        table = make_table(0.0, 0.9, 0.5)
+        with pytest.raises(PartitionError):
+            table.partition_of(0.95)
+
+    def test_wrapped_table_locates_keys(self):
+        # Origin 0.8, far end 0.7, median 0.3: the outer partition A_1 is
+        # the clockwise-far arc (0.3, 0.7]; the inner A_2 wraps (0.8, 0.3].
+        table = make_table(0.8, 0.7, 0.3)
+        assert table.partition_of(0.5) == 1  # in (0.3, 0.7]
+        assert table.partition_of(0.65) == 1
+        assert table.partition_of(0.9) == 2  # in (0.8, 0.3], wrapping
+        assert table.partition_of(0.1) == 2
+        assert table.partition_of(0.2) == 2
+
+    @given(
+        origin=keys,
+        key=keys,
+    )
+    def test_partition_of_agrees_with_arc_membership(self, origin, key):
+        far = (origin + 0.9) % 1.0
+        medians = tuple((origin + d) % 1.0 for d in (0.45, 0.2, 0.1))
+        table = PartitionTable(origin=origin, far_end=far, medians=medians)
+        d = cw_distance(origin, key) if key != origin else 0.0
+        if key == origin or d > 0.9:
+            with pytest.raises(PartitionError):
+                table.partition_of(key)
+        else:
+            index = table.partition_of(key)
+            start, end = table.arc(index)
+            # Membership double-check straight from the arc bounds.
+            d_start = cw_distance(origin, start) if start != origin else 0.0
+            d_end = cw_distance(origin, end)
+            assert d_start < d <= d_end
+
+
+class TestSamplePartition:
+    def test_uniform_over_indices(self):
+        table = make_table(0.0, 0.9, 0.5, 0.25, 0.125)
+        rng = make_rng(1)
+        draws = np.array([table.sample_partition(rng) for _ in range(4000)])
+        counts = np.bincount(draws, minlength=5)[1:]
+        assert counts.min() > 0
+        # Uniform over four partitions: each within 4 sigma of 1000.
+        assert np.all(np.abs(counts - 1000) < 4 * np.sqrt(1000 * 0.75))
+
+    def test_single_partition_always_one(self):
+        table = make_table(0.0, 0.9)
+        rng = make_rng(1)
+        assert all(table.sample_partition(rng) == 1 for _ in range(10))
+
+
+class TestDescribe:
+    def test_describe_mentions_every_partition(self):
+        table = make_table(0.0, 0.9, 0.5, 0.25)
+        text = table.describe()
+        for i in range(1, table.n_partitions + 1):
+            assert f"A_{i}" in text
+
+    def test_describe_marks_empty_arcs(self):
+        table = make_table(0.0, 0.9, 0.5, 0.5)
+        assert "<empty>" in table.describe()

@@ -1,0 +1,275 @@
+"""Unit + property tests for the Ring substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from repro.ring import Ring
+
+
+def make_ring(positions: list[float]) -> Ring:
+    ring = Ring()
+    for node_id, pos in enumerate(positions):
+        ring.insert(node_id, pos)
+    return ring
+
+
+class TestMembership:
+    def test_insert_and_lookup(self, five_ring):
+        ring, ids = five_ring
+        assert len(ring) == 5
+        assert ring.position(2) == 0.5
+        assert all(ring.is_alive(i) for i in ids)
+
+    def test_duplicate_id_rejected(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(DuplicateNodeError):
+            ring.insert(0, 0.55)
+
+    def test_duplicate_position_rejected(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(DuplicateNodeError):
+            ring.insert(99, 0.5)
+
+    def test_unknown_node_raises(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(UnknownNodeError):
+            ring.position(99)
+
+    def test_contains(self, five_ring):
+        ring, __ = five_ring
+        assert 0 in ring
+        assert 99 not in ring
+
+    def test_mark_dead_and_alive(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(2)
+        assert not ring.is_alive(2)
+        assert ring.live_count == 4
+        ring.mark_alive(2)
+        assert ring.is_alive(2)
+        assert ring.live_count == 5
+
+    def test_mark_dead_idempotent(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(2)
+        ring.mark_dead(2)
+        assert ring.live_count == 4
+
+    def test_node_ids_in_clockwise_order(self):
+        ring = make_ring([0.7, 0.1, 0.4])
+        assert ring.node_ids() == [1, 2, 0]
+
+    def test_iteration_matches_node_ids(self, five_ring):
+        ring, ids = five_ring
+        assert list(ring) == ids
+
+
+class TestSuccessorLookups:
+    def test_successor_of_key_between_nodes(self, five_ring):
+        ring, __ = five_ring
+        assert ring.successor_of_key(0.4) == 2  # node at 0.5
+
+    def test_successor_of_key_exact_position(self, five_ring):
+        ring, __ = five_ring
+        assert ring.successor_of_key(0.5) == 2  # successor is at-or-after
+
+    def test_successor_of_key_wraps(self, five_ring):
+        ring, __ = five_ring
+        assert ring.successor_of_key(0.95) == 0  # wraps to node at 0.1
+
+    def test_responsible_for_alias(self, five_ring):
+        ring, __ = five_ring
+        assert ring.responsible_for(0.2) == ring.successor_of_key(0.2)
+
+    def test_successor_of_node(self, five_ring):
+        ring, __ = five_ring
+        assert ring.successor(0) == 1
+        assert ring.successor(4) == 0  # wrap
+
+    def test_predecessor_of_node(self, five_ring):
+        ring, __ = five_ring
+        assert ring.predecessor(0) == 4  # wrap
+        assert ring.predecessor(3) == 2
+
+    def test_successor_skips_dead(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(1)
+        assert ring.successor(0, live_only=True) == 2
+        assert ring.successor(0, live_only=False) == 1
+
+    def test_neighbor_of_dead_node(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(2)
+        # asking for the live successor of the dead node itself
+        assert ring.successor(2, live_only=True) == 3
+        assert ring.predecessor(2, live_only=True) == 1
+
+    def test_empty_ring_raises(self):
+        ring = Ring()
+        with pytest.raises(EmptyPopulationError):
+            ring.successor_of_key(0.5)
+
+    def test_all_dead_raises(self, five_ring):
+        ring, ids = five_ring
+        for i in ids:
+            ring.mark_dead(i)
+        with pytest.raises(EmptyPopulationError):
+            ring.successor_of_key(0.5, live_only=True)
+
+    def test_single_node_is_own_successor(self):
+        ring = make_ring([0.5])
+        assert ring.successor(0) == 0
+        assert ring.predecessor(0) == 0
+
+
+class TestRangeQueries:
+    def test_simple_range(self, five_ring):
+        ring, __ = five_ring
+        ids = ring.ids_in_cw_range(0.2, 0.6)
+        assert list(ids) == [1, 2]  # nodes at 0.3 and 0.5
+
+    def test_range_includes_end_node(self, five_ring):
+        ring, __ = five_ring
+        assert list(ring.ids_in_cw_range(0.2, 0.5)) == [1, 2]
+
+    def test_range_excludes_start_node(self, five_ring):
+        ring, __ = five_ring
+        assert list(ring.ids_in_cw_range(0.3, 0.5)) == [2]
+
+    def test_wrapped_range(self, five_ring):
+        ring, __ = five_ring
+        assert list(ring.ids_in_cw_range(0.8, 0.2)) == [4, 0]
+
+    def test_whole_circle_when_start_equals_end(self, five_ring):
+        ring, __ = five_ring
+        assert ring.cw_range_size(0.5, 0.5) == 5
+
+    def test_range_size_matches_ids(self, five_ring):
+        ring, __ = five_ring
+        assert ring.cw_range_size(0.2, 0.6) == len(ring.ids_in_cw_range(0.2, 0.6))
+
+    def test_live_only_filtering(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(1)
+        assert list(ring.ids_in_cw_range(0.2, 0.6, live_only=True)) == [2]
+        assert list(ring.ids_in_cw_range(0.2, 0.6, live_only=False)) == [1, 2]
+
+    def test_choose_in_range_uniformity(self, five_ring):
+        ring, __ = five_ring
+        rng = np.random.default_rng(0)
+        draws = ring.choose_in_cw_range(rng, 0.0, 0.99, k=5000)
+        counts = np.bincount(draws, minlength=5)
+        assert counts.min() > 800  # all 5 nodes drawn roughly uniformly
+
+    def test_choose_in_empty_range(self, five_ring):
+        ring, __ = five_ring
+        rng = np.random.default_rng(0)
+        assert ring.choose_in_cw_range(rng, 0.55, 0.65, k=3).size == 0
+
+    def test_choose_respects_liveness(self, five_ring):
+        # range (0.2, 0.6] holds nodes 1 (at 0.3) and 2 (at 0.5); with 2
+        # dead every draw must return node 1.
+        ring, __ = five_ring
+        ring.mark_dead(2)
+        rng = np.random.default_rng(0)
+        draws = ring.choose_in_cw_range(rng, 0.2, 0.6, k=100, live_only=True)
+        assert set(draws.tolist()) == {1}
+
+
+class TestRanks:
+    def test_position_at_rank_one_is_next_clockwise(self, five_ring):
+        ring, __ = five_ring
+        assert ring.position_at_cw_rank(0.1, 1) == 0.3
+
+    def test_position_at_full_rank_wraps_to_origin_node(self, five_ring):
+        ring, __ = five_ring
+        assert ring.position_at_cw_rank(0.1, 5) == 0.1
+
+    def test_position_at_rank_from_key_between_nodes(self, five_ring):
+        ring, __ = five_ring
+        assert ring.position_at_cw_rank(0.2, 1) == 0.3
+
+    def test_rank_bounds_enforced(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(ValueError):
+            ring.position_at_cw_rank(0.1, 0)
+        with pytest.raises(ValueError):
+            ring.position_at_cw_rank(0.1, 6)
+
+    def test_cw_rank_of_inverse_of_position_at(self, five_ring):
+        ring, __ = five_ring
+        for rank in range(1, 6):
+            pos = ring.position_at_cw_rank(0.1, rank)
+            node = ring.successor_of_key(pos)
+            assert ring.cw_rank_of(0.1, node) == rank
+
+    def test_rank_of_dead_node_raises(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(3)
+        with pytest.raises(UnknownNodeError):
+            ring.cw_rank_of(0.1, 3, live_only=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+        min_size=2,
+        max_size=40,
+        unique=True,
+    ),
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+)
+def test_property_successor_is_geometrically_first(positions, key):
+    """successor_of_key returns the position-wise first node at/after key."""
+    ring = make_ring(positions)
+    node = ring.successor_of_key(key)
+    pos = ring.position(node)
+    # No other node lies strictly between key and pos (clockwise).
+    for other in positions:
+        if other == pos:
+            continue
+        assert not (((other - key) % 1.0) < ((pos - key) % 1.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+        min_size=3,
+        max_size=40,
+        unique=True,
+    )
+)
+def test_property_successor_predecessor_roundtrip(positions):
+    ring = make_ring(positions)
+    for node in range(len(positions)):
+        assert ring.predecessor(ring.successor(node)) == node
+        assert ring.successor(ring.predecessor(node)) == node
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+        min_size=2,
+        max_size=30,
+        unique=True,
+    ),
+    st.data(),
+)
+def test_property_range_partition_of_circle(positions, data):
+    """Any split point partitions all peers into the two half-intervals."""
+    ring = make_ring(positions)
+    a = data.draw(st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    b = data.draw(st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    if a == b:
+        return
+    first = ring.cw_range_size(a, b)
+    second = ring.cw_range_size(b, a)
+    assert first + second == len(positions)

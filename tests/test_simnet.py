@@ -1,0 +1,154 @@
+"""Tests for the message-level latency simulation (repro.simnet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EmptyPopulationError
+from repro.rng import make_rng
+from repro.simnet import BandwidthModel, LatencyModel, QueryLatencyStats, QuerySimulation
+
+from .conftest import build_overlay
+
+
+class TestBandwidthModel:
+    def test_rates_and_service_times(self):
+        model = BandwidthModel({0: 2.0, 1: 10.0})
+        assert model.rate(0) == 2.0
+        assert model.service_time(0) == 0.5
+        assert model.service_time(1) == pytest.approx(0.1)
+        assert model.total_rate() == 12.0
+        assert len(model) == 2
+
+    def test_proportional_to_caps(self):
+        model = BandwidthModel.proportional_to_caps({0: 4, 1: 8}, rate_per_link=2.0)
+        assert model.rate(0) == 8.0
+        assert model.rate(1) == 16.0
+
+    def test_uniform(self):
+        model = BandwidthModel.uniform([0, 1, 2], rate=5.0)
+        assert all(model.rate(n) == 5.0 for n in (0, 1, 2))
+
+    def test_unknown_peer_raises(self):
+        with pytest.raises(KeyError):
+            BandwidthModel({0: 1.0}).rate(99)
+
+    @pytest.mark.parametrize("bad", [{}, {0: 0.0}, {0: -1.0}])
+    def test_validation(self, bad):
+        with pytest.raises(ConfigError):
+            BandwidthModel(bad)
+
+    def test_rate_per_link_validation(self):
+        with pytest.raises(ConfigError):
+            BandwidthModel.proportional_to_caps({0: 4}, rate_per_link=0.0)
+
+
+class TestLatencyModel:
+    def test_delays_are_stable_per_link(self):
+        model = LatencyModel(mean_delay=0.05, seed=1)
+        first = model.delay(0, 1)
+        assert model.delay(0, 1) == first
+
+    def test_directed_links_independent(self):
+        model = LatencyModel(mean_delay=0.05, seed=2)
+        assert model.delay(0, 1) != model.delay(1, 0)
+
+    def test_zero_mean_is_free(self):
+        model = LatencyModel(mean_delay=0.0)
+        assert model.delay(0, 1) == 0.0
+        assert model.path_delay([0, 1, 2]) == 0.0
+
+    def test_path_delay_sums_links(self):
+        model = LatencyModel(mean_delay=0.05, seed=3)
+        total = model.path_delay([0, 1, 2])
+        assert total == pytest.approx(model.delay(0, 1) + model.delay(1, 2))
+
+    def test_single_node_path_free(self):
+        assert LatencyModel(seed=4).path_delay([7]) == 0.0
+
+    def test_mean_matches_parameter(self):
+        model = LatencyModel(mean_delay=0.1, seed=5)
+        delays = [model.delay(0, i) for i in range(1, 2001)]
+        assert np.mean(delays) == pytest.approx(0.1, rel=0.1)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(mean_delay=-0.1)
+
+
+class TestQueryLatencyStats:
+    def test_from_samples(self):
+        stats = QueryLatencyStats.from_samples([1.0, 2.0, 3.0, 4.0], [0.1, 0.2, 0.3, 0.4])
+        assert stats.n_queries == 4
+        assert stats.mean == 2.5
+        assert stats.max == 4.0
+        assert stats.mean_queue_wait == pytest.approx(0.25)
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyPopulationError):
+            QueryLatencyStats.from_samples([], [])
+
+
+class TestQuerySimulation:
+    @pytest.fixture(scope="class")
+    def overlay(self):
+        return build_overlay(n=120, seed=71, cap=8)
+
+    def make_sim(self, overlay, rate=10.0, arrival_rate=200.0, mean_delay=0.01):
+        nodes = overlay.ring.node_ids(live_only=True)
+        return QuerySimulation(
+            overlay,
+            BandwidthModel.uniform(nodes, rate=rate),
+            LatencyModel(mean_delay=mean_delay, seed=72),
+            arrival_rate=arrival_rate,
+            seed=73,
+        )
+
+    def test_all_queries_complete(self, overlay):
+        stats = self.make_sim(overlay).run(n_queries=150)
+        assert stats.n_queries == 150
+        assert stats.mean > 0.0
+        assert stats.p95 >= stats.p50
+
+    def test_latency_scales_with_service_time(self, overlay):
+        fast = self.make_sim(overlay, rate=100.0, arrival_rate=50.0).run(200)
+        slow = self.make_sim(overlay, rate=5.0, arrival_rate=50.0).run(200)
+        assert slow.mean > fast.mean
+
+    def test_zero_propagation_still_costs_service(self, overlay):
+        stats = self.make_sim(overlay, mean_delay=0.0, arrival_rate=50.0).run(100)
+        assert stats.mean > 0.0
+
+    def test_heavier_load_increases_queueing(self, overlay):
+        light = self.make_sim(overlay, rate=5.0, arrival_rate=5.0).run(300)
+        heavy = self.make_sim(overlay, rate=5.0, arrival_rate=500.0).run(300)
+        assert heavy.mean_queue_wait > light.mean_queue_wait
+
+    def test_run_is_reproducible(self, overlay):
+        a = self.make_sim(overlay).run(100)
+        b = self.make_sim(overlay).run(100)
+        assert a == b
+
+    def test_validation(self, overlay):
+        with pytest.raises(ConfigError):
+            self.make_sim(overlay, arrival_rate=0.0)
+        with pytest.raises(ConfigError):
+            self.make_sim(overlay).run(0)
+
+
+class TestExtLatencyExperiment:
+    def test_structure_and_direction(self):
+        from repro.experiments import run_experiment
+
+        # 300 peers is the smallest size where the heterogeneity effect
+        # clears per-seed noise (at ~200 peers the handful of slow peers
+        # may land off the hot paths entirely).
+        result = run_experiment("ext-latency", scale=0.03, n_queries=300)
+        assert set(result.series) == {"matched", "oblivious"}
+        for label in ("matched", "oblivious"):
+            assert result.scalars[f"p95_latency_{label}"] > 0.0
+        # Bandwidth-oblivious load placement must not be cheaper.
+        assert result.scalars["mean_penalty"] > 1.0
+        assert result.scalars["queue_penalty"] > 1.1

@@ -1,0 +1,215 @@
+"""Tests for key distributions (repro.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.rng import make_rng, split
+from repro.workloads import (
+    ClusteredKeys,
+    GnutellaLikeDistribution,
+    UniformKeys,
+    ZipfKeys,
+)
+
+ALL_DISTRIBUTIONS = [
+    UniformKeys(),
+    ClusteredKeys(),
+    ZipfKeys(),
+    GnutellaLikeDistribution(),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: d.name)
+class TestCommonContract:
+    def test_samples_in_range(self, dist):
+        keys = dist.sample(make_rng(0), 5000)
+        assert keys.shape == (5000,)
+        assert keys.min() >= 0.0
+        assert keys.max() < 1.0
+
+    def test_sampling_is_deterministic_per_seed(self, dist):
+        a = dist.sample(make_rng(42), 64)
+        b = dist.sample(make_rng(42), 64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, dist):
+        a = dist.sample(make_rng(1), 64)
+        b = dist.sample(make_rng(2), 64)
+        assert not np.array_equal(a, b)
+
+    def test_repr_contains_name(self, dist):
+        assert dist.name in repr(dist)
+
+    def test_skew_gini_in_unit_interval(self, dist):
+        gini = dist.skew_gini(make_rng(3))
+        assert 0.0 <= gini < 1.0
+
+
+@pytest.mark.parametrize(
+    "dist",
+    [UniformKeys(), ZipfKeys(), GnutellaLikeDistribution()],
+    ids=lambda d: d.name,
+)
+class TestAnalyticCdf:
+    def test_cdf_boundaries(self, dist):
+        assert dist.cdf(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, dist):
+        grid = np.linspace(0.0, 1.0, 257)
+        values = [dist.cdf(float(k)) for k in grid]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cdf_matches_empirical(self, dist):
+        keys = dist.sample(make_rng(4), 50_000)
+        for probe in (0.1, 0.33, 0.5, 0.77, 0.9):
+            empirical = float((keys <= probe).mean())
+            assert dist.cdf(probe) == pytest.approx(empirical, abs=0.015)
+
+    def test_quantile_inverts_cdf(self, dist):
+        for mass in (0.05, 0.25, 0.5, 0.75, 0.95):
+            key = dist.quantile(mass)
+            assert dist.cdf(key) == pytest.approx(mass, abs=1e-6)
+
+    def test_cdf_rejects_out_of_range(self, dist):
+        with pytest.raises(DistributionError):
+            dist.cdf(1.5)
+
+
+class TestUniformKeys:
+    def test_mean_near_half(self):
+        keys = UniformKeys().sample(make_rng(0), 50_000)
+        assert keys.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_gini_near_zero(self):
+        assert UniformKeys().skew_gini(make_rng(1)) < 0.6  # exponential spacing baseline
+
+
+class TestClusteredKeys:
+    def test_layout_is_seeded(self):
+        a = ClusteredKeys(layout_seed=1).sample(make_rng(0), 32)
+        b = ClusteredKeys(layout_seed=1).sample(make_rng(0), 32)
+        c = ClusteredKeys(layout_seed=2).sample(make_rng(0), 32)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_mass_concentrates_near_centers(self):
+        dist = ClusteredKeys(n_clusters=3, width=0.01)
+        keys = dist.sample(make_rng(5), 20_000)
+        near_any_center = np.zeros(keys.size, dtype=bool)
+        for center in dist.centers:
+            gap = np.abs(keys - center)
+            near_any_center |= np.minimum(gap, 1.0 - gap) < 0.1
+        assert near_any_center.mean() > 0.95
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            ClusteredKeys(n_clusters=0)
+        with pytest.raises(DistributionError):
+            ClusteredKeys(width=0.6)
+
+
+class TestZipfKeys:
+    def test_top_token_dominates(self):
+        dist = ZipfKeys(vocabulary=64, exponent=1.2)
+        keys = dist.sample(make_rng(6), 20_000)
+        slots = (keys * 64).astype(int)
+        counts = np.bincount(slots, minlength=64)
+        top_share = counts.max() / counts.sum()
+        assert top_share > 0.15  # rank-1 token with zipf(1.2) over 64 tokens
+
+    def test_higher_exponent_more_skew(self):
+        mild = ZipfKeys(exponent=0.5).skew_gini(make_rng(7))
+        steep = ZipfKeys(exponent=2.0).skew_gini(make_rng(7))
+        assert steep > mild
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            ZipfKeys(vocabulary=1)
+        with pytest.raises(DistributionError):
+            ZipfKeys(exponent=0.0)
+
+
+class TestGnutellaLike:
+    def test_layout_seed_fixes_the_landscape(self):
+        a = GnutellaLikeDistribution(layout_seed=9).sample(make_rng(0), 64)
+        b = GnutellaLikeDistribution(layout_seed=9).sample(make_rng(0), 64)
+        c = GnutellaLikeDistribution(layout_seed=10).sample(make_rng(0), 64)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_n_leaves(self):
+        assert GnutellaLikeDistribution(depth=10).n_leaves == 1024
+
+    def test_heavily_skewed_at_default_alpha(self):
+        gini = GnutellaLikeDistribution().skew_gini(make_rng(8))
+        assert gini > 0.8
+
+    def test_skew_decreases_with_alpha(self):
+        heavy = GnutellaLikeDistribution(alpha=0.5).skew_gini(make_rng(9))
+        light = GnutellaLikeDistribution(alpha=50.0).skew_gini(make_rng(9))
+        assert heavy > light
+
+    def test_self_similar_skew(self):
+        # Zooming into the heaviest half must still show heavy skew —
+        # the property that defeats uniform-resolution learners.
+        dist = GnutellaLikeDistribution()
+        mass = dist.bucket_mass(2)
+        heavy_half = 0 if mass[0] > mass[1] else 1
+        lo, hi = heavy_half * 0.5, (heavy_half + 1) * 0.5
+        keys = dist.sample(make_rng(10), 100_000)
+        inside = np.sort(keys[(keys >= lo) & (keys < hi)])
+        gaps = np.diff(inside)
+        gaps.sort()
+        n = gaps.size
+        index = np.arange(1, n + 1)
+        gini = (2.0 * (index * gaps).sum() / (n * gaps.sum())) - (n + 1.0) / n
+        assert gini > 0.6
+
+    def test_bucket_mass_sums_to_one(self):
+        mass = GnutellaLikeDistribution().bucket_mass(64)
+        assert mass.sum() == pytest.approx(1.0, abs=1e-9)
+        assert mass.min() >= 0.0
+
+    def test_bucket_mass_is_concentrated(self):
+        mass = np.sort(GnutellaLikeDistribution().bucket_mass(64))[::-1]
+        # Top 8 of 64 equi-width buckets hold the bulk of the mass.
+        assert mass[:8].sum() > 0.6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DistributionError):
+            GnutellaLikeDistribution(depth=0)
+        with pytest.raises(DistributionError):
+            GnutellaLikeDistribution(depth=25)
+        with pytest.raises(DistributionError):
+            GnutellaLikeDistribution(alpha=0.0)
+
+    def test_no_zero_mass_regions(self):
+        # Every leaf keeps nonzero mass so all keys remain reachable.
+        dist = GnutellaLikeDistribution(depth=8)
+        mass = dist.bucket_mass(256)
+        assert mass.min() > 0.0
+
+
+class TestQuantileBisection:
+    def test_base_quantile_respects_bounds(self):
+        dist = GnutellaLikeDistribution()
+        with pytest.raises(DistributionError):
+            dist.quantile(-0.1)
+        with pytest.raises(DistributionError):
+            dist.quantile(1.1)
+
+    def test_uniform_quantile_is_identity(self):
+        dist = UniformKeys()
+        for mass in (0.2, 0.5, 0.8):
+            assert dist.quantile(mass) == pytest.approx(mass, abs=1e-9)
+
+    def test_split_streams_do_not_alias(self):
+        # Two labelled streams over the same distribution are independent.
+        dist = GnutellaLikeDistribution()
+        a = dist.sample(split(0, "a"), 256)
+        b = dist.sample(split(0, "b"), 256)
+        assert not np.array_equal(a, b)
