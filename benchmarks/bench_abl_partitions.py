@@ -11,7 +11,7 @@ import math
 
 from repro.experiments import run_experiment
 
-from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, SEED, attach_result, print_result
 
 PARTITION_COUNTS = (4, 6, 8, 10, 12)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, SEED, attach_result, print_result
 
 SAMPLE_SIZES = (2, 4, 8, 16, 32)
 

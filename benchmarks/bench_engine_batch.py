@@ -1,0 +1,78 @@
+"""Batched query engine throughput across all three substrates.
+
+Not a paper artifact — this times the measurement hot path itself: the
+same query batch evaluated by :class:`repro.engine.BatchQueryEngine`
+(vectorized lock-step greedy walk, warm successor cache) versus the
+scalar one-``route()``-at-a-time loop, on Oscar, Chord and Mercury.
+The assertion alongside the timing is the engine's core guarantee:
+batched statistics equal scalar statistics bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.degree import ConstantDegrees
+from repro.engine import BatchQueryEngine
+from repro.experiments import make_overlay
+from repro.rng import split
+from repro.routing import summarize_routes
+from repro.workloads import GnutellaLikeDistribution, QueryWorkload
+
+from conftest import SEED
+
+N = 800
+BATCH = 2000
+
+
+@pytest.fixture(scope="module", params=["oscar", "chord", "mercury"])
+def substrate(request):
+    overlay = make_overlay(request.param, seed=SEED)
+    overlay.grow(N, GnutellaLikeDistribution(), ConstantDegrees(10))
+    overlay.rewire(split(SEED, "bench-engine-rewire"))
+    return request.param, overlay
+
+
+def test_batched_measurement(benchmark, substrate):
+    kind, overlay = substrate
+    engine = BatchQueryEngine(overlay)
+    engine.snapshot()  # warm the successor cache; timing isolates routing
+
+    stats = benchmark(lambda: engine.measure(split(SEED, "eb"), n_queries=BATCH))
+    benchmark.extra_info["substrate"] = kind
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["mean_cost"] = round(stats.mean_cost, 3)
+
+    scalar = summarize_routes(
+        overlay.route(q.source, q.target_key)
+        for q in QueryWorkload().generate(overlay.ring, split(SEED, "eb"), BATCH)
+    )
+    assert stats == scalar  # bit-identical to per-query routing
+
+
+def test_scalar_reference_loop(benchmark, substrate):
+    kind, overlay = substrate
+
+    def scalar_loop():
+        return summarize_routes(
+            overlay.route(q.source, q.target_key)
+            for q in QueryWorkload().generate(overlay.ring, split(SEED, "eb"), BATCH)
+        )
+
+    stats = benchmark.pedantic(scalar_loop, rounds=1, iterations=1)
+    benchmark.extra_info["substrate"] = kind
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["mean_cost"] = round(stats.mean_cost, 3)
+
+
+def test_snapshot_rebuild_cost(benchmark, substrate):
+    kind, overlay = substrate
+    engine = BatchQueryEngine(overlay)
+
+    def rebuild():
+        engine.invalidate()
+        return engine.snapshot()
+
+    benchmark(rebuild)
+    benchmark.extra_info["substrate"] = kind
+    benchmark.extra_info["peers"] = N

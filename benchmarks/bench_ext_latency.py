@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import SCALE, SEED, attach_result, print_result
+from conftest import SCALE, SEED, attach_result, print_result
 
 
 def test_ext_latency_bandwidth_matching(benchmark):

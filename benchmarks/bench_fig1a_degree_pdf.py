@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments import run_experiment
 
-from .conftest import SCALE, SEED, attach_result, print_result
+from conftest import SCALE, SEED, attach_result, print_result
 
 
 def test_fig1a_degree_pdf(benchmark):

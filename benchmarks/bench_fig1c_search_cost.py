@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.experiments import run_experiment
 from repro.smallworld import worst_case_greedy_cost
 
-from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, SEED, attach_result, print_result
 
 
 def test_fig1c_search_cost_vs_size(benchmark):

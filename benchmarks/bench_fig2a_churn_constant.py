@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments import EXPERIMENTS
 
-from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, SEED, attach_result, print_result
 
 
 def test_fig2a_churn_constant_caps(benchmark):

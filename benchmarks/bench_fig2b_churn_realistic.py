@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import EXPERIMENTS
 
-from .conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, SEED, attach_result, print_result
 
 
 def test_fig2b_churn_realistic_caps(benchmark):

@@ -28,7 +28,8 @@ from .config import (
     RoutingConfig,
     SamplingMode,
 )
-from .core import OscarNode, OscarOverlay, PartitionTable
+from .core import OscarNode, OscarOverlay, PartitionTable, Substrate
+from .engine import BatchQueryEngine
 from .errors import ReproError
 from .index import DistributedIndex
 from .mercury import MercuryOverlay
@@ -36,6 +37,7 @@ from .ring import Ring
 from .routing import RangeQueryResult, RouteResult, RouteStats, route_range, summarize_routes
 
 __all__ = [
+    "BatchQueryEngine",
     "ChordOverlay",
     "ChurnConfig",
     "DistributedIndex",
@@ -53,6 +55,7 @@ __all__ = [
     "RouteStats",
     "RoutingConfig",
     "SamplingMode",
+    "Substrate",
     "route_range",
     "summarize_routes",
     "__version__",

@@ -62,6 +62,7 @@ class ChordOverlay:
         self.fingers: dict[NodeId, list[NodeId]] = {}
         self.application_key: dict[NodeId, Key] = {}
         self._next_id = 0
+        self._links_epoch = 0
         self._join_rng = split(seed, "chord-join")
 
     # ------------------------------------------------------------------
@@ -105,6 +106,17 @@ class ChordOverlay:
                 continue
             missing -= 1
 
+    def leave(self, node_id: NodeId, repair: bool = True) -> None:
+        """Remove a live peer (graceful departure; fingers left dangling).
+
+        Same contract as :meth:`OscarOverlay.leave
+        <repro.core.overlay.OscarOverlay.leave>`: the peer is marked dead
+        and, with ``repair`` (default), ring pointers are re-stabilized.
+        """
+        self.ring.mark_dead(node_id)
+        if repair:
+            self.repair_ring()
+
     # ------------------------------------------------------------------
     # fingers
     # ------------------------------------------------------------------
@@ -123,6 +135,7 @@ class ChordOverlay:
     def rewire(self, rng: np.random.Generator | None = None) -> int:
         """Rebuild every live peer's finger table; returns links placed."""
         del rng  # deterministic; signature kept facade-compatible
+        self._links_epoch += 1
         placed = 0
         for node_id in self.ring.node_ids(live_only=True):
             self.fingers[node_id] = self._build_fingers(node_id)
@@ -131,7 +144,13 @@ class ChordOverlay:
 
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn."""
+        self._links_epoch += 1
         return repair_ring(self.ring, self.pointers)
+
+    @property
+    def topology_version(self) -> tuple[int, int]:
+        """(membership version, link epoch) — batch-engine cache key."""
+        return (self.ring.version, self._links_epoch)
 
     # ------------------------------------------------------------------
     # topology access (NeighborProvider) + routing
@@ -201,6 +220,11 @@ class ChordOverlay:
         return np.array(
             [len(self.fingers[nid]) for nid in self.live_node_ids()], dtype=np.int64
         )
+
+    @property
+    def size(self) -> int:
+        """Number of currently live peers (the :class:`Substrate` surface)."""
+        return self.ring.live_count
 
     def __len__(self) -> int:
         return self.ring.live_count

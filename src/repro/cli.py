@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper figure.
+"""Command-line entry point: regenerate figures, benchmark substrates.
 
 Examples::
 
@@ -10,6 +10,9 @@ Examples::
 
     # everything, writing CSVs next to the ASCII renderings
     python -m repro all --scale 0.2 --csv-dir results/
+
+    # batched-throughput benchmark of one substrate
+    python -m repro bench --substrate chord --nodes 2000 --batch 5000
 
 The ``oscar-repro`` console script installs the same interface.
 """
@@ -24,15 +27,18 @@ from typing import Sequence
 
 from .experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_bench_parser"]
+
+SUBSTRATES = ("oscar", "chord", "mercury")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI schema (exposed separately for testing)."""
+    """The figure-regeneration CLI schema (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
         prog="oscar-repro",
         description="Reproduce figures from 'Oscar: A Data-Oriented Overlay "
-        "For Heterogeneous Environments' (ICDE 2007).",
+        "For Heterogeneous Environments' (ICDE 2007). "
+        "Run 'oscar-repro bench --help' for the substrate benchmark.",
     )
     parser.add_argument(
         "experiment",
@@ -68,8 +74,127 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    """The ``bench`` subcommand schema: batched routing throughput."""
+    parser = argparse.ArgumentParser(
+        prog="oscar-repro bench",
+        description="Benchmark batched query routing on one substrate: grow "
+        "an overlay, rewire it, then time BatchQueryEngine batches (and the "
+        "scalar route() loop for comparison).",
+    )
+    parser.add_argument(
+        "--substrate",
+        choices=SUBSTRATES,
+        default="oscar",
+        help="which overlay to drive through the batch engine",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=1000,
+        help="queries per measured batch",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=1000, help="live peers to grow before measuring"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="measured batches (first is cold-cache)"
+    )
+    parser.add_argument("--cap", type=int, default=12, help="per-peer degree cap")
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--skip-scalar",
+        action="store_true",
+        help="skip the scalar per-route comparison loop (it dominates runtime "
+        "for large batches)",
+    )
+    return parser
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Execute the ``bench`` subcommand; returns a process exit code."""
+    # Imported here so `--help` stays instant.
+    from .degree import ConstantDegrees
+    from .engine import BatchQueryEngine
+    from .experiments import make_overlay
+    from .rng import split
+    from .workloads import GnutellaLikeDistribution
+
+    if args.batch < 1 or args.nodes < 2 or args.rounds < 1:
+        print(
+            "bench: --nodes must be >= 2; --batch and --rounds must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(
+        f"[bench] substrate={args.substrate} nodes={args.nodes} "
+        f"batch={args.batch} rounds={args.rounds} seed={args.seed}"
+    )
+    overlay = make_overlay(args.substrate, seed=args.seed)
+    started = time.perf_counter()
+    overlay.grow(args.nodes, GnutellaLikeDistribution(), ConstantDegrees(args.cap))
+    overlay.rewire(split(args.seed, "bench-rewire"))
+    print(f"[bench] grow+rewire: {time.perf_counter() - started:.2f}s")
+
+    engine = BatchQueryEngine(overlay)
+    stats = None
+    batched_best = float("inf")
+    for round_no in range(args.rounds):
+        rng = split(args.seed, "bench-queries", round_no)
+        t0 = time.perf_counter()
+        round_stats = engine.measure(rng, n_queries=args.batch)
+        elapsed = time.perf_counter() - t0
+        batched_best = min(batched_best, elapsed)
+        if round_no == 0:
+            stats = round_stats  # round 0 is replayed by the scalar check
+        label = "cold" if round_no == 0 else "warm"
+        print(
+            f"[bench] batch round {round_no} ({label}): {elapsed * 1e3:.1f} ms "
+            f"({args.batch / max(elapsed, 1e-9):,.0f} routes/s)"
+        )
+    assert stats is not None
+    print(
+        f"[bench] mean_cost={stats.mean_cost:.3f} p95_cost={stats.p95_cost:.1f} "
+        f"success_rate={stats.success_rate:.3f}"
+    )
+
+    if not args.skip_scalar:
+        from .metrics import measure_search_cost
+
+        rng = split(args.seed, "bench-queries", 0)
+        t0 = time.perf_counter()
+        reference = measure_search_cost(
+            overlay, rng, n_queries=args.batch, engine=_ScalarOnlyEngine(overlay)
+        )
+        elapsed = time.perf_counter() - t0
+        agree = reference == stats
+        print(
+            f"[bench] scalar loop:        {elapsed * 1e3:.1f} ms "
+            f"({args.batch / max(elapsed, 1e-9):,.0f} routes/s) "
+            f"speedup x{elapsed / max(batched_best, 1e-9):.1f} "
+            f"stats_match={agree}"
+        )
+        if not agree:
+            print("[bench] ERROR: batched statistics diverge from scalar routing", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _ScalarOnlyEngine(overlay):  # noqa: N802 - factory reads like a class
+    """An engine forced down the scalar path (for the bench comparison)."""
+    from .engine import BatchQueryEngine
+
+    engine = BatchQueryEngine(overlay)
+    engine._vectorizable = lambda: False  # type: ignore[method-assign]
+    return engine
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return run_bench(build_bench_parser().parse_args(argv[1:]))
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

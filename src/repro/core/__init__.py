@@ -14,12 +14,14 @@ from .estimators import estimate_partitions, oracle_partitions, sampled_partitio
 from .node import OscarNode
 from .overlay import OscarOverlay
 from .partitions import PartitionTable
+from .substrate import Substrate
 
 __all__ = [
     "LinkAcquisitionStats",
     "OscarNode",
     "OscarOverlay",
     "PartitionTable",
+    "Substrate",
     "acquire_links",
     "estimate_partitions",
     "oracle_partitions",

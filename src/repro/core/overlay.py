@@ -68,6 +68,7 @@ class OscarOverlay:
         self.pointers = RingPointers()
         self.nodes: dict[NodeId, OscarNode] = {}
         self._next_id = 0
+        self._links_epoch = 0
         self._join_rng = split(seed, "join")
         self._rewire_rng = split(seed, "rewire")
 
@@ -130,6 +131,20 @@ class OscarOverlay:
                 continue
             joined += 1
 
+    def leave(self, node_id: NodeId, repair: bool = True) -> None:
+        """Remove a live peer from the population (graceful departure).
+
+        The peer is marked dead in the ring — its long links stay as
+        dangling references, exactly like a crash — and, when ``repair``
+        is true (the default, matching the paper's self-stabilization
+        assumption), ring pointers are immediately re-stabilized around
+        the gap. Pass ``repair=False`` to model an abrupt crash whose
+        repair is deferred to churn machinery.
+        """
+        self.ring.mark_dead(node_id)
+        if repair:
+            self.repair_ring()
+
     def _attach_pointers(self, node_id: NodeId) -> None:
         """Splice a fresh peer into the maintained ring pointers."""
         attach_node(self.ring, self.pointers, node_id)
@@ -172,11 +187,22 @@ class OscarOverlay:
     def rewire(self, rng: np.random.Generator | None = None) -> LinkAcquisitionStats:
         """One global rewiring round (see
         :func:`repro.core.construction.rewire_all`)."""
+        self._links_epoch += 1
         return rewire_all(self, rng if rng is not None else self._rewire_rng)
 
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn; returns pointers fixed."""
+        self._links_epoch += 1
         return repair_ring(self.ring, self.pointers)
+
+    @property
+    def topology_version(self) -> tuple[int, int]:
+        """Changes whenever membership or link structure changes.
+
+        The pair ``(ring membership version, link epoch)`` — compared by
+        the batch engine to validate its cached topology snapshot.
+        """
+        return (self.ring.version, self._links_epoch)
 
     # ------------------------------------------------------------------
     # routing
@@ -223,6 +249,11 @@ class OscarOverlay:
     def out_cap_array(self) -> np.ndarray:
         """``rho_max_out`` of live peers (ring order)."""
         return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of currently live peers (the :class:`Substrate` surface)."""
+        return self.ring.live_count
 
     def __len__(self) -> int:
         return self.ring.live_count

@@ -1,0 +1,111 @@
+"""The unified overlay surface every substrate implements.
+
+The paper's evaluation compares Oscar against Chord- and Mercury-style
+substrates under identical workloads. On the code side that comparison
+only stays honest if all three systems expose *one* surface that the
+measurement layer drives blindly — otherwise every experiment grows its
+own per-overlay loop and the workloads silently diverge.
+
+:class:`Substrate` is that surface: membership (``join`` / ``leave`` /
+``grow``), maintenance (``rewire`` / ``repair_ring``), topology access
+(``neighbors_of``), routing (``route``) and sizing (``size`` /
+``__len__``). :class:`~repro.core.overlay.OscarOverlay`,
+:class:`~repro.chord.overlay.ChordOverlay` and
+:class:`~repro.mercury.overlay.MercuryOverlay` all satisfy it, and the
+batched query engine (:mod:`repro.engine.batch`) accepts any
+implementation.
+
+``join`` signatures legitimately differ (Oscar and Mercury joins carry
+capacity caps; a Chord join hashes an application key), so the protocol
+pins only its return type; ``grow`` is the uniform bulk entry point —
+every substrate accepts ``(target_size, keys, degrees)`` and ignores
+what its protocol does not use.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..ring import Ring, RingPointers
+from ..routing import RouteResult
+from ..types import Key, NodeId
+
+__all__ = ["Substrate"]
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """A routable overlay under simulation — the shared facade contract.
+
+    Implementations additionally expose a ``topology_version`` property:
+    a monotonic counter that changes whenever membership *or* link
+    structure changes, so derived caches (the batch engine's topology
+    snapshot) can validate themselves cheaply instead of subscribing to
+    mutation callbacks.
+    """
+
+    ring: Ring
+    pointers: RingPointers
+
+    # -- membership ----------------------------------------------------
+
+    def join(self, *args: object, **kwargs: object) -> NodeId:
+        """Add one peer; per-substrate signature (caps vs hashed key)."""
+        ...
+
+    def leave(self, node_id: NodeId, repair: bool = True) -> None:
+        """Remove a peer from the live population (graceful departure)."""
+        ...
+
+    def grow(
+        self,
+        target_size: int,
+        keys: object,
+        degrees: object,
+        paired_caps: bool = True,
+    ) -> None:
+        """Grow to ``target_size`` live peers by sampled joins."""
+        ...
+
+    # -- maintenance ---------------------------------------------------
+
+    def rewire(self, rng: np.random.Generator | None = None) -> object:
+        """One global long-link (or finger) rebuild round."""
+        ...
+
+    def repair_ring(self) -> int:
+        """Re-stabilize ring pointers after churn; returns pointers fixed."""
+        ...
+
+    # -- topology + routing --------------------------------------------
+
+    def neighbors_of(self, node_id: NodeId) -> Sequence[NodeId]:
+        """Outgoing neighbor ids (ring pointers + long links / fingers)."""
+        ...
+
+    def random_live_node(self, rng: np.random.Generator | None = None) -> NodeId:
+        """A uniformly random live peer."""
+        ...
+
+    def route(
+        self,
+        source: NodeId,
+        target_key: Key,
+        faulty: bool = False,
+        record_path: bool = False,
+    ) -> RouteResult:
+        """Route a single lookup (the scalar reference path)."""
+        ...
+
+    # -- sizing --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of currently live peers."""
+        ...
+
+    def __len__(self) -> int:
+        """Alias of :attr:`size` (live peer count)."""
+        ...

@@ -1,21 +1,33 @@
-"""Discrete-event simulation kernel (simpy-style, dependency-free).
+"""Execution engines: discrete-event simulation and batched queries.
 
-:class:`Environment` drives generator-based :class:`Process` objects
-through :class:`Event`/:class:`Timeout` scheduling; :class:`Resource`
-adds counted capacities. Deterministic same-time FIFO ordering keeps
-simulations reproducible.
+Two engines live here:
+
+* the discrete-event kernel (:mod:`repro.engine.core`,
+  :mod:`repro.engine.resources`) — :class:`Environment` drives
+  generator-based :class:`Process` objects through
+  :class:`Event`/:class:`Timeout` scheduling, :class:`Resource` adds
+  counted capacities, and deterministic same-time FIFO ordering keeps
+  simulations reproducible;
+* the batched query engine (:mod:`repro.engine.batch`) —
+  :class:`BatchQueryEngine` evaluates thousands of routes per call over
+  numpy arrays against any :class:`~repro.core.substrate.Substrate`,
+  with a topology-snapshot cache invalidated on membership change.
 """
 
+from .batch import BatchQueryEngine, BatchRouteResult, TopologySnapshot
 from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import Resource
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchQueryEngine",
+    "BatchRouteResult",
     "Environment",
     "Event",
     "Interrupt",
     "Process",
     "Resource",
     "Timeout",
+    "TopologySnapshot",
 ]

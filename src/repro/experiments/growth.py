@@ -6,11 +6,15 @@ reaches 10000 peers. ... During the growth of the networks we were
 periodically rewiring long-range links of all the peers and measuring
 the performance of a current network."
 
-:func:`grow_and_measure` is that loop, generalized over overlay kind
-(Oscar / Mercury), key distribution, degree distribution and a set of
-churn cases evaluated at every measured size. One harness feeds Figures
-1(b), 1(c), 2(a), 2(b) and the Mercury comparison, so all of them share
-identical growth mechanics.
+:func:`grow_and_measure` is that loop, generalized over any
+:class:`~repro.core.substrate.Substrate` (Oscar / Mercury / Chord), key
+distribution, degree distribution and a set of churn cases evaluated at
+every measured size. One harness feeds Figures 1(b), 1(c), 2(a), 2(b)
+and the Mercury comparison, so all of them share identical growth
+mechanics; queries are evaluated by one
+:class:`~repro.engine.BatchQueryEngine` per run, whose topology snapshot
+is invalidated by the joins/rewire/churn between rounds and rebuilt once
+per measurement.
 """
 
 from __future__ import annotations
@@ -20,10 +24,13 @@ from typing import Literal, Sequence
 
 import numpy as np
 
+from ..chord import ChordOverlay
 from ..churn import apply_churn, revive_all
 from ..config import ChurnConfig, GrowthConfig, MercuryConfig, OscarConfig, RoutingConfig
 from ..core import OscarOverlay
+from ..core.substrate import Substrate
 from ..degree import DegreeDistribution
+from ..engine import BatchQueryEngine
 from ..mercury import MercuryOverlay
 from ..metrics import measure_search_cost, relative_degree_load, volume_exploitation
 from ..routing import RouteStats
@@ -32,7 +39,7 @@ from ..workloads import KeyDistribution, QueryWorkload
 
 __all__ = ["SizeMeasurement", "make_overlay", "grow_and_measure"]
 
-OverlayKind = Literal["oscar", "mercury"]
+OverlayKind = Literal["oscar", "mercury", "chord"]
 
 
 @dataclass(frozen=True)
@@ -44,8 +51,11 @@ class SizeMeasurement:
         stats_by_kill: ``kill_fraction -> RouteStats`` for every churn
             case measured at this size (0.0 = fault-free).
         volume: Exploited in-degree volume after the rewiring round
-            (measured fault-free, before any crash wave).
-        load_ratios: Sorted per-peer relative degree load (Figure 1b).
+            (measured fault-free, before any crash wave). ``nan`` for
+            substrates without capacity caps (Chord fingers are
+            protocol-dictated, so "exploited volume" is undefined).
+        load_ratios: Sorted per-peer relative degree load (Figure 1b);
+            empty for cap-less substrates.
     """
 
     size: int
@@ -60,17 +70,19 @@ def make_overlay(
     oscar_config: OscarConfig | None = None,
     mercury_config: MercuryConfig | None = None,
     routing: RoutingConfig | None = None,
-) -> OscarOverlay | MercuryOverlay:
-    """Construct an overlay facade by kind (shared by CLI and benches)."""
+) -> Substrate:
+    """Construct a substrate by kind (shared by CLI, benches and tests)."""
     if kind == "oscar":
         return OscarOverlay(oscar_config or OscarConfig(), seed=seed, routing=routing)
     if kind == "mercury":
         return MercuryOverlay(mercury_config or MercuryConfig(), seed=seed, routing=routing)
+    if kind == "chord":
+        return ChordOverlay(seed=seed, routing=routing)
     raise ValueError(f"unknown overlay kind {kind!r}")
 
 
 def grow_and_measure(
-    overlay: OscarOverlay | MercuryOverlay,
+    overlay: Substrate,
     keys: KeyDistribution,
     degrees: DegreeDistribution,
     growth: GrowthConfig,
@@ -82,18 +94,26 @@ def grow_and_measure(
     At each size: join up to the size, rewire every peer, record volume
     and load ratios, then for every churn case crash the victims, route
     ``growth.queries_at(size)`` random queries (fault-aware router as
-    soon as the case is faulty), revive and re-repair the ring.
+    soon as the case is faulty), revive and re-repair the ring. All
+    query batches run through one :class:`~repro.engine.BatchQueryEngine`
+    whose successor cache revalidates automatically as the topology
+    changes between rounds.
 
     Churn cases never leak into one another or into later sizes: victims
     are revived and ring pointers re-stabilized after every case.
     """
+    engine = BatchQueryEngine(overlay)
     results: list[SizeMeasurement] = []
     for size in growth.measure_sizes:
         overlay.grow(size, keys, degrees)
         overlay.rewire(split(growth.seed, "rewire-round", size))
 
-        volume = volume_exploitation(overlay.in_degree_array(), overlay.in_cap_array())
-        ratios = relative_degree_load(overlay.in_degree_array(), overlay.in_cap_array())
+        if hasattr(overlay, "in_cap_array"):
+            volume = volume_exploitation(overlay.in_degree_array(), overlay.in_cap_array())
+            ratios = relative_degree_load(overlay.in_degree_array(), overlay.in_cap_array())
+        else:  # cap-less substrate (Chord): volume is undefined
+            volume = float("nan")
+            ratios = np.empty(0, dtype=float)
 
         stats_by_kill: dict[float, RouteStats] = {}
         for case in churn_cases:
@@ -107,6 +127,7 @@ def grow_and_measure(
                 n_queries=growth.queries_at(size),
                 workload=workload,
                 faulty=case.is_faulty,
+                engine=engine,
             )
             if victims:
                 revive_all(overlay.ring, victims)

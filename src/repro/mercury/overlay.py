@@ -43,6 +43,7 @@ class MercuryOverlay:
         self.pointers = RingPointers()
         self.nodes: dict[NodeId, MercuryNode] = {}
         self._next_id = 0
+        self._links_epoch = 0
         self._join_rng = split(seed, "mercury-join")
         self._rewire_rng = split(seed, "mercury-rewire")
 
@@ -92,6 +93,16 @@ class MercuryOverlay:
                 continue
             joined += 1
 
+    def leave(self, node_id: NodeId, repair: bool = True) -> None:
+        """Remove a live peer (graceful departure; links left dangling).
+
+        Same contract as :meth:`OscarOverlay.leave
+        <repro.core.overlay.OscarOverlay.leave>`.
+        """
+        self.ring.mark_dead(node_id)
+        if repair:
+            self.repair_ring()
+
     # ------------------------------------------------------------------
     # topology access (NeighborProvider)
     # ------------------------------------------------------------------
@@ -125,11 +136,18 @@ class MercuryOverlay:
 
     def rewire(self, rng: np.random.Generator | None = None) -> int:
         """One global rewiring round; returns links placed."""
+        self._links_epoch += 1
         return rewire_all(self, rng if rng is not None else self._rewire_rng)
 
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn; returns pointers fixed."""
+        self._links_epoch += 1
         return repair_ring(self.ring, self.pointers)
+
+    @property
+    def topology_version(self) -> tuple[int, int]:
+        """(membership version, link epoch) — batch-engine cache key."""
+        return (self.ring.version, self._links_epoch)
 
     def route(
         self,
@@ -167,6 +185,11 @@ class MercuryOverlay:
     def out_cap_array(self) -> np.ndarray:
         """``rho_max_out`` of live peers (ring order)."""
         return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of currently live peers (the :class:`Substrate` surface)."""
+        return self.ring.live_count
 
     def __len__(self) -> int:
         return self.ring.live_count

@@ -46,6 +46,14 @@ class Ring:
         self._sorted_ids: list[NodeId] = []
         self._cache_all: tuple[np.ndarray, np.ndarray] | None = None
         self._cache_live: tuple[np.ndarray, np.ndarray] | None = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership counter, bumped by every insert / crash /
+        revival. Derived structures (e.g. the batch engine's successor
+        cache) compare versions instead of subscribing to callbacks."""
+        return self._version
 
     # ------------------------------------------------------------------
     # membership
@@ -68,6 +76,7 @@ class Ring:
         self._sorted_ids.insert(idx, node_id)
         self._pos_of[node_id] = position
         self._alive[node_id] = True
+        self._version += 1
         self._invalidate()
 
     def mark_dead(self, node_id: NodeId) -> None:
@@ -75,6 +84,7 @@ class Ring:
         self._require_known(node_id)
         if self._alive[node_id]:
             self._alive[node_id] = False
+            self._version += 1
             self._cache_live = None
 
     def mark_alive(self, node_id: NodeId) -> None:
@@ -82,6 +92,7 @@ class Ring:
         self._require_known(node_id)
         if not self._alive[node_id]:
             self._alive[node_id] = True
+            self._version += 1
             self._cache_live = None
 
     def is_alive(self, node_id: NodeId) -> bool:

@@ -59,8 +59,17 @@ class QueryWorkload:
         if self.target_mode == "key" and self.key_distribution is None:
             raise ExperimentError('target_mode="key" requires a key_distribution')
 
-    def generate(self, ring: Ring, rng: np.random.Generator, count: int) -> Iterator[Query]:
-        """Yield ``count`` queries against the current live population."""
+    def generate_arrays(
+        self, ring: Ring, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` queries as aligned ``(sources, target_keys)`` arrays.
+
+        This is the array-native entry point used by the batch query
+        engine; :meth:`generate` wraps it, so both paths consume the RNG
+        identically — the same ``(ring, rng state, count)`` always yields
+        the same queries whether they are routed one at a time or in
+        bulk.
+        """
         if count < 0:
             raise ExperimentError(f"count must be >= 0, got {count}")
         live = ring.ids_array(live_only=True)
@@ -76,5 +85,10 @@ class QueryWorkload:
             targets = self.key_distribution.sample(rng, count)
         else:
             targets = rng.random(count)
+        return sources.astype(np.int64, copy=False), np.asarray(targets, dtype=float)
+
+    def generate(self, ring: Ring, rng: np.random.Generator, count: int) -> Iterator[Query]:
+        """Yield ``count`` queries against the current live population."""
+        sources, targets = self.generate_arrays(ring, rng, count)
         for source, target in zip(sources, targets):
             yield Query(source=int(source), target_key=float(target))

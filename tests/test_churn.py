@@ -116,7 +116,7 @@ class TestChurnOnOverlay:
     def test_overlay_survives_wave_and_revival(self):
         from repro.rng import make_rng as rng_of
 
-        from .conftest import build_overlay
+        from conftest import build_overlay
 
         overlay = build_overlay(n=150, seed=40, cap=8)
         victims = apply_churn(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_bench_parser, build_parser, main
 from repro.experiments import EXPERIMENTS
 
 
@@ -71,6 +71,32 @@ class TestMain:
     def test_queries_flag_ignored_by_fig1a(self, capsys):
         exit_code = main(["fig1a", "--scale", "0.02", "--queries", "20"])
         assert exit_code == 0
+
+
+class TestBenchSubcommand:
+    def test_defaults(self):
+        args = build_bench_parser().parse_args([])
+        assert args.substrate == "oscar"
+        assert args.batch == 1000
+        assert args.nodes == 1000
+
+    def test_substrate_choices(self):
+        for substrate in ("oscar", "chord", "mercury"):
+            assert build_bench_parser().parse_args(["--substrate", substrate]).substrate == substrate
+        with pytest.raises(SystemExit):
+            build_bench_parser().parse_args(["--substrate", "kademlia"])
+
+    def test_bench_runs_and_validates(self, capsys):
+        exit_code = main(
+            ["bench", "--substrate", "chord", "--nodes", "120", "--batch", "64", "--rounds", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "routes/s" in out
+        assert "stats_match=True" in out
+
+    def test_bench_rejects_bad_sizes(self, capsys):
+        assert main(["bench", "--nodes", "1"]) == 2
 
 
 class TestModuleEntryPoint:

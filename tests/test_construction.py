@@ -12,7 +12,7 @@ from repro.ring import Ring
 from repro.rng import make_rng
 from repro.workloads import GnutellaLikeDistribution
 
-from .conftest import build_overlay
+from conftest import build_overlay
 
 
 def make_population(n: int, cap: int = 8) -> tuple[Ring, dict[int, OscarNode]]:

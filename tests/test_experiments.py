@@ -241,7 +241,18 @@ class TestGrowAndMeasure:
 
     def test_unknown_overlay_kind(self):
         with pytest.raises(ValueError):
-            make_overlay("chord", seed=1)  # type: ignore[arg-type]
+            make_overlay("kademlia", seed=1)  # type: ignore[arg-type]
+
+    def test_chord_kind(self):
+        growth = GrowthConfig(measure_sizes=(60,), n_queries=10, seed=14)
+        overlay = make_overlay("chord", seed=14)
+        measurements = grow_and_measure(
+            overlay, GnutellaLikeDistribution(), ConstantDegrees(8), growth
+        )
+        assert measurements[-1].stats_by_kill[0.0].success_rate == 1.0
+        # Chord has no capacity caps, so exploited volume is undefined.
+        assert measurements[-1].volume != measurements[-1].volume  # NaN
+        assert measurements[-1].load_ratios.size == 0
 
     def test_mercury_kind(self):
         growth = GrowthConfig(measure_sizes=(60,), n_queries=10, seed=13)

@@ -10,7 +10,7 @@ from repro.churn import apply_churn, revive_all
 from repro.config import ChurnConfig
 from repro.rng import make_rng
 
-from .conftest import build_overlay
+from conftest import build_overlay
 
 
 @pytest.fixture

@@ -14,7 +14,7 @@ from repro.ring import verify
 from repro.rng import make_rng
 from repro.workloads import UniformKeys
 
-from .conftest import build_mercury, build_overlay
+from conftest import build_mercury, build_overlay
 
 
 class TestHarmonicRankFraction:

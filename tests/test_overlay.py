@@ -14,7 +14,7 @@ from repro.workloads import GnutellaLikeDistribution, UniformKeys
 
 from repro import OscarOverlay
 
-from .conftest import build_overlay
+from conftest import build_overlay
 
 
 class TestJoin:

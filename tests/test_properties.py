@@ -212,7 +212,7 @@ class TestIndexRangeProperty:
     def test_range_equals_brute_force(self, item_keys, lo, hi):
         from repro import DistributedIndex
 
-        from .conftest import build_overlay
+        from conftest import build_overlay
 
         overlay = build_overlay(n=40, seed=991, cap=6)
         index = DistributedIndex(overlay=overlay)

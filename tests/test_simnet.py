@@ -9,7 +9,7 @@ from repro.errors import ConfigError, EmptyPopulationError
 from repro.rng import make_rng
 from repro.simnet import BandwidthModel, LatencyModel, QueryLatencyStats, QuerySimulation
 
-from .conftest import build_overlay
+from conftest import build_overlay
 
 
 class TestBandwidthModel:
