@@ -9,22 +9,14 @@ from __future__ import annotations
 
 import math
 
-from repro.experiments import run_experiment
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 PARTITION_COUNTS = (4, 6, 8, 10, 12)
 
 
 def test_abl_partition_count(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment(
-            "abl-partitions",
-            scale=SCALE,
-            seed=SEED,
-            n_queries=QUERIES,
-            partition_counts=PARTITION_COUNTS,
-        ),
+        lambda: run_spec("abl-partitions", n_queries=QUERIES, partition_counts=PARTITION_COUNTS),
         rounds=1,
         iterations=1,
     )

@@ -8,16 +8,12 @@ balance (Gini of the relative-load ratios) and exploited volume.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_abl_power_of_two_balance(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment(
-            "abl-power-of-two", scale=SCALE, seed=SEED, n_queries=QUERIES
-        ),
+        lambda: run_spec("abl-power-of-two", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

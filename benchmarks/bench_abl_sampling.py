@@ -8,22 +8,14 @@ exact (oracle) medians.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 SAMPLE_SIZES = (2, 4, 8, 16, 32)
 
 
 def test_abl_sampling_budget(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment(
-            "abl-sampling",
-            scale=SCALE,
-            seed=SEED,
-            n_queries=QUERIES,
-            sample_sizes=SAMPLE_SIZES,
-        ),
+        lambda: run_spec("abl-sampling", n_queries=QUERIES, sample_sizes=SAMPLE_SIZES),
         rounds=1,
         iterations=1,
     )

@@ -8,14 +8,12 @@ space.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
 
 
 def test_ext_keydist_flat_across_skew(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("ext-keydist", scale=SCALE, seed=SEED, n_queries=QUERIES),
+        lambda: run_spec("ext-keydist", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

@@ -11,14 +11,12 @@ peers in both systems), clearly in queueing delay.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import SCALE, SEED, attach_result, print_result
+from conftest import attach_result, print_result, run_spec
 
 
 def test_ext_latency_bandwidth_matching(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("ext-latency", scale=SCALE, seed=SEED, n_queries=600),
+        lambda: run_spec("ext-latency", n_queries=600),
         rounds=1,
         iterations=1,
     )

@@ -9,14 +9,12 @@ faithfully (its histogram works when its homogeneity assumption holds).
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
 
 
 def test_ext_mercury_comparison(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("ext-mercury", scale=SCALE, seed=SEED, n_queries=QUERIES),
+        lambda: run_spec("ext-mercury", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

@@ -9,14 +9,12 @@ ratio grows with selectivity.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import SCALE, SEED, attach_result, print_result
+from conftest import attach_result, print_result, run_spec
 
 
 def test_ext_range_scatter_penalty(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("ext-range", scale=SCALE, seed=SEED, n_queries=20),
+        lambda: run_spec("ext-range", n_queries=20),
         rounds=1,
         iterations=1,
     )

@@ -10,14 +10,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import run_experiment
-
-from conftest import SCALE, SEED, attach_result, print_result
+from conftest import SCALE, attach_result, print_result, run_spec
 
 
 def test_fig1a_degree_pdf(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("fig1a", scale=SCALE, seed=SEED),
+        lambda: run_spec("fig1a"),
         rounds=1,
         iterations=1,
     )

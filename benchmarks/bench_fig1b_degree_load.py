@@ -12,14 +12,12 @@ Oscar > Mercury gap.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
-
-from conftest import SCALE, SEED, attach_result, print_result
+from conftest import SCALE, attach_result, print_result, run_spec
 
 
 def test_fig1b_relative_degree_load(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("fig1b", scale=SCALE, seed=SEED),
+        lambda: run_spec("fig1b"),
         rounds=1,
         iterations=1,
     )

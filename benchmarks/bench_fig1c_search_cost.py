@@ -11,15 +11,14 @@ three curves, their slow growth, and 100% query success.
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
 from repro.smallworld import worst_case_greedy_cost
 
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
 
 
 def test_fig1c_search_cost_vs_size(benchmark):
     run = benchmark.pedantic(
-        lambda: run_experiment("fig1c", scale=SCALE, seed=SEED, n_queries=QUERIES),
+        lambda: run_spec("fig1c", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

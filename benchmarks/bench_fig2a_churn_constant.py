@@ -9,14 +9,12 @@ and the search cost is fairly low given the high rate of failed peers"
 
 from __future__ import annotations
 
-from repro.experiments import EXPERIMENTS
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
 
 
 def test_fig2a_churn_constant_caps(benchmark):
     run = benchmark.pedantic(
-        lambda: EXPERIMENTS["fig2a"](scale=SCALE, seed=SEED, n_queries=QUERIES),
+        lambda: run_spec("fig2a", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

@@ -7,14 +7,12 @@ not change the churn behaviour: same ordering, same navigability.
 
 from __future__ import annotations
 
-from repro.experiments import EXPERIMENTS
-
-from conftest import QUERIES, SCALE, SEED, attach_result, print_result
+from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
 
 
 def test_fig2b_churn_realistic_caps(benchmark):
     run = benchmark.pedantic(
-        lambda: EXPERIMENTS["fig2b"](scale=SCALE, seed=SEED, n_queries=QUERIES),
+        lambda: run_spec("fig2b", n_queries=QUERIES),
         rounds=1,
         iterations=1,
     )

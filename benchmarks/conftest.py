@@ -19,6 +19,13 @@ Scale knobs (environment variables):
     N). Default 200.
 ``REPRO_BENCH_SEED``
     Root seed (default 42).
+``REPRO_BENCH_ARTIFACTS``
+    Optional artifact-store directory: set it to cache regenerated
+    figures across benchmark invocations (repeats become cache hits).
+
+Every figure benchmark goes through one shared
+:class:`repro.experiments.Runner` via :func:`run_spec` — the same
+execution path as the CLI.
 """
 
 from __future__ import annotations
@@ -27,9 +34,22 @@ import os
 
 import pytest
 
+from repro.experiments import ArtifactStore, Runner
+
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "200"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+_ARTIFACTS = os.environ.get("REPRO_BENCH_ARTIFACTS", "")
+
+RUNNER = Runner(
+    store=ArtifactStore(_ARTIFACTS) if _ARTIFACTS else None,
+    defaults={"scale": SCALE, "seed": SEED},
+)
+
+
+def run_spec(spec_id: str, **overrides):
+    """Run one experiment spec through the shared Runner."""
+    return RUNNER.run(spec_id, overrides).result
 
 
 @pytest.fixture(scope="session")

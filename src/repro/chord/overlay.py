@@ -254,7 +254,9 @@ def scatter_range(
     if lo <= hi:
         matches = [k for k in item_keys if lo <= k <= hi]
     else:
-        matches = [k for k in item_keys if k > lo or k <= hi]
+        # Closed at both ends, like the non-wrapped branch and the
+        # index's range(): a key exactly at lo belongs to [lo, hi].
+        matches = [k for k in item_keys if k >= lo or k <= hi]
     messages = 0
     for key in matches:
         result = overlay.lookup(source, key, faulty=faulty)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, replace
 from .errors import ConfigError
 
 __all__ = [
+    "DEFAULT_SIZE_FLOOR",
     "SamplingMode",
     "OscarConfig",
     "MercuryConfig",
@@ -23,6 +24,14 @@ __all__ = [
     "GrowthConfig",
     "ChurnConfig",
 ]
+
+#: The one floor rule for scaled network sizes, shared by
+#: :meth:`GrowthConfig.scaled` and ``repro.experiments.base.scaled_sizes``:
+#: a scaled measurement size never drops below this many peers (nor below
+#: the growth seed population). 64 peers keeps even heavily miniaturized
+#: runs above the seed ring and statistically meaningful, while staying
+#: small enough for sub-second CI smoke runs.
+DEFAULT_SIZE_FLOOR = 64
 
 
 class SamplingMode(enum.Enum):
@@ -194,13 +203,16 @@ class GrowthConfig:
     def scaled(self, factor: float) -> "GrowthConfig":
         """Return a proportionally smaller/larger copy (benchmark helper).
 
-        Sizes are scaled and deduplicated while preserving order; the seed
-        population and query count are scaled with a sensible floor.
+        Sizes are scaled and deduplicated while preserving order. The floor
+        rule is shared with ``repro.experiments.base.scaled_sizes``: no
+        scaled size drops below ``max(seed_size, DEFAULT_SIZE_FLOOR)``.
+        The query count is scaled with its own floor of 50.
         """
         _require(factor > 0, f"factor must be > 0, got {factor}")
+        floor = max(self.seed_size, DEFAULT_SIZE_FLOOR)
         sizes: list[int] = []
         for s in self.measure_sizes:
-            scaled_size = max(self.seed_size, int(round(s * factor)))
+            scaled_size = max(floor, int(round(s * factor)))
             if not sizes or scaled_size > sizes[-1]:
                 sizes.append(scaled_size)
         scaled_queries = self.n_queries if self.n_queries == 0 else max(50, int(round(self.n_queries * factor)))

@@ -1,70 +1,91 @@
-"""Experiment harness: one module per paper figure + ablations.
+"""Experiment harness: declarative specs, one Runner, a JSON artifact store.
 
-Registry keys (CLI names):
+Every experiment is an :class:`~repro.experiments.spec.ExperimentSpec`
+registered with the ``@experiment`` decorator in its module; execution
+(validation, caching, parallel fan-out) goes through
+:class:`~repro.experiments.runner.Runner`. **The registry itself is the
+single source of truth** — run ``python -m repro list`` to see every
+spec, its tags and its parameter schema. There is deliberately no
+hand-maintained table here to drift out of date.
 
-======== ==================================================== ==========
-key      paper artifact                                       module
-======== ==================================================== ==========
-fig1a    Figure 1(a) — spiky degree pdf                        fig1a
-fig1b    Figure 1(b) — relative degree load / volume           fig1b
-fig1c    Figure 1(c) — search cost vs size, three cap cases    fig1c
-fig2a    Figure 2(a) — churn, constant caps                    fig2
-fig2b    Figure 2(b) — churn, realistic caps                   fig2
-ext-mercury  §3 text — Oscar vs Mercury volume + cost          ext_mercury
-ext-keydist  §3 text ([8] summary) — key-distribution sweep    ext_keydist
-ext-range    §1 motivation — range queries vs hash DHT          ext_range
-ext-latency  §1 motivation — bandwidth-matched query latency    ext_latency
-abl-power-of-two  §3 "power of two" ablation                   ablations
-abl-sampling      §2 "very low sample sizes" ablation          ablations
-abl-partitions    §2 partition-count ablation                  ablations
-======== ==================================================== ==========
+Typical use::
+
+    from repro.experiments import Runner, ArtifactStore
+
+    runner = Runner(store=ArtifactStore("artifacts/"), jobs=4)
+    record = runner.run("fig1c", {"scale": 0.05})
+    print(record.result.render(), record.cached)
 """
 
 from typing import Callable
 
-from . import ablations, ext_keydist, ext_latency, ext_mercury, ext_range, fig1a, fig1b, fig1c, fig2
-from .base import ExperimentResult
+# Importing the experiment modules populates the spec registry.
+from . import (  # noqa: F401
+    ablations,
+    ext_keydist,
+    ext_latency,
+    ext_mercury,
+    ext_range,
+    fig1a,
+    fig1b,
+    fig1c,
+    fig2,
+    scenario,
+)
+from .base import ExperimentResult, scaled_sizes
 from .growth import SizeMeasurement, grow_and_measure, make_overlay
+from .runner import Runner, RunRecord
+from .spec import (
+    ExperimentSpec,
+    Param,
+    SweepSpec,
+    all_specs,
+    all_sweeps,
+    derive_seed,
+    experiment,
+    get_spec,
+    get_sweep,
+    register_sweep,
+)
+from .store import ArtifactStore, StoredRun, artifact_key
 
 __all__ = [
     "EXPERIMENTS",
+    "ArtifactStore",
     "ExperimentResult",
+    "ExperimentSpec",
+    "Param",
+    "RunRecord",
+    "Runner",
     "SizeMeasurement",
+    "StoredRun",
+    "SweepSpec",
+    "all_specs",
+    "all_sweeps",
+    "artifact_key",
+    "derive_seed",
+    "experiment",
+    "get_spec",
+    "get_sweep",
     "grow_and_measure",
     "make_overlay",
+    "register_sweep",
     "run_experiment",
+    "scaled_sizes",
 ]
 
-
-def _fig2a(scale: float = 1.0, seed: int = 42, **kwargs: object) -> ExperimentResult:
-    return fig2.run(scale=scale, seed=seed, panel="fig2a", **kwargs)[0]  # type: ignore[arg-type]
-
-
-def _fig2b(scale: float = 1.0, seed: int = 42, **kwargs: object) -> ExperimentResult:
-    return fig2.run(scale=scale, seed=seed, panel="fig2b", **kwargs)[0]  # type: ignore[arg-type]
-
-
-#: CLI name -> callable(scale=..., seed=..., ...) -> ExperimentResult
+#: Back-compat view of the registry: spec id -> run callable. Prefer
+#: :class:`Runner` (validation, caching, parallelism) for new code.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "fig1a": fig1a.run,
-    "fig1b": fig1b.run,
-    "fig1c": fig1c.run,
-    "fig2a": _fig2a,
-    "fig2b": _fig2b,
-    "ext-mercury": ext_mercury.run,
-    "ext-keydist": ext_keydist.run,
-    "ext-range": ext_range.run,
-    "ext-latency": ext_latency.run,
-    "abl-power-of-two": ablations.run_power_of_two,
-    "abl-sampling": ablations.run_sampling,
-    "abl-partitions": ablations.run_partitions,
+    spec.id: spec.fn for spec in all_specs() if spec.standalone
 }
 
 
 def run_experiment(name: str, scale: float = 1.0, seed: int = 42, **kwargs: object) -> ExperimentResult:
-    """Run an experiment by registry name."""
-    try:
-        runner = EXPERIMENTS[name]
-    except KeyError:
-        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
-    return runner(scale=scale, seed=seed, **kwargs)
+    """Run an experiment by registry name (thin wrapper over the spec).
+
+    Kept for API stability; equivalent to ``get_spec(name).run(...)``.
+    """
+    result = get_spec(name).run(scale=scale, seed=seed, **kwargs)
+    assert isinstance(result, ExperimentResult)
+    return result

@@ -21,12 +21,19 @@ from ..smallworld import harmonic_divergence, link_rank_distribution
 from ..workloads import GnutellaLikeDistribution
 from .base import ExperimentResult, scaled_sizes
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
 __all__ = ["run_power_of_two", "run_sampling", "run_partitions"]
 
 _ABL_SIZE = 4000  # a mid-scale network is enough to separate the knobs
 
 
+@experiment(
+    "abl-power-of-two",
+    title="Power of two choices: in-degree balance under spiky caps",
+    tags=("ablation",),
+    help={"n_queries": "queries per measurement (0 = one per live peer)"},
+)
 def run_power_of_two(scale: float = 1.0, seed: int = 42, n_queries: int = 0) -> ExperimentResult:
     """ABL-P2: choice-of-two vs single choice under spiky caps."""
     size = scaled_sizes((_ABL_SIZE,), scale)[0]
@@ -54,6 +61,15 @@ def run_power_of_two(scale: float = 1.0, seed: int = 42, n_queries: int = 0) -> 
     )
 
 
+@experiment(
+    "abl-sampling",
+    title="Sampling budget: search cost vs samples per median",
+    tags=("ablation",),
+    help={
+        "sample_sizes": "samples-per-median budgets swept",
+        "n_queries": "queries per measurement (0 = one per live peer)",
+    },
+)
 def run_sampling(
     scale: float = 1.0,
     seed: int = 42,
@@ -91,6 +107,15 @@ def run_sampling(
     )
 
 
+@experiment(
+    "abl-partitions",
+    title="Partition count: search cost and harmonic divergence",
+    tags=("ablation",),
+    help={
+        "partition_counts": "partition counts swept around log2 N",
+        "n_queries": "queries per measurement (0 = one per live peer)",
+    },
+)
 def run_partitions(
     scale: float = 1.0,
     seed: int = 42,

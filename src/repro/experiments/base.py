@@ -13,13 +13,35 @@ CI smoke runs and pytest benchmarks.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..config import DEFAULT_SIZE_FLOOR
 from ..reporting import ascii_chart, format_table, write_series
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "jsonify", "merged_metadata", "scaled_sizes"]
+
+
+def jsonify(value: object) -> object:
+    """Canonicalize a value for JSON artifacts.
+
+    Tuples become lists, numpy scalars become Python numbers, anything
+    else non-serializable falls back to ``repr`` (deterministic for the
+    frozen config dataclasses). Used both when writing artifacts and when
+    hashing resolved parameters into artifact keys, so the two always
+    agree.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return repr(value)
 
 
 @dataclass
@@ -71,9 +93,15 @@ class ExperimentResult:
             parts.append(f"[{meta}]")
         return "\n".join(parts)
 
-    def write_csv(self, directory: str | Path) -> Path:
-        """Write the series (long format) to ``directory/<id>.csv``."""
-        return write_series(Path(directory) / f"{self.experiment_id}.csv", self.series)
+    def write_csv(self, directory: str | Path, stem: str | None = None) -> Path:
+        """Write the series (long format) to ``directory/<stem>.csv``.
+
+        ``stem`` defaults to the experiment id; sweeps pass a per-point
+        stem so grid points don't overwrite one another.
+        """
+        return write_series(
+            Path(directory) / f"{stem or self.experiment_id}.csv", self.series
+        )
 
     def summary_rows(self) -> list[tuple[str, float, float]]:
         """(series, last_x, last_y) per curve — the headline numbers."""
@@ -83,6 +111,46 @@ class ExperimentResult:
                 rows.append((name, points[-1][0], points[-1][1]))
         return rows
 
+    def to_json_dict(self) -> dict[str, object]:
+        """Canonical JSON-ready representation (see :func:`jsonify`).
+
+        Tuples inside ``metadata`` are canonicalized to lists, so a result
+        that has been through :meth:`from_json` serializes identically to
+        the original.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": {name: jsonify(points) for name, points in self.series.items()},
+            "scalars": {name: jsonify(v) for name, v in self.scalars.items()},
+            "metadata": jsonify(self.metadata),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string (stable key order)."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str | Mapping[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output (string or dict).
+
+        Series points come back as tuples; metadata stays in its canonical
+        JSON form (tuples were serialized as lists).
+        """
+        data = json.loads(payload) if isinstance(payload, str) else dict(payload)
+        series = {
+            str(name): [(float(x), float(y)) for x, y in points]
+            for name, points in dict(data.get("series", {})).items()
+        }
+        scalars = {str(name): float(v) for name, v in dict(data.get("scalars", {})).items()}
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            series=series,
+            scalars=scalars,
+            metadata=dict(data.get("metadata", {})),
+        )
+
 
 def merged_metadata(base: Mapping[str, object], **extra: object) -> dict[str, object]:
     """Small helper: copy + extend metadata dictionaries."""
@@ -91,8 +159,15 @@ def merged_metadata(base: Mapping[str, object], **extra: object) -> dict[str, ob
     return out
 
 
-def scaled_sizes(paper_sizes: Sequence[int], scale: float, floor: int = 64) -> tuple[int, ...]:
-    """Scale the paper's measurement sizes, deduplicated and floored."""
+def scaled_sizes(
+    paper_sizes: Sequence[int], scale: float, floor: int = DEFAULT_SIZE_FLOOR
+) -> tuple[int, ...]:
+    """Scale the paper's measurement sizes, deduplicated and floored.
+
+    The floor rule is shared with :meth:`repro.config.GrowthConfig.scaled`:
+    no scaled size drops below :data:`repro.config.DEFAULT_SIZE_FLOOR`
+    (64 peers) unless a caller explicitly passes a different ``floor``.
+    """
     if scale <= 0:
         raise ValueError(f"scale must be > 0, got {scale}")
     out: list[int] = []

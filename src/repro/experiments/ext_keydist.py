@@ -25,6 +25,7 @@ from ..workloads import (
 from .base import ExperimentResult, scaled_sizes
 from .fig1c import PAPER_SIZES
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
 __all__ = ["run", "DISTRIBUTIONS"]
 
@@ -39,6 +40,12 @@ def DISTRIBUTIONS() -> list[KeyDistribution]:
     ]
 
 
+@experiment(
+    "ext-keydist",
+    title="Oscar search cost across key distributions (constant caps)",
+    tags=("extension",),
+    help={"n_queries": "queries per measurement (0 = one per live peer)"},
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,

@@ -34,6 +34,7 @@ from ..rng import split
 from ..simnet import BandwidthModel, LatencyModel, QuerySimulation
 from ..workloads import GnutellaLikeDistribution
 from .base import ExperimentResult, scaled_sizes
+from .spec import experiment
 
 __all__ = ["run"]
 
@@ -41,6 +42,16 @@ PAPER_SIZE = 10_000
 MEAN_BANDWIDTH = 27.0
 
 
+@experiment(
+    "ext-latency",
+    title="Query latency: bandwidth-matched vs bandwidth-oblivious caps",
+    tags=("extension",),
+    help={
+        "n_queries": "simulated queries (0 = one per live peer)",
+        "load_factor": "Poisson arrival rate relative to the stability bound",
+        "rate_per_link": "service rate contributed by one link of bandwidth",
+    },
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,

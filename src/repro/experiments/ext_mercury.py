@@ -19,10 +19,20 @@ from ..workloads import GnutellaLikeDistribution, UniformKeys
 from .base import ExperimentResult, scaled_sizes
 from .fig1c import PAPER_SIZES
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
 __all__ = ["run"]
 
 
+@experiment(
+    "ext-mercury",
+    title="Oscar vs Mercury: search cost and exploited degree volume",
+    tags=("extension",),
+    help={
+        "n_queries": "queries per measurement (0 = one per live peer)",
+        "include_uniform_control": "add the uniform-keys Mercury control run",
+    },
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,

@@ -29,14 +29,25 @@ from ..index import DistributedIndex
 from ..rng import split
 from ..workloads import GnutellaLikeDistribution
 from .base import ExperimentResult, scaled_sizes
+from .spec import experiment
 
 __all__ = ["run"]
 
 PAPER_SIZE = 10_000
 ITEMS_PER_PEER = 2
 SELECTIVITIES = (0.001, 0.003, 0.01, 0.03, 0.1)
+DEFAULT_RANGE_QUERIES = 40
 
 
+@experiment(
+    "ext-range",
+    title="Range queries: Oscar sweep vs hash-DHT scatter lookups",
+    tags=("extension",),
+    help={
+        "n_queries": f"ranges issued per selectivity point (0 = default {DEFAULT_RANGE_QUERIES})",
+        "selectivities": "range widths swept (fraction of keyspace)",
+    },
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,
@@ -48,7 +59,13 @@ def run(
 
     ``n_queries`` ranges are issued per selectivity; each range is
     anchored at a random stored item so it is never trivially empty.
+    ``0`` falls back to the default budget (the CLI's shared ``--queries``
+    convention, where 0 means "pick for me").
     """
+    if n_queries == 0:
+        n_queries = DEFAULT_RANGE_QUERIES
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
     size = scaled_sizes((PAPER_SIZE,), scale)[0]
     keys = GnutellaLikeDistribution()
     caps = ConstantDegrees()

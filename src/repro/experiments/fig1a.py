@@ -14,10 +14,20 @@ import numpy as np
 from ..degree import SpikyDegreeDistribution
 from ..rng import split
 from .base import ExperimentResult
+from .spec import experiment
 
 __all__ = ["run"]
 
 
+@experiment(
+    "fig1a",
+    title="Synthetic spiky node degree distribution (pdf, log-log)",
+    tags=("figure",),
+    help={
+        "scale": "shrinks the empirical-check sample count only",
+        "mean_degree": "target mean of the spiky pmf (paper: 27)",
+    },
+)
 def run(scale: float = 1.0, seed: int = 42, mean_degree: float = 27.0) -> ExperimentResult:
     """Generate the Figure 1(a) pmf.
 

@@ -17,12 +17,21 @@ from ..metrics import load_curve_points
 from ..workloads import GnutellaLikeDistribution
 from .base import ExperimentResult, scaled_sizes
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
 __all__ = ["run"]
 
 PAPER_SIZE = 10_000
 
 
+@experiment(
+    "fig1b",
+    title="Relative degree load (actual/available in-degree, sorted)",
+    tags=("figure",),
+    help={
+        "include_mercury": "add the Mercury constant-caps comparison curve",
+    },
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,

@@ -14,12 +14,19 @@ from ..degree import ConstantDegrees, SpikyDegreeDistribution, SteppedDegrees
 from ..workloads import GnutellaLikeDistribution
 from .base import ExperimentResult, scaled_sizes
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
 __all__ = ["run"]
 
 PAPER_SIZES = (2000, 4000, 6000, 8000, 10000)
 
 
+@experiment(
+    "fig1c",
+    title="Oscar search cost vs network size, three in-degree distributions",
+    tags=("figure",),
+    help={"n_queries": "queries per measurement (0 = one per live peer)"},
+)
 def run(
     scale: float = 1.0,
     seed: int = 42,

@@ -18,8 +18,9 @@ from .base import ExperimentResult, scaled_sizes
 from .fig1c import PAPER_SIZES
 from ..workloads import GnutellaLikeDistribution
 from .growth import grow_and_measure, make_overlay
+from .spec import experiment
 
-__all__ = ["run", "run_panel"]
+__all__ = ["run", "run_panel", "run_fig2a", "run_fig2b"]
 
 KILL_FRACTIONS = (0.0, 0.10, 0.33)
 
@@ -68,6 +69,38 @@ def run_panel(
     )
 
 
+@experiment(
+    "fig2a",
+    title="Churn simulation, constant in-degree caps",
+    tags=("figure",),
+    help={"n_queries": "queries per measurement (0 = one per live peer)"},
+)
+def run_fig2a(
+    scale: float = 1.0,
+    seed: int = 42,
+    oscar_config: OscarConfig | None = None,
+    n_queries: int = 0,
+) -> ExperimentResult:
+    """Figure 2(a): crash waves over constant caps."""
+    return run_panel("fig2a", ConstantDegrees(), scale, seed, oscar_config, n_queries)
+
+
+@experiment(
+    "fig2b",
+    title="Churn simulation, realistic (spiky) in-degree caps",
+    tags=("figure",),
+    help={"n_queries": "queries per measurement (0 = one per live peer)"},
+)
+def run_fig2b(
+    scale: float = 1.0,
+    seed: int = 42,
+    oscar_config: OscarConfig | None = None,
+    n_queries: int = 0,
+) -> ExperimentResult:
+    """Figure 2(b): crash waves over the spiky cap distribution."""
+    return run_panel("fig2b", SpikyDegreeDistribution(), scale, seed, oscar_config, n_queries)
+
+
 def run(
     scale: float = 1.0,
     seed: int = 42,
@@ -78,13 +111,9 @@ def run(
     """Run Figure 2 — ``panel`` in {"fig2a", "fig2b", "both"}."""
     results: list[ExperimentResult] = []
     if panel in ("fig2a", "both"):
-        results.append(
-            run_panel("fig2a", ConstantDegrees(), scale, seed, oscar_config, n_queries)
-        )
+        results.append(run_fig2a(scale, seed, oscar_config, n_queries))
     if panel in ("fig2b", "both"):
-        results.append(
-            run_panel("fig2b", SpikyDegreeDistribution(), scale, seed, oscar_config, n_queries)
-        )
+        results.append(run_fig2b(scale, seed, oscar_config, n_queries))
     if not results:
         raise ValueError(f"panel must be fig2a, fig2b or both, got {panel!r}")
     return results

@@ -2,10 +2,16 @@
 
 from .ascii_chart import ascii_chart, format_table
 from .csvout import write_rows, write_series
-from .markdown import markdown_report, markdown_table, series_endpoints_table
+from .markdown import (
+    experiments_document,
+    markdown_report,
+    markdown_table,
+    series_endpoints_table,
+)
 
 __all__ = [
     "ascii_chart",
+    "experiments_document",
     "format_table",
     "markdown_report",
     "markdown_table",

@@ -2,18 +2,23 @@
 
 EXPERIMENTS.md records paper-vs-measured for every artifact; these
 helpers turn :class:`~repro.experiments.base.ExperimentResult` objects
-into the tables that file uses, so the record can be regenerated
-mechanically after a full run::
+into the tables that file uses. ``repro report`` regenerates the whole
+document mechanically from the artifact store::
 
-    result = run_experiment("fig1c", scale=1.0)
-    print(markdown_report(result))
+    python -m repro all --scale 1.0 --out artifacts/
+    python -m repro report --out artifacts/ --file EXPERIMENTS.md
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["markdown_table", "series_endpoints_table", "markdown_report"]
+__all__ = [
+    "markdown_table",
+    "series_endpoints_table",
+    "markdown_report",
+    "experiments_document",
+]
 
 
 def _format_cell(value: object) -> str:
@@ -73,3 +78,39 @@ def markdown_report(result) -> str:
         meta = ", ".join(f"`{k}={v}`" for k, v in sorted(result.metadata.items()))
         parts.append(f"Parameters: {meta}")
     return "\n".join(parts).rstrip() + "\n"
+
+
+def experiments_document(
+    runs: Sequence[tuple[object, Mapping[str, object], float]],
+    title: str = "Experiment record",
+) -> str:
+    """The full EXPERIMENTS.md document from stored runs.
+
+    ``runs`` is a sequence of ``(result, resolved_params, wall_time)``
+    triples (duck-typed, so this module stays below the experiments
+    layer). One section per run, preceded by an index table.
+    """
+    lines = [
+        f"# {title}",
+        "",
+        "Regenerated mechanically by `python -m repro report` from the",
+        "artifact store — do not edit by hand.",
+        "",
+    ]
+    index_rows = []
+    for result, params, wall_time in runs:
+        scale = params.get("scale", "?")
+        seed = params.get("seed", "?")
+        index_rows.append(
+            (f"[`{result.experiment_id}`](#{result.experiment_id})", result.title, scale, seed, f"{wall_time:.1f}s")
+        )
+    lines.append(markdown_table(("experiment", "title", "scale", "seed", "wall time"), index_rows))
+    lines.append("")
+    for result, params, wall_time in runs:
+        lines.append(f'<a id="{result.experiment_id}"></a>')
+        lines.append("")
+        lines.append(markdown_report(result))
+        shown = ", ".join(f"`{k}={v}`" for k, v in sorted(params.items()) if v is not None)
+        lines.append(f"Resolved spec parameters: {shown} — wall time {wall_time:.1f}s.")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

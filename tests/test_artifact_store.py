@@ -1,0 +1,135 @@
+"""Tests for the JSON artifact store and ExperimentResult serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ArtifactStore, artifact_key, get_spec
+from repro.experiments.base import ExperimentResult, jsonify
+
+
+def sample_result(experiment_id: str = "demo") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="Demo experiment",
+        series={"curve a": [(1.0, 2.0), (3.0, 4.5)], "curve b": [(0.5, 0.25)]},
+        scalars={"answer": 42.0, "ratio": 0.851},
+        metadata={"seed": 7, "scale": 0.05, "sizes": (100, 200), "keys": "gnutella"},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_series_and_scalars_survive_exactly(self):
+        result = sample_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment_id == result.experiment_id
+        assert restored.title == result.title
+        assert restored.series == result.series
+        assert restored.scalars == result.scalars
+
+    def test_round_trip_is_canonical(self):
+        # After one round trip the representation is a fixed point:
+        # serializing the restored result reproduces the same JSON.
+        result = sample_result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_json() == result.to_json()
+        assert ExperimentResult.from_json(restored.to_json()) == restored
+
+    def test_metadata_tuples_canonicalize_to_lists(self):
+        restored = ExperimentResult.from_json(sample_result().to_json())
+        assert restored.metadata["sizes"] == [100, 200]
+
+    def test_from_json_accepts_dict(self):
+        result = sample_result()
+        assert ExperimentResult.from_json(result.to_json_dict()) == ExperimentResult.from_json(result.to_json())
+
+    def test_jsonify_handles_numpy_and_objects(self):
+        import numpy as np
+
+        assert jsonify(np.float64(1.5)) == 1.5
+        assert jsonify((1, 2)) == [1, 2]
+        assert isinstance(jsonify(object()), str)
+
+
+class TestArtifactKey:
+    def test_same_params_same_key(self):
+        assert artifact_key("fig1c", {"scale": 0.1, "seed": 42}) == artifact_key(
+            "fig1c", {"seed": 42, "scale": 0.1}
+        )
+
+    def test_different_params_different_key(self):
+        assert artifact_key("fig1c", {"scale": 0.1}) != artifact_key("fig1c", {"scale": 0.2})
+        assert artifact_key("fig1c", {"scale": 0.1}) != artifact_key("fig1b", {"scale": 0.1})
+
+
+class TestArtifactStore:
+    def test_save_then_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        params = {"scale": 0.05, "seed": 42}
+        store.save("demo", params, sample_result(), wall_time=1.25)
+        stored = store.load("demo", params)
+        assert stored is not None
+        assert stored.spec_id == "demo"
+        assert stored.wall_time == 1.25
+        assert stored.result.scalars["answer"] == 42.0
+        assert stored.params == {"scale": 0.05, "seed": 42}
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load("demo", {"scale": 1.0}) is None
+
+    def test_key_depends_on_params(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("demo", {"scale": 0.05}, sample_result(), wall_time=0.1)
+        assert store.load("demo", {"scale": 0.06}) is None
+
+    def test_corrupted_artifact_recovery(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        params = {"scale": 0.05}
+        saved = store.save("demo", params, sample_result(), wall_time=0.1)
+        # Truncate the artifact mid-file: load must treat it as a miss
+        # and quarantine the file instead of crashing.
+        artifact = store.path_for("demo", params)
+        artifact.write_text(artifact.read_text()[:40], encoding="utf-8")
+        assert store.load("demo", params) is None
+        assert not artifact.exists()
+        assert artifact.with_suffix(".corrupt").exists()
+        # A fresh save rewrites the artifact and the store recovers.
+        store.save("demo", params, sample_result(), wall_time=0.2)
+        recovered = store.load("demo", params)
+        assert recovered is not None and recovered.wall_time == 0.2
+        assert recovered.key == saved.key
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        params = {"scale": 0.05}
+        store.save("demo", params, sample_result(), wall_time=0.1)
+        artifact = store.path_for("demo", params)
+        payload = json.loads(artifact.read_text())
+        payload["format"] = 999
+        artifact.write_text(json.dumps(payload))
+        assert store.load("demo", params) is None
+
+    def test_records_and_latest_by_spec(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("demo", {"scale": 0.05}, sample_result(), wall_time=0.1)
+        store.save("demo", {"scale": 0.10}, sample_result(), wall_time=0.2)
+        store.save("other", {"scale": 0.05}, sample_result("other"), wall_time=0.3)
+        assert len(list(store.records())) == 3
+        latest = store.latest_by_spec()
+        assert set(latest) == {"demo", "other"}
+        assert latest["demo"].params["scale"] == 0.10
+
+    def test_records_on_missing_root(self, tmp_path):
+        assert list(ArtifactStore(tmp_path / "nope").records()) == []
+
+
+class TestStoreRunnerContract:
+    def test_key_uses_resolved_params(self):
+        # The runner hashes fully resolved params, so an explicit default
+        # and an omitted default address the same artifact.
+        spec = get_spec("fig1a")
+        full = spec.resolve({"scale": 0.05})
+        explicit = spec.resolve({"scale": 0.05, "mean_degree": 27.0})
+        assert artifact_key("fig1a", full) == artifact_key("fig1a", explicit)

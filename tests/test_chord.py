@@ -165,7 +165,8 @@ class TestScatterRange:
         item_keys = [i / 50 for i in range(50)]
         source = overlay.random_live_node(make_rng(9))
         matches, __ = scatter_range(overlay, source, item_keys, 0.9, 0.1)
-        expected = sum(1 for k in item_keys if k > 0.9 or k <= 0.1)
+        # Closed at both ends even when wrapped, matching the index.
+        expected = sum(1 for k in item_keys if k >= 0.9 or k <= 0.1)
         assert matches == expected
 
     def test_empty_range_costs_nothing(self):

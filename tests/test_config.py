@@ -169,6 +169,20 @@ class TestGrowthConfig:
     def test_scaled_identity(self):
         assert GrowthConfig().scaled(1.0).measure_sizes == GrowthConfig().measure_sizes
 
+    def test_scaled_floor_matches_scaled_sizes(self):
+        # One floor rule everywhere: GrowthConfig.scaled and
+        # experiments.base.scaled_sizes agree at DEFAULT_SIZE_FLOOR.
+        from repro.config import DEFAULT_SIZE_FLOOR
+        from repro.experiments.base import scaled_sizes
+
+        growth = GrowthConfig(measure_sizes=(2000, 4000, 10000))
+        assert growth.scaled(0.001).measure_sizes == scaled_sizes((2000, 4000, 10000), 0.001)
+        assert growth.scaled(0.001).measure_sizes == (DEFAULT_SIZE_FLOOR,)
+
+    def test_scaled_floor_respects_larger_seed_size(self):
+        growth = GrowthConfig(seed_size=128, measure_sizes=(2000, 4000))
+        assert growth.scaled(0.001).measure_sizes == (128,)
+
 
 class TestChurnConfig:
     def test_paper_cases(self):

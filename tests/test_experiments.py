@@ -42,6 +42,15 @@ class TestRegistry:
         with pytest.raises(KeyError, match="fig1a"):
             run_experiment("fig99")
 
+    def test_experiments_view_mirrors_spec_registry(self):
+        # EXPERIMENTS is a back-compat view over the spec registry; the
+        # registry itself (repro list) is the source of truth.
+        from repro.experiments import all_specs
+
+        assert set(EXPERIMENTS) == {
+            spec.id for spec in all_specs() if "scenario" not in spec.tags
+        }
+
 
 class TestScaledSizes:
     def test_identity_at_full_scale(self):

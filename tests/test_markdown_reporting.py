@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.base import ExperimentResult
-from repro.reporting import markdown_report, markdown_table, series_endpoints_table
+from repro.reporting import (
+    experiments_document,
+    markdown_report,
+    markdown_table,
+    series_endpoints_table,
+)
 
 
 class TestMarkdownTable:
@@ -80,3 +85,30 @@ class TestMarkdownReport:
 
     def test_report_ends_with_newline(self):
         assert markdown_report(self.make_result()).endswith("\n")
+
+
+class TestExperimentsDocument:
+    def test_index_and_sections(self):
+        result = ExperimentResult(
+            experiment_id="fig1c",
+            title="Search cost vs size",
+            series={"constant": [(2000.0, 5.0), (10000.0, 6.5)]},
+            scalars={"final_cost_constant": 6.5},
+            metadata={"seed": 42},
+        )
+        text = experiments_document([(result, {"scale": 0.05, "seed": 42}, 3.25)])
+        assert text.startswith("# Experiment record")
+        assert "do not edit by hand" in text
+        assert "[`fig1c`](#fig1c)" in text  # index row links to the section
+        assert "### `fig1c`" in text
+        assert "`scale=0.05`" in text
+        assert "wall time 3.2s" in text
+        assert text.endswith("\n")
+
+    def test_multiple_runs_keep_order(self):
+        results = [
+            (ExperimentResult(experiment_id=i, title=i), {"scale": 1.0, "seed": 1}, 0.1)
+            for i in ("a", "b")
+        ]
+        text = experiments_document(results)
+        assert text.index("### `a`") < text.index("### `b`")

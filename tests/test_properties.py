@@ -225,7 +225,9 @@ class TestIndexRangeProperty:
         elif lo < hi:
             expected = sorted(k for k in item_keys if lo <= k <= hi)
         else:
-            expected = sorted(k for k in item_keys if k > lo or k <= hi)
+            # Wrapped [lo, hi] stays closed at both ends, same as the
+            # non-wrapped branch (and chord.scatter_range).
+            expected = sorted(k for k in item_keys if k >= lo or k <= hi)
         assert got == expected
 
 
