@@ -113,7 +113,24 @@ class PartitionTable:
             bounds = self.arc(index)
             if bounds is not None and in_cw_interval(key, bounds[0], bounds[1]):
                 return index
-        raise PartitionError(f"key {key!r} lies outside every partition of origin {self.origin!r}")
+        # The arcs tile ``(origin, far_end]`` exactly, so reaching this
+        # point means the comparison-based predicate places ``key`` in the
+        # owner's gap ``(far_end, origin)``. The subtractive metric is
+        # coarser: a key separated from ``far_end`` by less than one float
+        # rounding step measures *exactly* the far-end distance (e.g. key
+        # 1.4e-45 with origin 0.1 rounds to 0.9). When metric and
+        # predicate disagree like that, the metric's verdict — "at the
+        # far-end boundary" — wins, and boundary keys belong to the
+        # outermost arc (arcs are end-inclusive).
+        distance = cw_distance(self.origin, key)
+        far_distance = cw_distance(self.origin, self.far_end)
+        if distance <= far_distance:
+            return 1
+        raise PartitionError(
+            f"key {key!r} lies outside every partition of origin {self.origin!r}: "
+            f"cw distance {distance!r} exceeds the far-end distance {far_distance!r}\n"
+            + self.describe()
+        )
 
     def sample_partition(self, rng: np.random.Generator) -> int:
         """Draw a partition index uniformly — step one of link acquisition."""
