@@ -1,0 +1,65 @@
+"""Wall-time smoke budget for the batched measurement hot path.
+
+Runs one experiment spec through the same :class:`repro.experiments.Runner`
+the CLI uses (no artifact cache — always a fresh simulation), prints the
+wall time, and fails when it exceeds the budget.
+
+The CI budget encodes "fig1c via the batch engine must stay no slower
+than the PR 2 baseline": PR 2 recorded fig1c at 11.8 s for scale 0.1
+with 10k queries on a dev laptop; the default budget leaves headroom for
+slow CI runners while still catching an order-of-magnitude regression
+(e.g. the batch engine silently falling back to scalar routing).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py --spec fig1c --scale 0.05 --budget-seconds 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import Runner  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spec", default="fig1c", help="experiment spec id (default: fig1c)")
+    parser.add_argument("--scale", type=float, default=0.05, help="workload scale (default: 0.05)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        required=True,
+        help="fail when the run's wall time exceeds this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    runner = Runner(store=None, defaults={"scale": args.scale, "seed": args.seed})
+    started = time.perf_counter()
+    record = runner.run(args.spec)
+    elapsed = time.perf_counter() - started
+
+    print(
+        f"[bench-smoke] {args.spec} scale={args.scale} seed={args.seed}: "
+        f"{elapsed:.2f}s wall (recorded {record.wall_time:.2f}s), "
+        f"budget {args.budget_seconds:.2f}s"
+    )
+    if elapsed > args.budget_seconds:
+        print(
+            f"[bench-smoke] FAIL: {args.spec} took {elapsed:.2f}s "
+            f"> budget {args.budget_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    print("[bench-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

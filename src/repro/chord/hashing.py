@@ -12,7 +12,9 @@ from __future__ import annotations
 import hashlib
 import struct
 
-__all__ = ["hash_key", "hash_str"]
+from ..ring import keyspace
+
+__all__ = ["hash_key", "hash_str", "hash_key_exact", "hash_str_exact"]
 
 #: 2^53 — the largest power of two a float can represent exactly; using
 #: it keeps the hash-to-float conversion uniform and collision-sparse.
@@ -34,3 +36,20 @@ def hash_key(key: float) -> float:
     """
     digest = hashlib.blake2b(struct.pack("<d", key), digest_size=8).digest()
     return (int.from_bytes(digest, "big") >> 11) / _DENOMINATOR
+
+
+def hash_str_exact(value: str) -> int:
+    """The exact :mod:`~repro.ring.keyspace` key of :func:`hash_str`.
+
+    Defined as ``from_unit(hash_str(value))`` so float and fixed-point
+    consumers can never disagree about where a key hashes: the float
+    output is ``v / 2**53`` for a 53-bit ``v``, whose exact key is
+    ``v * 2**11`` — placement is unchanged, only the representation is.
+    """
+    return keyspace.from_unit(hash_str(value))
+
+
+def hash_key_exact(key: float) -> int:
+    """The exact :mod:`~repro.ring.keyspace` key of :func:`hash_key`
+    (see :func:`hash_str_exact` for the consistency contract)."""
+    return keyspace.from_unit(hash_key(key))

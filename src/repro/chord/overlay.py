@@ -23,7 +23,7 @@ import numpy as np
 
 from ..config import RoutingConfig
 from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
-from ..ring import Ring, RingPointers, attach_node, normalize
+from ..ring import Ring, RingPointers, attach_node, in_closed_cw_range, normalize
 from ..ring import repair as repair_ring
 from ..routing import RouteResult, route_faulty, route_greedy
 from ..rng import split
@@ -251,12 +251,10 @@ def scatter_range(
 
     Returns ``(matching_items, total_messages)``.
     """
-    if lo <= hi:
-        matches = [k for k in item_keys if lo <= k <= hi]
-    else:
-        # Closed at both ends, like the non-wrapped branch and the
-        # index's range(): a key exactly at lo belongs to [lo, hi].
-        matches = [k for k in item_keys if k >= lo or k <= hi]
+    # One shared closed-[lo, hi] predicate with DistributedIndex.range:
+    # PR 2 fixed these two disagreeing about a key exactly at `lo` of a
+    # wrapped range, and sharing the definition keeps them agreed.
+    matches = [k for k in item_keys if in_closed_cw_range(k, lo, hi)]
     messages = 0
     for key in matches:
         result = overlay.lookup(source, key, faulty=faulty)

@@ -29,7 +29,7 @@ import numpy as np
 from ..config import OscarConfig, SamplingMode
 from ..errors import SamplingError
 from ..ring import Ring
-from ..ring.identifiers import cw_distance
+from ..ring.identifiers import in_cw_interval
 from ..sampling import RestrictedWalker, cw_sample_median, sample_arc_uniform
 from ..types import NodeId
 from .partitions import PartitionTable
@@ -104,9 +104,15 @@ def sampled_partitions(
         if positions.size == 0:
             break
         border = cw_sample_median(origin, positions)
-        # Clamp: sampling can place the border at (never beyond) the arc
-        # end; equal borders would make the next arc degenerate, so stop.
-        if border == previous_end or cw_distance(origin, border) >= cw_distance(origin, previous_end):
+        # Clamp: the border must land strictly inside (origin,
+        # previous_end) — at the arc end the next arc would be
+        # degenerate, so stop. Decided with the same comparison-exact
+        # interval predicate :class:`PartitionTable` validates with, so
+        # the estimator can never hand the table a border the table
+        # would reject (a border a denormal step from the arc end used
+        # to round into exactly-at-the-end under the subtractive
+        # metric).
+        if border == previous_end or not in_cw_interval(border, origin, previous_end):
             break
         medians.append(border)
         previous_end = border

@@ -61,21 +61,28 @@ class PartitionTable:
     medians: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
-        distances = [cw_distance(self.origin, m) for m in self.medians]
-        far = cw_distance(self.origin, self.far_end)
-        previous = far
-        for index, dist in enumerate(distances):
-            if dist > far:
+        # Monotonicity is validated with comparisons only (the same
+        # ``(start, end]`` predicate the arcs are later read with), not
+        # with the subtractive float metric: subtraction rounds, so a
+        # border a denormal step outside its arc could measure as inside
+        # (or vice versa). Comparison order is exact at full float
+        # resolution, which is exactly what makes the arcs provably tile
+        # ``(origin, far_end]``.
+        previous = self.far_end
+        for index, median in enumerate(self.medians):
+            inside = median == self.origin or (
+                previous != self.origin
+                and in_cw_interval(median, self.origin, previous)
+            )
+            if not inside:
+                reference = "the far end" if index == 0 else f"median {index}"
                 raise PartitionError(
-                    f"median {index + 1} lies beyond the far end "
-                    f"(cw distance {dist:.6f} > {far:.6f})"
+                    f"median {index + 1} at {median!r} lies beyond {reference} "
+                    f"(cw distance {cw_distance(self.origin, median):.6f} vs "
+                    f"{cw_distance(self.origin, previous):.6f}); medians must "
+                    f"shrink monotonically toward the origin"
                 )
-            if dist > previous:
-                raise PartitionError(
-                    f"medians must shrink monotonically toward the origin; "
-                    f"median {index + 1} at cw distance {dist:.6f} follows {previous:.6f}"
-                )
-            previous = dist
+            previous = median
 
     @property
     def n_partitions(self) -> int:

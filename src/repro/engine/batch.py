@@ -11,12 +11,23 @@ all vectorized, with a cached topology snapshot (successor pointers +
 padded neighbor matrix) that is rebuilt only when the substrate's
 ``topology_version`` changes — i.e. on join/leave/churn/rewire.
 
-The batched walk replays the greedy router *exactly*: the same
+The batched walk replays the greedy router's rules — the same
 closest-preceding-node rule, the same final-interval delivery check, the
-same first-wins tie-breaking, the same IEEE-754 clockwise-distance
-arithmetic. Batched hop counts and :class:`~repro.routing.RouteStats`
-are therefore bit-identical to routing the same queries one at a time —
-a property the test suite asserts for all three substrates.
+same first-wins tie-breaking — as **exact fixed-point keyspace
+kernels** (:mod:`repro.ring.keyspace`): target keys are converted to
+``uint64`` once per batch and every per-hop distance is a wrapping
+integer subtraction — cheaper than the float ``%`` it replaced, and
+immune to the rounding disagreements float subtraction allowed. The
+scalar router decides the identical questions with comparison-exact
+predicates at full float resolution; the two agree bit-for-bit whenever
+peer positions occupy distinct ``2**-64`` key cells, which real
+workloads always do (a million uniform draws share a cell with
+probability below ``10**-7``; sub-resolution fixtures are an
+adversarial-test-only construct). Batched hop counts and
+:class:`~repro.routing.RouteStats` are therefore bit-identical to
+routing the same queries one at a time — a property the test suite
+asserts for all three substrates and the golden fixture pins across
+refactors.
 
 Typical use::
 
@@ -42,7 +53,6 @@ fault-aware router for those batches while keeping the one engine API.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -50,6 +60,7 @@ import numpy as np
 
 from ..config import RoutingConfig
 from ..errors import RoutingError
+from ..ring import keyspace
 from ..routing import RouteStats, summarize_routes
 from ..routing.result import _percentile  # shared so folds stay bit-identical
 from ..workloads import QueryWorkload
@@ -58,27 +69,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports routing
     from ..core.substrate import Substrate
 
 __all__ = ["BatchQueryEngine", "BatchRouteResult", "TopologySnapshot"]
-
-#: Largest float < 1.0 — the clamp value of ``cw_distance`` rounding.
-_ONE_BELOW = math.nextafter(1.0, 0.0)
-
-
-def _cw_distances(origin: np.ndarray, keys: np.ndarray) -> np.ndarray:
-    """Elementwise clockwise distance, matching the scalar
-    :func:`~repro.ring.cw_distance` bit for bit (same ``%`` arithmetic,
-    same sub-1.0 clamp for the rounding edge case)."""
-    d = (keys - origin) % 1.0
-    d[d >= 1.0] = _ONE_BELOW
-    return d
-
-
-def _in_cw_interval(key: np.ndarray, start: np.ndarray, end: np.ndarray) -> np.ndarray:
-    """Elementwise clockwise ``(start, end]`` membership, matching
-    :func:`~repro.ring.in_cw_interval` (exact comparisons, whole-circle
-    degenerate case)."""
-    linear = (start < key) & (key <= end)
-    wrapped = (key > start) | (key <= end)
-    return (start == end) | np.where(start < end, linear, wrapped)
 
 
 @dataclass(frozen=True)
@@ -94,6 +84,8 @@ class TopologySnapshot:
         version: The substrate's ``topology_version`` this snapshot was
             built at; the engine compares it to decide staleness.
         all_pos: Position per row, every peer, sorted by position.
+        all_keys: Exact ``uint64`` keyspace twin of ``all_pos`` — what
+            the per-hop integer geometry computes on.
         all_ids: Node id per row, aligned with ``all_pos``.
         live_pos: Positions of live peers only (sorted) — the
             responsible-peer (``successor_of_key``) lookup table.
@@ -110,6 +102,7 @@ class TopologySnapshot:
 
     version: object
     all_pos: np.ndarray
+    all_keys: np.ndarray
     all_ids: np.ndarray
     live_pos: np.ndarray
     live_rows: np.ndarray
@@ -122,6 +115,7 @@ class TopologySnapshot:
         """Materialize the current topology of ``substrate`` as arrays."""
         ring = substrate.ring
         all_pos = ring.positions_array(live_only=False)
+        all_keys = ring.keys_array(live_only=False)
         all_ids = ring.ids_array(live_only=False)
         n = int(all_ids.size)
 
@@ -157,6 +151,7 @@ class TopologySnapshot:
         return cls(
             version=substrate.topology_version,
             all_pos=all_pos,
+            all_keys=all_keys,
             all_ids=all_ids,
             live_pos=live_pos,
             live_rows=live_rows,
@@ -289,6 +284,7 @@ class BatchQueryEngine:
             raise ValueError("sources and target_keys must be aligned 1-d arrays")
 
         n = int(sources.size)
+        targets = keyspace.from_units(target_keys)  # one conversion per batch
         responsible = snap.responsible_rows(target_keys)
         current = snap.row_of[sources]
         if np.any(current < 0):
@@ -304,30 +300,33 @@ class BatchQueryEngine:
                     f"fault-free batch route exceeded budget {budget}"
                 )
             cur = current[rows]
-            tgt = target_keys[rows]
-            cur_pos = snap.all_pos[cur]
+            tgt = targets[rows]
+            cur_key = snap.all_keys[cur]
             succ = snap.succ_row[cur]
             if np.any(succ < 0):
                 bad = int(snap.all_ids[cur[succ < 0][0]])
                 raise RoutingError(f"node {bad} has no ring successor pointer")
-            succ_pos = snap.all_pos[succ]
+            succ_key = snap.all_keys[succ]
 
-            deliver = _in_cw_interval(tgt, cur_pos, succ_pos)
+            deliver = keyspace.in_cw_intervals(tgt, cur_key, succ_key)
             nxt = succ.copy()
 
             forward = ~deliver
             if np.any(forward):
                 f_cur = cur[forward]
-                f_pos = cur_pos[forward]
-                span = _cw_distances(f_pos, tgt[forward])
-                succ_progress = _cw_distances(f_pos, succ_pos[forward])
+                f_key = cur_key[forward]
+                span = tgt[forward] - f_key  # wrapping uint64 cw distances
+                succ_progress = succ_key[forward] - f_key
 
                 cand = snap.nbr_rows[f_cur]  # (k, width)
                 valid = cand >= 0
-                cand_pos = snap.all_pos[np.where(valid, cand, 0)]
-                progress = _cw_distances(f_pos[:, None], cand_pos)
-                # Candidates past the key (or padding) never win.
-                progress = np.where(valid & (progress <= span[:, None]), progress, -1.0)
+                cand_key = snap.all_keys[np.where(valid, cand, 0)]
+                progress = cand_key - f_key[:, None]
+                # Candidates past the key (or padding) never win: zero
+                # progress never beats the >= 1 ring-successor fallback
+                # (zero-progress real candidates are the peer itself,
+                # which the scalar scan skips for the same reason).
+                progress = np.where(valid & (progress <= span[:, None]), progress, np.uint64(0))
 
                 best_col = progress.argmax(axis=1)  # first max == scalar first-wins
                 take = np.arange(best_col.size)

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import EmptyPopulationError, UnknownNodeError
 from ..metrics import RoutableOverlay
-from ..ring import in_cw_interval
+from ..ring import in_closed_cw_range
 from ..routing.range_query import RangeQueryResult, route_range
 from ..types import Key, NodeId
 
@@ -119,13 +119,9 @@ class DistributedIndex:
             hits: list[IndexedItem] = []
             for owner in result.owners:
                 for item in self.stored.get(owner, []):
-                    # [lo, hi] membership; lo == hi is the point range
-                    # (in_cw_interval would read it as the whole circle).
-                    if lo == hi:
-                        in_range = item.key == lo
-                    else:
-                        in_range = item.key == lo or in_cw_interval(item.key, lo, hi)
-                    if in_range:
+                    # One shared closed-[lo, hi] predicate with
+                    # chord.scatter_range — the PR 2 divergence point.
+                    if in_closed_cw_range(item.key, lo, hi):
                         hits.append(item)
             receipt = OperationReceipt(
                 "range", result.total_cost, result.owners[0], tuple(hits), True

@@ -2,12 +2,19 @@
 
 Public surface:
 
-* :mod:`repro.ring.identifiers` — clockwise arithmetic on ``[0, 1)``;
+* :mod:`repro.ring.keyspace` — exact 64-bit fixed-point modular
+  geometry (``uint64`` keys, circle ``2**64``) plus the lossless-where-
+  possible ``float ↔ Key`` adapters; the vectorized arithmetic core of
+  the batched routing hot path;
+* :mod:`repro.ring.identifiers` — the float ``[0, 1)`` edge API whose
+  comparison-exact predicates the scalar layers (partitions, routing,
+  medians) decide with;
 * :class:`repro.ring.Ring` — the sorted, liveness-aware peer circle;
 * :mod:`repro.ring.maintenance` — Chord-style pointer repair the paper
   assumes survives churn.
 """
 
+from . import keyspace
 from .identifiers import (
     KeyspaceError,
     ccw_distance,
@@ -15,6 +22,7 @@ from .identifiers import (
     cw_distance,
     cw_distances,
     cw_midpoint,
+    in_closed_cw_range,
     in_cw_interval,
     normalize,
 )
@@ -32,7 +40,9 @@ __all__ = [
     "cw_distance",
     "cw_distances",
     "cw_midpoint",
+    "in_closed_cw_range",
     "in_cw_interval",
+    "keyspace",
     "normalize",
     "repair",
     "verify",

@@ -12,6 +12,23 @@ Conventions used throughout the library:
   reach ``b`` — it is zero iff ``a == b`` and is **not** symmetric;
 * intervals are clockwise-open/closed ``(a, b]`` unless stated otherwise,
   matching Chord's "successor owns the key" rule.
+
+Exactness caveat — and how each layer stays exact
+-------------------------------------------------
+
+Float *comparisons* are exact, so :func:`in_cw_interval`,
+:func:`in_closed_cw_range` and the clockwise order they induce are
+exact at full float resolution; float *subtraction* rounds, so
+:func:`cw_distance` can collapse denormal-scale separations (key
+``1.4e-45`` with origin ``0.1`` measures exactly ``0.9``) and
+metric/predicate verdicts can disagree at boundaries. Geometry
+*decisions* therefore never use the subtractive metric: the scalar
+layers (partitions, estimators, routing, medians) decide with this
+module's comparison predicates, while the batched hot path computes on
+:mod:`repro.ring.keyspace` — exact ``uint64`` fixed-point modular
+arithmetic, bit-identical to the comparison rules whenever positions
+occupy distinct ``2**-64`` cells. ``cw_distance`` remains the
+measurement/diagnostic metric of the float ``[0, 1)`` edge API.
 """
 
 from __future__ import annotations
@@ -21,20 +38,19 @@ from typing import Iterable
 
 import numpy as np
 
+from .keyspace import KeyspaceError
+
 __all__ = [
     "normalize",
     "cw_distance",
     "ccw_distance",
     "circular_distance",
     "in_cw_interval",
+    "in_closed_cw_range",
     "cw_midpoint",
     "cw_distances",
     "KeyspaceError",
 ]
-
-
-class KeyspaceError(ValueError):
-    """A key fell outside ``[0, 1)`` or was not a finite number."""
 
 
 def _check(key: float, name: str = "key") -> float:
@@ -110,6 +126,25 @@ def in_cw_interval(key: float, start: float, end: float) -> bool:
     if start < end:
         return start < key <= end
     return key > start or key <= end
+
+
+def in_closed_cw_range(key: float, lo: float, hi: float) -> bool:
+    """Membership of ``key`` in the *closed* application range ``[lo, hi]``.
+
+    ``lo > hi`` wraps through 1.0; ``lo == hi`` is the point range (not
+    the whole circle — that convention belongs to the ``(start, end]``
+    overlay interval of :func:`in_cw_interval`). This is the one
+    definition shared by ``DistributedIndex.range`` and
+    ``chord.scatter_range``: PR 2 fixed those two disagreeing about a
+    key exactly at ``lo`` of a wrapped range, and keeping a single
+    predicate is what stops that bug class from reopening.
+    """
+    _check(key, "key")
+    _check(lo, "lo")
+    _check(hi, "hi")
+    if lo == hi:
+        return key == lo
+    return key == lo or in_cw_interval(key, lo, hi)
 
 
 def cw_midpoint(a: float, b: float) -> float:

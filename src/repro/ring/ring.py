@@ -12,14 +12,22 @@ Design notes
 * **Positions are unique.** Joins with a colliding position are rejected
   with :class:`~repro.errors.DuplicateNodeError`; callers draw a fresh key
   (collisions of continuous keys have probability ~0 but a float can
-  repeat, so the overlay perturbs and retries).
+  repeat, so the overlay perturbs and retries). Distinct floats closer
+  than keyspace resolution (``2**-64``) are *allowed* and share a key
+  cell: the sorted ``uint64`` key array is then weakly increasing, and
+  key-space interval checks treat the tied peers as one point — the
+  degenerate whole-circle convention makes the ring hop between them,
+  so routing still terminates (property-tested with denormal
+  positions).
 * **Crashes mark, never remove.** Failure injection flips the alive flag;
   dead peers stay in the structure so that long-range links pointing at
   them can be discovered as dangling by the fault-aware router, exactly
   like a timed-out probe in a deployed system.
-* **Numpy caches.** Sorted position/id arrays (all peers, and live-only)
-  are cached and invalidated on mutation, so the hot lookups used by
-  sampling and link acquisition are vectorized.
+* **Numpy caches.** Sorted position/id/key arrays (all peers, and
+  live-only) are cached and invalidated on mutation, so the hot lookups
+  used by sampling, link acquisition and the batch engine are
+  vectorized. The ``uint64`` key arrays are what the exact-geometry hot
+  paths (batched routing, closest-preceding scans) compute on.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import numpy as np
 
 from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
 from ..types import NodeId
+from . import keyspace
 from .identifiers import _check  # shared range validation
 
 __all__ = ["Ring"]
@@ -41,11 +50,13 @@ class Ring:
 
     def __init__(self) -> None:
         self._pos_of: dict[NodeId, float] = {}
+        self._key_of: dict[NodeId, int] = {}
         self._alive: dict[NodeId, bool] = {}
         self._sorted_positions: list[float] = []
+        self._sorted_keys: list[int] = []
         self._sorted_ids: list[NodeId] = []
-        self._cache_all: tuple[np.ndarray, np.ndarray] | None = None
-        self._cache_live: tuple[np.ndarray, np.ndarray] | None = None
+        self._cache_all: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._cache_live: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._version = 0
 
     @property
@@ -67,14 +78,17 @@ class Ring:
         clockwise order to be total).
         """
         _check(position, "position")
+        key = keyspace.from_unit(position, "position")
         if node_id in self._pos_of:
             raise DuplicateNodeError(f"node {node_id} already joined")
         idx = bisect.bisect_left(self._sorted_positions, position)
         if idx < len(self._sorted_positions) and self._sorted_positions[idx] == position:
             raise DuplicateNodeError(f"position {position!r} already occupied by node {self._sorted_ids[idx]}")
         self._sorted_positions.insert(idx, position)
+        self._sorted_keys.insert(idx, key)
         self._sorted_ids.insert(idx, node_id)
         self._pos_of[node_id] = position
+        self._key_of[node_id] = key
         self._alive[node_id] = True
         self._version += 1
         self._invalidate()
@@ -110,17 +124,23 @@ class Ring:
     @property
     def live_count(self) -> int:
         """Number of currently live peers."""
-        __, ids = self._arrays(live_only=True)
+        __, ids, __k = self._arrays(live_only=True)
         return int(ids.size)
 
     def position(self, node_id: NodeId) -> float:
-        """The key-space position of a peer (live or dead)."""
+        """The unit-circle position of a peer (live or dead)."""
         self._require_known(node_id)
         return self._pos_of[node_id]
 
+    def key_of(self, node_id: NodeId) -> int:
+        """The exact fixed-point key of a peer (live or dead) — the
+        ``uint64`` twin of :meth:`position`, converted once at insert."""
+        self._require_known(node_id)
+        return self._key_of[node_id]
+
     def node_ids(self, live_only: bool = False) -> list[NodeId]:
         """All node ids in clockwise (position) order."""
-        __, ids = self._arrays(live_only)
+        __, ids, __k = self._arrays(live_only)
         return [int(i) for i in ids]
 
     def __iter__(self) -> Iterator[NodeId]:
@@ -134,7 +154,7 @@ class Ring:
         """The peer responsible for ``key``: the first peer at or after it
         clockwise (Chord's ``successor(key)``)."""
         _check(key, "key")
-        positions, ids = self._arrays(live_only)
+        positions, ids, __ = self._arrays(live_only)
         if ids.size == 0:
             raise EmptyPopulationError("ring has no " + ("live " if live_only else "") + "peers")
         idx = int(np.searchsorted(positions, key, side="left"))
@@ -155,7 +175,7 @@ class Ring:
 
     def _neighbor(self, node_id: NodeId, step: int, live_only: bool) -> NodeId:
         pos = self.position(node_id)
-        positions, ids = self._arrays(live_only)
+        positions, ids, __ = self._arrays(live_only)
         if ids.size == 0:
             raise EmptyPopulationError("ring has no live peers")
         idx = int(np.searchsorted(positions, pos, side="left"))
@@ -214,7 +234,7 @@ class Ring:
         wraps all the way around. Used by the oracle partitioner to read
         exact median borders in ``O(log N)``.
         """
-        positions, __ = self._arrays(live_only)
+        positions, __, __k = self._arrays(live_only)
         n = positions.size
         if n == 0:
             raise EmptyPopulationError("ring has no live peers")
@@ -225,7 +245,7 @@ class Ring:
 
     def cw_rank_of(self, origin: float, node_id: NodeId, live_only: bool = True) -> int:
         """Clockwise rank of ``node_id`` as seen from ``origin`` (>= 1)."""
-        positions, ids = self._arrays(live_only)
+        positions, ids, __ = self._arrays(live_only)
         if ids.size == 0:
             raise EmptyPopulationError("ring has no live peers")
         pos = self.position(node_id)
@@ -238,13 +258,20 @@ class Ring:
     def positions_array(self, live_only: bool = False) -> np.ndarray:
         """Sorted copy of all peer positions (read-only view semantics:
         callers must not mutate)."""
-        positions, __ = self._arrays(live_only)
+        positions, __, __k = self._arrays(live_only)
         return positions
 
     def ids_array(self, live_only: bool = False) -> np.ndarray:
         """Node ids sorted by position, aligned with :meth:`positions_array`."""
-        __, ids = self._arrays(live_only)
+        __, ids, __k = self._arrays(live_only)
         return ids
+
+    def keys_array(self, live_only: bool = False) -> np.ndarray:
+        """Exact ``uint64`` keys aligned with :meth:`positions_array`
+        (weakly increasing: floats closer than ``2**-64`` share a key
+        cell)."""
+        __, __i, keys = self._arrays(live_only)
+        return keys
 
     # ------------------------------------------------------------------
     # internals
@@ -258,7 +285,7 @@ class Ring:
         self._cache_all = None
         self._cache_live = None
 
-    def _arrays(self, live_only: bool) -> tuple[np.ndarray, np.ndarray]:
+    def _arrays(self, live_only: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if live_only:
             if self._cache_live is None:
                 mask = np.fromiter(
@@ -268,12 +295,14 @@ class Ring:
                 )
                 positions = np.asarray(self._sorted_positions, dtype=float)[mask]
                 ids = np.asarray(self._sorted_ids, dtype=np.int64)[mask]
-                self._cache_live = (positions, ids)
+                keys = np.array(self._sorted_keys, dtype=np.uint64)[mask]
+                self._cache_live = (positions, ids, keys)
             return self._cache_live
         if self._cache_all is None:
             self._cache_all = (
                 np.asarray(self._sorted_positions, dtype=float),
                 np.asarray(self._sorted_ids, dtype=np.int64),
+                np.array(self._sorted_keys, dtype=np.uint64),
             )
         return self._cache_all
 
@@ -282,7 +311,7 @@ class Ring:
         ``(start, end]`` as a contiguous (mod n) span of the sorted order."""
         _check(start, "start")
         _check(end, "end")
-        positions, ids = self._arrays(live_only)
+        positions, ids, __ = self._arrays(live_only)
         n = positions.size
         if n == 0:
             return 0, 0, ids

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from ..config import RoutingConfig
 from ..errors import DeadNodeError
-from ..ring import Ring, RingPointers, cw_distance, in_cw_interval
+from ..ring import Ring, RingPointers, in_cw_interval
 from ..types import Key, NodeId
 from .base import NeighborProvider
 from .result import RouteResult
@@ -146,35 +146,51 @@ def _candidates(
        largest progress first;
     3. links already past the key, closest-after-the-key first
        (last-resort delivery attempts when the ring is unrepaired).
+
+    Progress and "past the key" are decided with comparisons only
+    (:func:`~repro.ring.identifiers.in_cw_interval` and the clockwise
+    rank order of :func:`~repro.routing.greedy.cw_closer`) — exact at
+    full float resolution, so the preference order cannot be scrambled
+    by subtractive rounding at arc boundaries. Exact order cannot tie on
+    distinct positions, so no id tie-break is needed.
     """
     node_pos = ring.position(node)
-    span = cw_distance(node_pos, target_key)
     succ = pointers.successor.get(node)
 
     seen: set[NodeId] = {node}
-    improving: list[tuple[float, NodeId]] = []
-    past: list[tuple[float, NodeId]] = []
+    improving: list[tuple[tuple[bool, float], NodeId]] = []
+    past: list[tuple[tuple[bool, float], NodeId]] = []
     head: list[NodeId] = []
 
     if succ is not None and succ != node:
         seen.add(succ)
-        if in_cw_interval(target_key, node_pos, ring.position(succ)):
+        succ_pos = ring.position(succ)
+        if in_cw_interval(target_key, node_pos, succ_pos):
             head.append(succ)
         else:
-            improving.append((cw_distance(node_pos, ring.position(succ)), succ))
+            improving.append((_cw_rank(node_pos, succ_pos), succ))
 
     for link in neighbors.neighbors_of(node):
         if link in seen:
             continue
         seen.add(link)
-        progress = cw_distance(node_pos, ring.position(link))
-        if progress == 0.0:
+        link_pos = ring.position(link)
+        if link_pos == node_pos:
             continue
-        if progress <= span:
-            improving.append((progress, link))
+        # Zero-span guard: with the key exactly at `node`, nothing can
+        # improve ("(node, node]" would read as the whole circle).
+        if target_key != node_pos and in_cw_interval(link_pos, node_pos, target_key):
+            improving.append((_cw_rank(node_pos, link_pos), link))
         else:
-            past.append((cw_distance(target_key, ring.position(link)), link))
+            past.append((_cw_rank(target_key, link_pos), link))
 
-    improving.sort(key=lambda item: (-item[0], item[1]))
-    past.sort(key=lambda item: (item[0], item[1]))
+    improving.sort(key=lambda item: item[0], reverse=True)
+    past.sort(key=lambda item: item[0])
     return head + [n for __, n in improving] + [n for __, n in past]
+
+
+def _cw_rank(origin: float, position: float) -> tuple[bool, float]:
+    """A sort key realizing exact clockwise-from-``origin`` order:
+    positions at/after the origin first (ascending), wrapped positions
+    after (ascending) — the total order :func:`cw_closer` compares by."""
+    return (position < origin, position)

@@ -10,20 +10,52 @@ the final interval check uses the always-live ring successor, the walk
 terminates in at most ``N`` hops; in an Oscar network the expected cost is
 ``O(log^2 N / rho)`` for per-peer out-degree ``rho`` (Kleinberg's bound
 applied to rank space — see :mod:`repro.smallworld.theory`).
+
+Exactness: the router historically *measured* clockwise progress with
+subtractive float arithmetic, which rounds — a candidate a denormal step
+past the key could measure exactly the target distance and be admitted,
+breaking the "never pass the key" invariant the termination proof needs
+(the float-boundary bug class). Both greedy decisions are really
+*order* questions, so they are now decided with comparisons only —
+:func:`~repro.ring.identifiers.in_cw_interval` for "does this neighbor
+pass the key" and :func:`cw_closer` for "which neighbor is farther" —
+which are exact at full float resolution. The batched engine
+(:mod:`repro.engine.batch`) evaluates the equivalent rules as exact
+``uint64`` keyspace kernels; the two agree bit-for-bit whenever peer
+positions occupy distinct ``2**-64`` key cells (always, for real
+workloads — and property-tested).
 """
 
 from __future__ import annotations
 
 from ..config import RoutingConfig
 from ..errors import RoutingError
-from ..ring import Ring, RingPointers, cw_distance, in_cw_interval
+from ..ring import Ring, RingPointers, in_cw_interval
 from ..types import Key, NodeId
 from .base import NeighborProvider
 from .result import RouteResult
 
-__all__ = ["route_greedy"]
+__all__ = ["route_greedy", "cw_closer"]
 
 _DEFAULT = RoutingConfig()
+
+
+def cw_closer(origin: float, a: float, b: float) -> bool:
+    """Exact "is ``a`` strictly closer clockwise from ``origin`` than
+    ``b``" — pure comparisons, no subtraction, no rounding.
+
+    Clockwise from ``origin``, positions at or after it (``>= origin``)
+    come first in plain float order, then the wrapped positions
+    (``< origin``) in plain float order; ``origin`` itself is distance
+    zero.
+    """
+    if a == b:
+        return False
+    after_a = a >= origin
+    after_b = b >= origin
+    if after_a != after_b:
+        return after_a
+    return a < b
 
 
 def route_greedy(
@@ -104,21 +136,25 @@ def _closest_preceding(
 
     The ring successor is always a valid fallback (it cannot pass the key —
     the caller already handled the final interval), so in a consistent
-    topology this never fails.
+    topology this never fails. First-listed wins ties (exact comparisons
+    can only tie on equal positions, which the ring forbids).
     """
     best: NodeId = ring_successor
-    best_progress = cw_distance(current_pos, ring.position(ring_successor))
-    span = cw_distance(current_pos, target_key)
-    for candidate in neighbors.neighbors_of(current):
-        if candidate == current:
-            continue
-        progress = cw_distance(current_pos, ring.position(candidate))
-        # "(current, key]" guard: skip neighbors past the key.
-        if progress > span:
-            continue
-        if progress > best_progress:
-            best = candidate
-            best_progress = progress
-    if best == current or best_progress == 0.0:
+    best_pos = ring.position(ring_successor)
+    if target_key != current_pos:  # zero span: only the fallback is legal
+        for candidate in neighbors.neighbors_of(current):
+            if candidate == current:
+                continue
+            candidate_pos = ring.position(candidate)
+            # "(current, key]" guard: skip neighbors past the key. The
+            # interval predicate is comparison-based, so "past" cannot be
+            # blurred by rounding (``(current, current]`` would read as
+            # the whole circle, hence the zero-span guard above).
+            if not in_cw_interval(candidate_pos, current_pos, target_key):
+                continue
+            if cw_closer(current_pos, best_pos, candidate_pos):
+                best = candidate
+                best_pos = candidate_pos
+    if best == current or best_pos == current_pos:
         raise RoutingError(f"node {current} has no progressing neighbor toward {target_key!r}")
     return best

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import RoutingConfig
-from ..ring import Ring, RingPointers, cw_distance
+from ..ring import Ring, RingPointers, in_cw_interval
 from ..types import Key, NodeId
 from .base import NeighborProvider
 from .faulty import route_faulty
@@ -98,12 +98,13 @@ def route_range(
     owners: list[NodeId] = [entry.delivered_to]
     sweep_hops = 0
     current = entry.delivered_to
-    # Sweep successor pointers while the current owner's arc ends before
-    # `hi` (measured as clockwise distance from `lo`, so wrapped ranges
-    # and ranges ending past the last peer both terminate correctly);
-    # the `in owners` guard terminates degenerate (single-peer) rings.
-    span = cw_distance(lo, hi)
-    while cw_distance(lo, ring.position(current)) < span:
+    # Sweep successor pointers while the current owner sits in the
+    # half-open clockwise range ``[lo, hi)`` — decided with comparisons
+    # only (exact), so wrapped ranges, ranges ending past the last peer,
+    # and owners a sub-rounding step before ``hi`` all terminate
+    # correctly; the `in owners` guard terminates degenerate
+    # (single-peer) rings.
+    while _owner_arc_continues(ring.position(current), lo, hi):
         nxt = pointers.successor.get(current)
         if nxt is None or nxt == current or nxt in owners:
             break
@@ -118,3 +119,15 @@ def route_range(
         owners=tuple(owners),
         sweep_hops=sweep_hops,
     )
+
+
+def _owner_arc_continues(position: float, lo: float, hi: float) -> bool:
+    """Whether a swept owner at ``position`` still ends before the range
+    end — i.e. ``position`` is in clockwise ``[lo, hi)``, exactly.
+
+    ``lo == hi`` is the point range: the entry peer alone owns it, so
+    the sweep never continues.
+    """
+    if lo == hi or position == hi:
+        return False
+    return position == lo or in_cw_interval(position, lo, hi)

@@ -16,6 +16,7 @@ granularity, and tests verify that.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,7 +85,10 @@ class NodeDensityHistogram:
         if mass <= 0.0:
             return 0.0
         if mass >= 1.0:
-            return 1.0 - np.finfo(float).eps
+            # The supremum of the key circle: the largest float < 1.0
+            # (``1.0 - eps`` undershot it by one ulp — a key sitting in
+            # the topmost float cell was beyond the "full mass" key).
+            return math.nextafter(1.0, 0.0)
         idx = int(np.searchsorted(self.cumulative, mass, side="left"))
         idx = max(1, min(self.buckets, idx))
         lo = self.cumulative[idx - 1]
@@ -93,7 +97,10 @@ class NodeDensityHistogram:
             frac = 0.0
         else:
             frac = (mass - lo) / (hi - lo)
-        return float((idx - 1 + frac) / self.buckets)
+        # `idx - 1 + frac` can round up to `buckets` when `frac` is one
+        # ulp below 1.0 (hypothesis-found), which would escape [0, 1);
+        # clamp to the circle's supremum like the full-mass branch.
+        return min(float((idx - 1 + frac) / self.buckets), math.nextafter(1.0, 0.0))
 
     def key_at_cw_fraction(self, origin: float, fraction: float) -> float:
         """Key reached after sweeping ``fraction`` of the peer mass

@@ -6,6 +6,19 @@ partitioning node* — a node at position 0.9 partitioning the arc
 (0.9, 0.3] must treat 0.95 as *nearer* than 0.1. All estimators here
 therefore operate in clockwise-distance space relative to an explicit
 origin and convert back to absolute keys.
+
+Ordering is decided with comparisons only (the exact clockwise rank
+``(position < origin, position)`` — no subtraction): float subtraction
+can collapse two samples straddling a border into a tie, or round a
+sample a denormal step behind the origin onto a distance of exactly
+``1.0`` (the boundary bug class), while the comparison rank orders every
+sample totally and exactly at full float resolution. The *returned*
+border deliberately stays the float reconstruction
+``normalize(origin + distance)`` of the selected sample — the historical
+output — because stored experiment artifacts and fixed-seed figures are
+keyed to those exact floats; float distances are weakly monotone in the
+exact rank, so exact ordering only changes which sample wins a float
+tie, never the float result.
 """
 
 from __future__ import annotations
@@ -48,16 +61,28 @@ def cw_sample_quantile(origin: float, positions: np.ndarray, q: float) -> float:
     """Sample ``q``-quantile in clockwise order from ``origin``.
 
     Uses the "lower" (type-1) empirical quantile so the result is always
-    one of the sampled identifiers. ``q`` = 0.5 gives the median used for
-    partition borders; other values support generalized (base-``a``)
-    logarithmic partitionings.
+    one of the sampled identifiers (up to the float reconstruction
+    rounding documented in the module docstring). ``q`` = 0.5 gives the
+    median used for partition borders; other values support generalized
+    (base-``a``) logarithmic partitionings.
+
+    Samples are ranked by their *exact* clockwise order from ``origin``
+    (comparison-based, stable under duplicates), so a pair of samples
+    separated by less than one float rounding step still sorts in true
+    circle order.
     """
     arr = np.asarray(positions, dtype=float)
     if arr.size == 0:
         raise InsufficientSamplesError(needed=1, got=0)
     if not 0.0 < q <= 1.0:
         raise ValueError(f"q must be in (0, 1], got {q}")
-    distances = (arr - origin) % 1.0
-    distances.sort()
+    # Exact clockwise rank from `origin`: positions at/after it first
+    # (ascending), wrapped positions after (ascending). np.lexsort's
+    # last key is primary and the sort is stable.
+    order = np.lexsort((arr, arr < origin))
     index = min(arr.size - 1, max(0, int(np.ceil(q * arr.size)) - 1))
-    return normalize(origin + float(distances[index]))
+    # Float distances are weakly monotone in the exact rank, so the
+    # selected sample's float distance *is* the index-th order statistic
+    # the float-sorting implementation returned — bit-identical output.
+    float_distances = (arr - origin) % 1.0
+    return normalize(origin + float(float_distances[order[index]]))

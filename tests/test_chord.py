@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.chord import ChordOverlay, hash_key, scatter_range
-from repro.chord.hashing import hash_str
+from repro.chord.hashing import hash_key_exact, hash_str, hash_str_exact
+from repro.ring import keyspace
 from repro.degree import ConstantDegrees
 from repro.errors import EmptyPopulationError, UnknownNodeError
 from repro.ring import verify
@@ -203,3 +206,24 @@ class TestExtRangeExperiment:
         # The scatter penalty grows with selectivity.
         ratios = [y for __, y in result.series["cost ratio chord/oscar"]]
         assert ratios[-1] >= ratios[0] * 0.8
+
+
+class TestExactHashAdapters:
+    """hash_*_exact must be definitionally consistent with the float
+    hashes: same placement, fixed-point representation."""
+
+    @given(st.text(max_size=40))
+    def test_hash_str_exact_matches_float_hash(self, value):
+        assert hash_str_exact(value) == keyspace.from_unit(hash_str(value))
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_hash_key_exact_matches_float_hash(self, key):
+        assert hash_key_exact(key) == keyspace.from_unit(hash_key(key))
+
+    @given(st.text(max_size=40))
+    def test_hash_keys_round_trip_losslessly(self, value):
+        # Hash floats are v / 2**53, so their keys are v * 2**11 —
+        # always in the adapters' lossless regime.
+        exact = hash_str_exact(value)
+        assert keyspace.from_unit(keyspace.to_unit(exact)) == exact
+        assert keyspace.to_unit(exact) == hash_str(value)

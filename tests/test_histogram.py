@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -166,3 +168,53 @@ class TestDistortionOnCascade:
         )
         assert cascade_err > 3 * uniform_err
         assert cascade_err > 0.25
+
+
+class TestRangeEndpoints:
+    """Boundary-audit satellite: Mercury's rank→key translation must
+    always land inside [0, 1), endpoints included."""
+
+    def test_quantile_full_mass_is_supremum_of_circle(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.1, 0.5, 0.9]), 8)
+        top = hist.quantile(1.0)
+        assert top == math.nextafter(1.0, 0.0)  # largest valid key, not 1.0 - eps
+        assert 0.0 <= top < 1.0
+
+    def test_quantile_zero_mass_is_origin(self):
+        hist = NodeDensityHistogram.from_samples(np.array([0.1, 0.5, 0.9]), 8)
+        assert hist.quantile(0.0) == 0.0
+
+    @given(
+        mass=st.floats(min_value=0.0, max_value=1.0),
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        buckets=st.integers(min_value=1, max_value=32),
+    )
+    def test_quantile_stays_in_unit_interval(self, mass, samples, buckets):
+        hist = NodeDensityHistogram.from_samples(np.array(samples), buckets)
+        assert 0.0 <= hist.quantile(mass) < 1.0
+
+    @given(
+        origin=st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+        | st.sampled_from([0.0, 5e-324, 1e-300, math.nextafter(1.0, 0.0)]),
+        fraction=st.floats(min_value=0.0, max_value=1.0, exclude_min=True)
+        | st.sampled_from([5e-324, 1.0]),
+        buckets=st.integers(min_value=1, max_value=32),
+    )
+    def test_key_at_cw_fraction_stays_in_unit_interval(self, origin, fraction, buckets):
+        hist = NodeDensityHistogram.from_samples(np.array([0.05, 0.3, 0.31, 0.95]), buckets)
+        key = hist.key_at_cw_fraction(origin, fraction)
+        assert 0.0 <= key < 1.0
+
+    @given(
+        lo=st.floats(min_value=0.0, max_value=1.0),
+        hi=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_is_monotone(self, lo, hi):
+        hist = NodeDensityHistogram.from_samples(np.array([0.2, 0.2, 0.8]), 16)
+        if lo > hi:
+            lo, hi = hi, lo
+        assert hist.quantile(lo) <= hist.quantile(hi)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -149,3 +151,65 @@ class TestCwSampleQuantile:
         d_hi = (hi - origin) % 1.0
         del d
         assert d_lo <= d_hi + 1e-12
+
+
+class TestExactTieAtBorder:
+    """Boundary-audit satellite: samples whose float distances collapse
+    (or round onto the full circle) must still rank in true clockwise
+    order."""
+
+    def test_sample_behind_origin_ranks_last_not_first(self):
+        # Regression (hypothesis-found): with origin below keyspace
+        # resolution, the sample at 0.0 sits a denormal step *behind*
+        # the origin — clockwise distance ~1.0 — and must sort last.
+        # A quantized uint64 ordering collapsed it onto distance 0 and
+        # returned 0.5 as the "median" of a 3-sample set.
+        origin = 6.9078580063116134e-102
+        median = cw_sample_median(origin, np.array([0.0, 0.5, 0.75]))
+        assert median == 0.75
+
+    def test_collapsed_float_distances_order_exactly(self):
+        # 0.0 and 1.4e-45 both measure float distance exactly 0.9 from
+        # origin 0.1 (subtractive rounding) but are distinct points; the
+        # exact comparison rank orders 0.0 first. The returned float is
+        # the same either way (ties reconstruct the same distance),
+        # which is what keeps stored artifacts stable.
+        origin = 0.1
+        for samples in ([0.0, 1.4e-45], [1.4e-45, 0.0]):
+            arr = np.array(samples)
+            assert float(((arr - origin) % 1.0)[0]) == float(((arr - origin) % 1.0)[1])
+            assert cw_sample_median(origin, arr) == cw_sample_median(origin, arr[::-1])
+
+    def test_full_circle_rounding_does_not_escape_the_order(self):
+        # A sample a denormal step counter-clockwise of the origin has
+        # float distance rounding to exactly 1.0; it must rank last, not
+        # shadow the true nearest sample.
+        origin = 0.5
+        behind = math.nextafter(origin, 0.0)
+        q_first = cw_sample_quantile(origin, np.array([behind, 0.6]), q=0.5)
+        assert q_first == 0.6
+
+    @given(
+        origin=st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_quantile_one_is_the_clockwise_farthest(self, origin, samples):
+        arr = np.array(samples)
+        farthest = cw_sample_quantile(origin, arr, q=1.0)
+        # Exact rank: every sample is at or before the selected one.
+        def rank(pos):
+            return (pos < origin, pos)
+        best = max(samples, key=rank)
+        assert rank_key_equal(farthest, origin, best)
+
+
+def rank_key_equal(reconstructed: float, origin: float, winner: float) -> bool:
+    """The reconstruction may differ from the winning sample by one
+    rounding ulp; compare via the winner's float distance instead."""
+    expected = float((np.float64(winner) - origin) % 1.0)
+    got = float((np.float64(reconstructed) - origin) % 1.0)
+    return abs(got - expected) <= 1e-12 or got == expected

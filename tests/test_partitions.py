@@ -186,3 +186,112 @@ class TestDescribe:
     def test_describe_marks_empty_arcs(self):
         table = make_table(0.0, 0.9, 0.5, 0.5)
         assert "<empty>" in table.describe()
+
+
+class TestMetricPredicatePartitionAgreement:
+    """The acceptance property of the keyspace PR: `cw_distance`,
+    `in_cw_interval` and `partition_of` must agree on 10^6 random
+    (origin, key) pairs, denormals and boundary-adjacent values
+    included.
+
+    The contract (for the canonical table with far end 0.9 clockwise of
+    the origin and medians at +0.45/+0.2/+0.1): for any `key != origin`,
+    `partition_of` succeeds **iff** the rounded metric places the key at
+    or inside the far end — `cw_distance(origin, key) <=
+    cw_distance(origin, far)` — and the returned arc brackets the key's
+    metric distance.
+    """
+
+    N = 1_000_000
+    SPOT = 20_000
+
+    @staticmethod
+    def _pairs(n):
+        import math as _math
+
+        rng = make_rng(13)
+        origins = rng.random(n)
+        keys_arr = rng.random(n)
+        # Boundary stripes: denormal keys, keys at/adjacent to the far
+        # end, keys adjacent to the origin, and origins near the wrap.
+        edge = np.array(
+            [0.0, 5e-324, 1.4e-45, 1e-300, 2.0**-64, _math.nextafter(1.0, 0.0)]
+        )
+        m = n // 100
+        keys_arr[:m] = rng.choice(edge, m)
+        far = (origins + 0.9) % 1.0
+        keys_arr[m : 2 * m] = far[m : 2 * m]  # exactly at the far end
+        keys_arr[2 * m : 3 * m] = np.nextafter(far[2 * m : 3 * m], 1.0) % 1.0
+        keys_arr[3 * m : 4 * m] = np.nextafter(origins[3 * m : 4 * m], 0.0)
+        origins[4 * m : 5 * m] = rng.choice(edge, m)
+        keys_arr[keys_arr >= 1.0] = 0.0
+        origins[origins >= 1.0] = 0.0
+        return origins, keys_arr
+
+    def test_one_million_pairs(self):
+        import math as _math
+
+        origins, keys_arr = self._pairs(self.N)
+        far = (origins + 0.9) % 1.0
+
+        # Vectorized mirror of the scalar cw_distance (same % and clamp).
+        def metric(origin, key):
+            d = (key - origin) % 1.0
+            clamp = _math.nextafter(1.0, 0.0)
+            return np.where(d >= 1.0, clamp, d)
+
+        d_key = metric(origins, keys_arr)
+        d_far = metric(origins, far)
+        metric_inside = d_key <= d_far
+
+        # Vectorized mirror of the comparison predicate for (origin, far].
+        linear = (origins < keys_arr) & (keys_arr <= far)
+        wrapped = (keys_arr > origins) | (keys_arr <= far)
+        predicate_inside = np.where(
+            origins == far, True, np.where(origins < far, linear, wrapped)
+        )
+
+        # One-sided agreement everywhere: the exact predicate never
+        # claims "inside" when the metric says "outside".
+        violations = predicate_inside & ~metric_inside & (keys_arr != origins)
+        assert not violations.any(), np.argwhere(violations)[:5]
+
+        # Scalar partition_of must follow the metric verdict on every
+        # metric/predicate *disagreement* (the historical bug surface)...
+        disagree = np.nonzero(metric_inside & ~predicate_inside & (keys_arr != origins))[0]
+        # ... and on a deterministic spot sample of ordinary pairs.
+        rng = make_rng(7)
+        spot = np.concatenate([disagree[:5000], rng.integers(0, self.N, self.SPOT)])
+        checked_disagreements = 0
+        for i in spot:
+            origin, key = float(origins[i]), float(keys_arr[i])
+            medians = tuple((origin + d) % 1.0 for d in (0.45, 0.2, 0.1))
+            table = PartitionTable(origin=origin, far_end=float(far[i]), medians=medians)
+            if key == origin or not metric_inside[i]:
+                with pytest.raises(PartitionError):
+                    table.partition_of(key)
+                continue
+            index = table.partition_of(key)
+            bounds = table.arc(index)
+            assert bounds is not None
+            d = cw_distance(origin, key)
+            d_start = cw_distance(origin, bounds[0]) if bounds[0] != origin else 0.0
+            d_end = cw_distance(origin, bounds[1])
+            assert d_start <= d <= d_end
+            if not predicate_inside[i]:
+                checked_disagreements += 1
+                assert index == 1  # boundary keys belong to the outermost arc
+        # The stripes must actually exercise the disagreement surface.
+        assert disagree.size == 0 or checked_disagreements > 0
+
+    def test_error_message_is_diagnosable(self):
+        table = PartitionTable(origin=0.0, far_end=0.9, medians=(0.5,))
+        with pytest.raises(PartitionError) as excinfo:
+            table.partition_of(0.95)
+        message = str(excinfo.value)
+        # The next boundary bug must be debuggable from the test log:
+        # computed distance, far-end distance, and the full table dump.
+        assert "0.95" in message
+        assert "far-end distance" in message
+        assert "PartitionTable(origin=" in message
+        assert "A_1" in message and "A_2" in message

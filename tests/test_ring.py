@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
-from repro.ring import Ring
+from repro.ring import Ring, keyspace
 
 
 def make_ring(positions: list[float]) -> Ring:
@@ -273,3 +273,42 @@ def test_property_range_partition_of_circle(positions, data):
     first = ring.cw_range_size(a, b)
     second = ring.cw_range_size(b, a)
     assert first + second == len(positions)
+
+
+class TestExactKeys:
+    """The ring's uint64 key twin of every float position."""
+
+    def test_key_of_matches_adapter(self, five_ring):
+        ring, ids = five_ring
+        for node_id in ids:
+            assert ring.key_of(node_id) == keyspace.from_unit(ring.position(node_id))
+
+    def test_keys_array_aligned_and_sorted(self, five_ring):
+        ring, __ = five_ring
+        keys_arr = ring.keys_array()
+        assert keys_arr.dtype == np.uint64
+        assert np.array_equal(keys_arr, keyspace.from_units(ring.positions_array()))
+        assert np.all(keys_arr[:-1] <= keys_arr[1:])
+
+    def test_keys_array_live_view_tracks_deaths(self, five_ring):
+        ring, ids = five_ring
+        ring.mark_dead(ids[2])
+        live = ring.keys_array(live_only=True)
+        assert live.size == len(ids) - 1
+        assert keyspace.from_unit(ring.position(ids[2])) not in live.tolist()
+
+    def test_sub_resolution_positions_share_a_cell(self):
+        # Distinct floats closer than 2**-64 are allowed and coalesce
+        # onto one key cell (weakly increasing keys).
+        ring = Ring()
+        ring.insert(0, 0.0)
+        ring.insert(1, 1e-300)
+        ring.insert(2, 0.5)
+        assert ring.key_of(0) == ring.key_of(1) == 0
+        keys_arr = ring.keys_array()
+        assert keys_arr.tolist() == [0, 0, keyspace.from_unit(0.5)]
+
+    def test_unknown_node_rejected(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(UnknownNodeError):
+            ring.key_of(999)
