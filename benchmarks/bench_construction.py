@@ -1,0 +1,90 @@
+"""Batched construction engine throughput: grow-from-empty and full rewire.
+
+Not a paper artifact — this times the *build* hot path ISSUE 4
+vectorized: bulk bootstrap through ``grow_batch`` and full maintenance
+rounds through ``rewire_batch``, at three network sizes, plus the
+``scale-build`` spec through the shared Runner (the same execution path
+``scripts/bench_ci.py`` snapshots into ``BENCH_build.json``). The
+assertions alongside the timings are the engine's headline claims:
+batched rewiring beats the scalar path and the built overlay routes
+every query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.degree import ConstantDegrees
+from repro.engine import BatchQueryEngine
+from repro.experiments import make_overlay, scaled_sizes
+from repro.rng import split
+from repro.workloads import GnutellaLikeDistribution
+
+from conftest import SCALE, SEED, attach_result, print_result, run_spec
+
+#: Paper-scale build sizes, miniaturized by the shared REPRO_BENCH_SCALE.
+SIZES = scaled_sizes((2_000, 6_000, 10_000), SCALE)
+CAP = 12
+
+
+def build(size: int):
+    overlay = make_overlay("oscar", seed=SEED)
+    overlay.grow_batch(size, GnutellaLikeDistribution(), ConstantDegrees(CAP))
+    return overlay
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def built_overlay(request):
+    return request.param, build(request.param)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_grow_batch_from_empty(benchmark, size):
+    overlay = benchmark.pedantic(lambda: build(size), rounds=1, iterations=1)
+    benchmark.extra_info["peers"] = size
+    assert overlay.size == size
+    for node in overlay.live_nodes():
+        assert len(node.out_links) <= node.rho_max_out
+        assert node.in_degree <= node.rho_max_in
+
+
+def test_full_rewire_batched(benchmark, built_overlay):
+    size, overlay = built_overlay
+    stats = benchmark(lambda: overlay.rewire_batch(split(SEED, "bench-rw")))
+    benchmark.extra_info["peers"] = size
+    benchmark.extra_info["links_placed"] = stats.links_placed
+    assert stats.links_placed > 0
+
+
+def test_full_rewire_scalar_reference(benchmark, built_overlay):
+    size, overlay = built_overlay
+    stats = benchmark.pedantic(
+        lambda: overlay.rewire(split(SEED, "bench-rw")), rounds=1, iterations=1
+    )
+    benchmark.extra_info["peers"] = size
+    benchmark.extra_info["links_placed"] = stats.links_placed
+
+
+def test_scale_build_spec(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_spec(
+            "scale-build",
+            sizes=(2_000, 6_000, 10_000),
+            n_queries=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, result)
+    print_result(result)
+    # Batched rewiring must beat scalar even at miniature scale, and the
+    # built overlay must stay greedily navigable.
+    assert result.scalars["rewire_speedup"] > 1.0
+    assert result.scalars["final_peers_per_second"] > 0
+    assert result.scalars["final_mean_cost"] < 20
+
+
+def test_post_build_routing_matches_query_engine(built_overlay):
+    size, overlay = built_overlay
+    stats = BatchQueryEngine(overlay).measure(split(SEED, "bench-q"), n_queries=200)
+    assert stats.success_rate == 1.0

@@ -8,7 +8,7 @@ space.
 
 from __future__ import annotations
 
-from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_ext_keydist_flat_across_skew(benchmark):

@@ -9,7 +9,7 @@ faithfully (its histogram works when its homogeneity assumption holds).
 
 from __future__ import annotations
 
-from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_ext_mercury_comparison(benchmark):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import SCALE, attach_result, print_result, run_spec
+from conftest import attach_result, print_result, run_spec
 
 
 def test_fig1a_degree_pdf(benchmark):

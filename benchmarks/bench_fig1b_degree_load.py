@@ -12,7 +12,7 @@ Oscar > Mercury gap.
 
 from __future__ import annotations
 
-from conftest import SCALE, attach_result, print_result, run_spec
+from conftest import attach_result, print_result, run_spec
 
 
 def test_fig1b_relative_degree_load(benchmark):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.smallworld import worst_case_greedy_cost
 
-from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_fig1c_search_cost_vs_size(benchmark):

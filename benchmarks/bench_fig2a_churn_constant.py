@@ -9,7 +9,7 @@ and the search cost is fairly low given the high rate of failed peers"
 
 from __future__ import annotations
 
-from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_fig2a_churn_constant_caps(benchmark):

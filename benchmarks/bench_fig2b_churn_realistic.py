@@ -7,7 +7,7 @@ not change the churn behaviour: same ordering, same navigability.
 
 from __future__ import annotations
 
-from conftest import QUERIES, SCALE, attach_result, print_result, run_spec
+from conftest import QUERIES, attach_result, print_result, run_spec
 
 
 def test_fig2b_churn_realistic_caps(benchmark):

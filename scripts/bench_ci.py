@@ -1,0 +1,207 @@
+"""Benchmark-trajectory recorder: emit BENCH_*.json, gate on regressions.
+
+Runs the two headline benchmarks through the same
+:class:`repro.experiments.Runner` the CLI uses and snapshots them as
+schema-versioned JSON documents:
+
+* ``BENCH_fig1c.json`` — the routing hot path: fig1c wall time and final
+  search costs at a CI-sized scale;
+* ``BENCH_build.json`` — the construction hot path: ``scale-build`` at
+  paper scale (10k and ~32k peers), recording build/rewire wall time,
+  construction throughput in peers/second and the batched-vs-scalar
+  rewire speedup at 10k.
+
+CI uploads both files as artifacts on every run — the durable
+performance trajectory — and this script *fails* the job when
+
+* a benchmark's wall time regresses more than ``--max-regression``
+  (default 2×) over the committed baseline in ``benchmarks/baselines/``,
+  or
+* the batched rewire speedup at 10k peers falls below ``--min-speedup``
+  (default 5×, the ISSUE 4 acceptance floor; a ratio of two timings on
+  the same host, so it is robust to slow runners).
+
+Baselines are refreshed deliberately (never implicitly) with::
+
+    PYTHONPATH=src python scripts/bench_ci.py --write-baseline
+
+which overwrites the committed files with the current host's numbers.
+Baseline wall times are recorded on a developer container; the 2×
+headroom absorbs runner variance while still catching order-of-magnitude
+regressions (e.g. a silent fall-back from the vectorized kernels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import Runner  # noqa: E402
+
+SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+
+def _document(benchmark: str, params: dict, metrics: dict, series: dict) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "generated_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "params": params,
+        "metrics": metrics,
+        "series": series,
+    }
+
+
+def bench_fig1c(scale: float, seed: int) -> dict:
+    """Route-phase benchmark: fig1c through the Runner, fresh simulation."""
+    runner = Runner(store=None, defaults={"scale": scale, "seed": seed})
+    started = time.perf_counter()
+    record = runner.run("fig1c")
+    wall = time.perf_counter() - started
+    result = record.result
+    metrics = {"wall_seconds": round(wall, 3)}
+    for name, value in sorted(result.scalars.items()):
+        metrics[name] = round(float(value), 4)
+    return _document(
+        "fig1c",
+        {"scale": scale, "seed": seed},
+        metrics,
+        {name: points for name, points in result.series.items()},
+    )
+
+
+def bench_build(seed: int, sizes: tuple[int, ...]) -> dict:
+    """Build-phase benchmark: scale-build at paper scale."""
+    runner = Runner(store=None, defaults={"scale": 1.0, "seed": seed})
+    started = time.perf_counter()
+    record = runner.run("scale-build", {"sizes": sizes, "n_queries": 500})
+    wall = time.perf_counter() - started
+    result = record.result
+    final_size = result.series["build seconds"][-1][0]
+    metrics = {
+        "wall_seconds": round(wall, 3),
+        "peers_per_second": round(result.scalars["final_peers_per_second"], 1),
+        "rewire_speedup": round(result.scalars["rewire_speedup"], 2),
+        "mean_cost": round(result.scalars["final_mean_cost"], 4),
+        "build_seconds": round(result.scalars["final_build_seconds"], 3),
+        "rewire_seconds": round(result.scalars["final_rewire_seconds"], 3),
+        "largest_size": int(final_size),
+    }
+    return _document(
+        "build",
+        {"seed": seed, "sizes": list(sizes), "scale": 1.0},
+        metrics,
+        {name: points for name, points in result.series.items()},
+    )
+
+
+def compare(document: dict, baseline_path: Path, max_regression: float) -> list[str]:
+    """Regression findings of ``document`` vs its committed baseline."""
+    if not baseline_path.exists():
+        return [f"missing baseline {baseline_path} (run with --write-baseline)"]
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema_version") != SCHEMA_VERSION:
+        return [
+            f"{baseline_path.name}: schema_version "
+            f"{baseline.get('schema_version')} != {SCHEMA_VERSION}"
+        ]
+    problems = []
+    measured = float(document["metrics"]["wall_seconds"])
+    reference = float(baseline["metrics"]["wall_seconds"])
+    if measured > reference * max_regression:
+        problems.append(
+            f"{document['benchmark']}: wall {measured:.2f}s exceeds "
+            f"{max_regression:.1f}x baseline {reference:.2f}s"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO_ROOT, help="where to write BENCH_*.json"
+    )
+    parser.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR)
+    parser.add_argument("--scale", type=float, default=0.05, help="fig1c scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--sizes",
+        type=lambda text: tuple(int(part) for part in text.split(",")),
+        default=(10_000, 31_600),
+        help="comma-separated build sizes (default: 10000,31600)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when wall time exceeds this multiple of the baseline",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fail when the batched rewire speedup at the smallest build "
+        "size drops below this (0 disables)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the measured numbers as the new committed baselines",
+    )
+    args = parser.parse_args(argv)
+
+    documents = {
+        "BENCH_fig1c.json": bench_fig1c(args.scale, args.seed),
+        "BENCH_build.json": bench_build(args.seed, args.sizes),
+    }
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    for name, document in documents.items():
+        path = args.out_dir / name
+        path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        print(f"[bench-ci] wrote {path}: {json.dumps(document['metrics'])}")
+
+    if args.write_baseline:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name, document in documents.items():
+            (args.baseline_dir / name).write_text(
+                json.dumps(document, indent=1, sort_keys=True) + "\n"
+            )
+            print(f"[bench-ci] baseline refreshed: {args.baseline_dir / name}")
+        return 0
+
+    problems: list[str] = []
+    for name, document in documents.items():
+        problems.extend(
+            compare(document, args.baseline_dir / name, args.max_regression)
+        )
+    speedup = float(documents["BENCH_build.json"]["metrics"]["rewire_speedup"])
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        problems.append(
+            f"build: rewire speedup x{speedup:.1f} below the x{args.min_speedup:.1f} floor"
+        )
+    if problems:
+        for problem in problems:
+            print(f"[bench-ci] FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("[bench-ci] OK: within budget "
+          f"(<= {args.max_regression:.1f}x baselines, speedup x{speedup:.1f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

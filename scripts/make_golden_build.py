@@ -1,0 +1,84 @@
+"""Capture the golden batched-build fixture (tests/data/golden_build.json).
+
+Pins the *complete* output of one fixed-seed batched construction run —
+per-peer partition medians, out-links, in-degrees and the
+LinkAcquisitionStats — so any later refactor of the construction engine
+(kernel reordering, dtype changes, draw-layout edits) that shifts a
+single link or border fails the golden test instead of silently
+re-rolling the network. Floats are serialized by ``repr`` round-trip
+(exact), so the comparison is bit-level.
+
+The fixture build: scalar ``grow`` to 150 peers (the PR-3-era join path,
+stable across PRs), then one ``rewire_batch`` epoch through the
+vectorized engine. Regenerate ONLY when the engine's semantics change on
+purpose::
+
+    PYTHONPATH=src python scripts/make_golden_build.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import OscarConfig, OscarOverlay  # noqa: E402
+from repro.degree import ConstantDegrees  # noqa: E402
+from repro.engine.construct import BatchConstructionEngine  # noqa: E402
+from repro.rng import split  # noqa: E402
+from repro.workloads import GnutellaLikeDistribution  # noqa: E402
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "golden_build.json"
+
+N_PEERS = 150
+SEED = 2024
+CAP = 6
+REWIRE_SEED = 77
+
+
+def build() -> OscarOverlay:
+    overlay = OscarOverlay(OscarConfig(), seed=SEED)
+    overlay.grow(N_PEERS, GnutellaLikeDistribution(), ConstantDegrees(CAP))
+    return overlay
+
+
+def main() -> int:
+    overlay = build()
+    stats = BatchConstructionEngine(overlay, vectorized=True).rewire(
+        split(REWIRE_SEED, "golden-build")
+    )
+    nodes = []
+    for node in overlay.live_nodes():
+        table = node.partitions
+        nodes.append(
+            {
+                "id": node.node_id,
+                "position": node.position,
+                "in_degree": node.in_degree,
+                "out_links": list(node.out_links),
+                "origin": table.origin,
+                "far_end": table.far_end,
+                "medians": list(table.medians),
+            }
+        )
+    payload = {
+        "schema_version": 1,
+        "builder": {
+            "n_peers": N_PEERS,
+            "seed": SEED,
+            "cap": CAP,
+            "rewire_seed": REWIRE_SEED,
+            "keys": "gnutella",
+        },
+        "stats": stats.as_dict(),
+        "nodes": nodes,
+    }
+    OUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {OUT} ({len(nodes)} peers, {stats!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

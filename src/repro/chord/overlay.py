@@ -142,6 +142,28 @@ class ChordOverlay:
             placed += len(self.fingers[node_id])
         return placed
 
+    def grow_batch(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: object = None,
+        paired_caps: bool = True,
+    ) -> None:
+        """Scalar fallback of the batched-construction surface.
+
+        Chord's fingers are protocol-dictated (no sampling, no capacity
+        negotiation), so there is nothing to vectorize: per-join
+        construction already costs ``O(log N)`` deterministic lookups.
+        Delegates to :meth:`grow` — here the fallback *is* the batched
+        semantics, draw-for-draw.
+        """
+        return self.grow(target_size, keys, degrees, paired_caps=paired_caps)
+
+    def rewire_batch(self, rng: np.random.Generator | None = None) -> int:
+        """Scalar fallback: finger rebuilds are deterministic, so the
+        batched surface delegates to :meth:`rewire` unchanged."""
+        return self.rewire(rng)
+
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn."""
         self._links_epoch += 1

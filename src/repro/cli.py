@@ -34,7 +34,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from .errors import ConfigError
 from .experiments import (
@@ -188,12 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
-    """The ``bench`` subcommand schema: batched routing throughput."""
+    """The ``bench`` subcommand schema: batched routing/build throughput."""
     parser = argparse.ArgumentParser(
         prog="oscar-repro bench",
-        description="Benchmark batched query routing on one substrate: grow "
-        "an overlay, rewire it, then time BatchQueryEngine batches (and the "
-        "scalar route() loop for comparison).",
+        description="Benchmark one substrate. --phase route grows an overlay "
+        "and times BatchQueryEngine batches against the scalar route() loop; "
+        "--phase build times bulk construction (grow_batch) and batched vs "
+        "scalar rewiring rounds.",
     )
     parser.add_argument(
         "--substrate",
@@ -202,10 +203,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="which overlay to drive through the batch engine",
     )
     parser.add_argument(
+        "--phase",
+        choices=("route", "build"),
+        default="route",
+        help="what to measure: query routing (default) or construction",
+    )
+    parser.add_argument(
         "--batch",
         type=int,
         default=1000,
-        help="queries per measured batch",
+        help="queries per measured batch (0 = one query per live peer, the "
+        "paper's N)",
     )
     parser.add_argument(
         "--nodes", type=int, default=1000, help="live peers to grow before measuring"
@@ -218,14 +226,46 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--skip-scalar",
         action="store_true",
-        help="skip the scalar per-route comparison loop (it dominates runtime "
-        "for large batches)",
+        help="skip the scalar comparison loop (it dominates runtime at scale)",
     )
     return parser
 
 
+def _validate_bench(args: argparse.Namespace) -> None:
+    """Validate bench flags at the CLI boundary.
+
+    Raises :class:`~repro.errors.ConfigError` (caught by
+    :func:`run_bench` into an exit-2 message) instead of letting a bad
+    value surface as an arithmetic error deep inside the engine.
+    ``--batch 0`` is *valid* and means "one query per live peer" — the
+    same "0 = default budget" convention PR 2 pinned for ``n_queries``.
+    """
+    if args.batch < 0:
+        raise ConfigError(
+            f"--batch must be >= 0 (0 = one query per live peer), got {args.batch}"
+        )
+    if args.nodes < 2:
+        raise ConfigError(f"--nodes must be >= 2, got {args.nodes}")
+    if args.rounds < 1:
+        raise ConfigError(f"--rounds must be >= 1, got {args.rounds}")
+    if args.cap < 1:
+        raise ConfigError(f"--cap must be >= 1, got {args.cap}")
+
+
 def run_bench(args: argparse.Namespace) -> int:
     """Execute the ``bench`` subcommand; returns a process exit code."""
+    try:
+        _validate_bench(args)
+    except ConfigError as error:
+        print(f"bench: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.phase == "build":
+        return _run_bench_build(args)
+    return _run_bench_route(args)
+
+
+def _run_bench_route(args: argparse.Namespace) -> int:
+    """The routing-throughput phase (the original ``bench`` behaviour)."""
     # Imported here so `--help` stays instant.
     from .degree import ConstantDegrees
     from .engine import BatchQueryEngine
@@ -233,16 +273,10 @@ def run_bench(args: argparse.Namespace) -> int:
     from .rng import split
     from .workloads import GnutellaLikeDistribution
 
-    if args.batch < 1 or args.nodes < 2 or args.rounds < 1:
-        print(
-            "bench: --nodes must be >= 2; --batch and --rounds must be >= 1",
-            file=sys.stderr,
-        )
-        return 2
-
+    batch = args.batch if args.batch > 0 else args.nodes
     print(
-        f"[bench] substrate={args.substrate} nodes={args.nodes} "
-        f"batch={args.batch} rounds={args.rounds} seed={args.seed}"
+        f"[bench] phase=route substrate={args.substrate} nodes={args.nodes} "
+        f"batch={batch} rounds={args.rounds} seed={args.seed}"
     )
     overlay = make_overlay(args.substrate, seed=args.seed)
     started = time.perf_counter()
@@ -256,7 +290,7 @@ def run_bench(args: argparse.Namespace) -> int:
     for round_no in range(args.rounds):
         rng = split(args.seed, "bench-queries", round_no)
         t0 = time.perf_counter()
-        round_stats = engine.measure(rng, n_queries=args.batch)
+        round_stats = engine.measure(rng, n_queries=batch)
         elapsed = time.perf_counter() - t0
         batched_best = min(batched_best, elapsed)
         if round_no == 0:
@@ -264,7 +298,7 @@ def run_bench(args: argparse.Namespace) -> int:
         label = "cold" if round_no == 0 else "warm"
         print(
             f"[bench] batch round {round_no} ({label}): {elapsed * 1e3:.1f} ms "
-            f"({args.batch / max(elapsed, 1e-9):,.0f} routes/s)"
+            f"({batch / max(elapsed, 1e-9):,.0f} routes/s)"
         )
     assert stats is not None
     print(
@@ -278,19 +312,74 @@ def run_bench(args: argparse.Namespace) -> int:
         rng = split(args.seed, "bench-queries", 0)
         t0 = time.perf_counter()
         reference = measure_search_cost(
-            overlay, rng, n_queries=args.batch, engine=_ScalarOnlyEngine(overlay)
+            overlay, rng, n_queries=batch, engine=_ScalarOnlyEngine(overlay)
         )
         elapsed = time.perf_counter() - t0
         agree = reference == stats
         print(
             f"[bench] scalar loop:        {elapsed * 1e3:.1f} ms "
-            f"({args.batch / max(elapsed, 1e-9):,.0f} routes/s) "
+            f"({batch / max(elapsed, 1e-9):,.0f} routes/s) "
             f"speedup x{elapsed / max(batched_best, 1e-9):.1f} "
             f"stats_match={agree}"
         )
         if not agree:
             print("[bench] ERROR: batched statistics diverge from scalar routing", file=sys.stderr)
             return 1
+    return 0
+
+
+def _run_bench_build(args: argparse.Namespace) -> int:
+    """The construction phase: bulk build + batched vs scalar rewiring."""
+    from .degree import ConstantDegrees
+    from .engine import BatchQueryEngine
+    from .experiments import make_overlay
+    from .rng import split
+    from .workloads import GnutellaLikeDistribution
+
+    print(
+        f"[bench] phase=build substrate={args.substrate} nodes={args.nodes} "
+        f"rounds={args.rounds} cap={args.cap} seed={args.seed}"
+    )
+    overlay = make_overlay(args.substrate, seed=args.seed)
+    started = time.perf_counter()
+    overlay.grow_batch(args.nodes, GnutellaLikeDistribution(), ConstantDegrees(args.cap))
+    build_elapsed = time.perf_counter() - started
+    print(
+        f"[bench] grow_batch: {build_elapsed:.2f}s "
+        f"({args.nodes / max(build_elapsed, 1e-9):,.0f} peers/s)"
+    )
+
+    batched_best = float("inf")
+    for round_no in range(args.rounds):
+        t0 = time.perf_counter()
+        overlay.rewire_batch(split(args.seed, "bench-build-batched", round_no))
+        elapsed = time.perf_counter() - t0
+        batched_best = min(batched_best, elapsed)
+        print(
+            f"[bench] rewire_batch round {round_no}: {elapsed * 1e3:.1f} ms "
+            f"({args.nodes / max(elapsed, 1e-9):,.0f} peers/s)"
+        )
+
+    if not args.skip_scalar:
+        scalar_best = float("inf")
+        for round_no in range(args.rounds):
+            t0 = time.perf_counter()
+            overlay.rewire(split(args.seed, "bench-build-scalar", round_no))
+            elapsed = time.perf_counter() - t0
+            scalar_best = min(scalar_best, elapsed)
+        print(
+            f"[bench] scalar rewire best: {scalar_best * 1e3:.1f} ms "
+            f"speedup x{scalar_best / max(batched_best, 1e-9):.1f}"
+        )
+
+    batch = args.batch if args.batch > 0 else args.nodes
+    stats = BatchQueryEngine(overlay).measure(
+        split(args.seed, "bench-build-queries"), n_queries=batch
+    )
+    print(
+        f"[bench] sanity routing: mean_cost={stats.mean_cost:.3f} "
+        f"success_rate={stats.success_rate:.3f}"
+    )
     return 0
 
 

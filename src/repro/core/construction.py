@@ -43,9 +43,23 @@ __all__ = ["acquire_links", "rewire_all", "LinkAcquisitionStats"]
 
 
 class LinkAcquisitionStats:
-    """Counters describing one acquisition run (diagnostics/ablations)."""
+    """Counters describing one acquisition run (diagnostics/ablations).
 
-    __slots__ = ("links_placed", "slots_given_up", "draws", "refusals", "empty_partition_draws")
+    ``conflicts`` counts requests that were acknowledged but lost the
+    commit race for a candidate's last free slot within one acquisition
+    round — only the round-based batched engine
+    (:class:`repro.engine.construct.BatchConstructionEngine`) can lose
+    such races; the one-peer-at-a-time scalar path always leaves it 0.
+    """
+
+    __slots__ = (
+        "links_placed",
+        "slots_given_up",
+        "draws",
+        "refusals",
+        "empty_partition_draws",
+        "conflicts",
+    )
 
     def __init__(self) -> None:
         self.links_placed = 0
@@ -53,6 +67,7 @@ class LinkAcquisitionStats:
         self.draws = 0
         self.refusals = 0
         self.empty_partition_draws = 0
+        self.conflicts = 0
 
     def merge(self, other: "LinkAcquisitionStats") -> None:
         """Accumulate another run's counters into this one."""
@@ -61,11 +76,22 @@ class LinkAcquisitionStats:
         self.draws += other.draws
         self.refusals += other.refusals
         self.empty_partition_draws += other.empty_partition_draws
+        self.conflicts += other.conflicts
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stable key order) for artifacts and tests."""
+        return {name: int(getattr(self, name)) for name in self.__slots__}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkAcquisitionStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
 
     def __repr__(self) -> str:
         return (
             f"LinkAcquisitionStats(placed={self.links_placed}, given_up={self.slots_given_up}, "
-            f"draws={self.draws}, refusals={self.refusals}, empty={self.empty_partition_draws})"
+            f"draws={self.draws}, refusals={self.refusals}, empty={self.empty_partition_draws}, "
+            f"conflicts={self.conflicts})"
         )
 
 

@@ -34,9 +34,29 @@ from ..sampling import RestrictedWalker, cw_sample_median, sample_arc_uniform
 from ..types import NodeId
 from .partitions import PartitionTable
 
-__all__ = ["oracle_partitions", "sampled_partitions", "estimate_partitions"]
+__all__ = [
+    "oracle_partitions",
+    "sampled_partitions",
+    "estimate_partitions",
+    "border_is_terminal",
+]
 
 NeighborFn = Callable[[NodeId], Sequence[NodeId]]
+
+
+def border_is_terminal(border: float, origin: float, previous_end: float) -> bool:
+    """Whether an estimated ``border`` ends the recursive-median descent.
+
+    The border must land strictly inside ``(origin, previous_end)`` — at
+    the arc end the next arc would be degenerate, so estimation stops.
+    Decided with the same comparison-exact interval predicate
+    :class:`~repro.core.partitions.PartitionTable` validates with, so an
+    estimator can never hand the table a border the table would reject.
+    Shared by the scalar estimator and the batched construction engine
+    (:mod:`repro.engine.construct`), whose vectorized twin must agree
+    with this predicate bit-for-bit.
+    """
+    return border == previous_end or not in_cw_interval(border, origin, previous_end)
 
 
 def oracle_partitions(ring: Ring, node_id: NodeId, k: int) -> PartitionTable:
@@ -104,15 +124,11 @@ def sampled_partitions(
         if positions.size == 0:
             break
         border = cw_sample_median(origin, positions)
-        # Clamp: the border must land strictly inside (origin,
-        # previous_end) — at the arc end the next arc would be
-        # degenerate, so stop. Decided with the same comparison-exact
-        # interval predicate :class:`PartitionTable` validates with, so
-        # the estimator can never hand the table a border the table
-        # would reject (a border a denormal step from the arc end used
-        # to round into exactly-at-the-end under the subtractive
-        # metric).
-        if border == previous_end or not in_cw_interval(border, origin, previous_end):
+        # Clamp: stop at a border that is not strictly inside the arc
+        # (see :func:`border_is_terminal` — a border a denormal step
+        # from the arc end used to round into exactly-at-the-end under
+        # the subtractive metric).
+        if border_is_terminal(border, origin, previous_end):
             break
         medians.append(border)
         previous_end = border

@@ -131,6 +131,31 @@ class OscarOverlay:
                 continue
             joined += 1
 
+    def grow_batch(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> LinkAcquisitionStats:
+        """Grow to ``target_size`` live peers in one vectorized bulk step.
+
+        The batched counterpart of :meth:`grow`: newcomers are spliced
+        into the ring with one sorted merge, then estimate partitions
+        and acquire links as a single lock-step cohort through
+        :class:`~repro.engine.construct.BatchConstructionEngine`.
+        Existing peers keep their links (the same incremental contract
+        as ``grow``); the two paths are statistically equivalent but not
+        draw-for-draw aligned, so they build different (equally valid)
+        overlays from the same seed. Returns the cohort's
+        :class:`~repro.core.construction.LinkAcquisitionStats`.
+        """
+        from ..engine.construct import BatchConstructionEngine  # lazy: import cycle
+
+        return BatchConstructionEngine(self).grow(
+            target_size, keys, degrees, paired_caps=paired_caps
+        )
+
     def leave(self, node_id: NodeId, repair: bool = True) -> None:
         """Remove a live peer from the population (graceful departure).
 
@@ -189,6 +214,24 @@ class OscarOverlay:
         :func:`repro.core.construction.rewire_all`)."""
         self._links_epoch += 1
         return rewire_all(self, rng if rng is not None else self._rewire_rng)
+
+    def rewire_batch(self, rng: np.random.Generator | None = None) -> LinkAcquisitionStats:
+        """One global rewiring round, vectorized.
+
+        Same epoch semantics as :meth:`rewire` (teardown, re-estimation
+        against the current population, re-acquisition under a random
+        peer priority) executed by the
+        :class:`~repro.engine.construct.BatchConstructionEngine` in
+        lock-step numpy rounds — ≥5× faster at 10k peers. Batched and
+        scalar rewiring consume the RNG differently, so the resulting
+        overlays differ per-link while obeying the identical invariants.
+        """
+        from ..engine.construct import BatchConstructionEngine  # lazy: import cycle
+
+        self._links_epoch += 1
+        return BatchConstructionEngine(self).rewire(
+            rng if rng is not None else self._rewire_rng
+        )
 
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn; returns pointers fixed."""

@@ -69,10 +69,32 @@ class Substrate(Protocol):
         """Grow to ``target_size`` live peers by sampled joins."""
         ...
 
+    def grow_batch(
+        self,
+        target_size: int,
+        keys: object,
+        degrees: object,
+        paired_caps: bool = True,
+    ) -> object:
+        """Grow to ``target_size`` live peers in one bulk construction
+        step — vectorized where the substrate supports it (Oscar's
+        :class:`~repro.engine.construct.BatchConstructionEngine`);
+        substrates whose construction is already cheap (Chord's
+        deterministic fingers, Mercury's histogram wiring) fall back to
+        scalar :meth:`grow`. Statistically equivalent to ``grow`` but
+        not draw-for-draw aligned with it."""
+        ...
+
     # -- maintenance ---------------------------------------------------
 
     def rewire(self, rng: np.random.Generator | None = None) -> object:
         """One global long-link (or finger) rebuild round."""
+        ...
+
+    def rewire_batch(self, rng: np.random.Generator | None = None) -> object:
+        """One global rebuild round through the batched construction
+        path, with scalar :meth:`rewire` as the fallback semantics for
+        substrates without a vectorized builder."""
         ...
 
     def repair_ring(self) -> int:

@@ -11,21 +11,28 @@ Two engines live here:
 * the batched query engine (:mod:`repro.engine.batch`) —
   :class:`BatchQueryEngine` evaluates thousands of routes per call over
   numpy arrays against any :class:`~repro.core.substrate.Substrate`,
-  with a topology-snapshot cache invalidated on membership change.
+  with a topology-snapshot cache invalidated on membership change;
+* the batched construction engine (:mod:`repro.engine.construct`) —
+  :class:`BatchConstructionEngine` runs partition estimation and link
+  acquisition for all peers in lock-step numpy rounds, with a
+  sequential reference path pinned bit-identical by tests.
 """
 
 from .batch import BatchQueryEngine, BatchRouteResult, TopologySnapshot
+from .construct import BatchConstructionEngine, LiveView
 from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import Resource
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchConstructionEngine",
     "BatchQueryEngine",
     "BatchRouteResult",
     "Environment",
     "Event",
     "Interrupt",
+    "LiveView",
     "Process",
     "Resource",
     "Timeout",

@@ -1,0 +1,825 @@
+"""Batched overlay construction and maintenance — the build hot path.
+
+Routing went array-oriented in PR 1 and exact in PR 3, but *construction*
+stayed scalar: ``rewire_all`` re-estimates every peer's partition table
+through per-node Python loops and places long links one slot at a time.
+At the ROADMAP's scales that is the binding constraint — a 10k-peer full
+rewire spends seconds in the interpreter, and a 100k-peer bootstrap is
+minutes of list splicing. :class:`BatchConstructionEngine` re-states the
+whole construction procedure as lock-step numpy rounds:
+
+* **partition estimation** runs for all peers simultaneously — one
+  ``(peers, samples)`` draw per recursion level, medians selected by
+  exact ``uint64`` clockwise rank on the fixed-point keyspace, level
+  termination decided by the same comparison-exact border clamp the
+  scalar estimator uses (:func:`repro.core.estimators.border_is_terminal`).
+  ``WALK`` mode advances every peer's restricted Metropolis–Hastings
+  walker in lock-step over one shared padded neighbor matrix
+  (:class:`repro.sampling.BatchRestrictedWalker`);
+* **link acquisition** proceeds in vectorized rounds: every unfinished
+  peer draws a partition and candidate peers, refusals and the
+  power-of-two in-degree tiebreak are evaluated against a round-start
+  snapshot, and acknowledgments are committed with ``np.argsort``-based
+  conflict resolution — requests are ordered by (candidate, priority)
+  and the first ``spare`` requesters per candidate win, which is
+  *bit-identical* to replaying the round one request at a time in
+  priority order.
+
+Determinism contract
+--------------------
+
+The engine defines round-based semantics of its own (it is **not**
+draw-for-draw aligned with the one-peer-at-a-time
+:func:`repro.core.construction.rewire_all`; both are faithful
+implementations of the paper's procedure). Within the engine, the RNG
+draw layout is fixed and state-independent — every round draws the same
+array shapes regardless of what individual peers decide — so the
+vectorized kernels and the pure-Python sequential reference
+(``vectorized=False``) consume one stream identically and must produce
+bit-identical link sets, partition tables and
+:class:`~repro.core.construction.LinkAcquisitionStats`. The test suite
+pins that equivalence property-style and via a golden build fixture.
+
+Typical use goes through the substrate surface::
+
+    overlay = OscarOverlay(OscarConfig(), seed=42)
+    overlay.grow_batch(100_000, GnutellaLikeDistribution(), ConstantDegrees(12))
+    stats = overlay.rewire_batch()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import SamplingMode
+from ..core.construction import LinkAcquisitionStats
+from ..core.estimators import border_is_terminal
+from ..core.partitions import PartitionTable
+from ..degree import DegreeDistribution, assign_caps
+from ..errors import SamplingError
+from ..ring import rebuild_pointers
+from ..ring.identifiers import normalize
+from ..ring.keyspace import KEY_MASK
+from ..sampling.batch_walk import BatchRestrictedWalker, in_cw_arc
+from ..workloads import KeyDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.node import OscarNode
+    from ..core.overlay import OscarOverlay
+
+__all__ = ["BatchConstructionEngine", "LiveView"]
+
+
+@dataclass(frozen=True)
+class LiveView:
+    """Array view of the live population at one instant (ring order).
+
+    Attributes:
+        ids: Node id per row, sorted by position.
+        pos: Float position per row (sorted — the ``searchsorted`` base
+            for arc counting, exactly the ring's own lookup array).
+        keys: Exact ``uint64`` keyspace twin of ``pos``.
+        nodes: Row-aligned :class:`~repro.core.node.OscarNode` states.
+        row_of: ``node id -> row`` translation (-1 for unknown/dead).
+    """
+
+    ids: np.ndarray
+    pos: np.ndarray
+    keys: np.ndarray
+    nodes: tuple["OscarNode", ...]
+    row_of: np.ndarray
+
+    @property
+    def m(self) -> int:
+        """Live peer count."""
+        return int(self.ids.size)
+
+    @classmethod
+    def capture(cls, overlay: "OscarOverlay") -> "LiveView":
+        """Materialize the overlay's current live population."""
+        ring = overlay.ring
+        ids = ring.ids_array(live_only=True)
+        pos = ring.positions_array(live_only=True)
+        keys = ring.keys_array(live_only=True)
+        max_id = int(ids.max()) if ids.size else -1
+        row_of = np.full(max_id + 2, -1, dtype=np.int64)
+        row_of[ids] = np.arange(ids.size, dtype=np.int64)
+        nodes = tuple(overlay.nodes[int(i)] for i in ids)
+        return cls(ids=ids, pos=pos, keys=keys, nodes=nodes, row_of=row_of)
+
+
+def _isin_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted ``table`` (vectorized, exact
+    equality — works for the int64 link-pair keys and float positions)."""
+    if table.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    idx = np.minimum(np.searchsorted(table, values), table.size - 1)
+    return table[idx] == values
+
+
+@dataclass(frozen=True)
+class _ArcTables:
+    """Partition arcs of the requesting rows as padded matrices.
+
+    Row ``i`` describes requester ``rows[i]``'s table: partition ``p``
+    (0-indexed) is the clockwise arc ``(starts[i, p], ends[i, p]]``,
+    ``valid[i, p]`` masks degenerate (provably empty) arcs, and
+    ``k_count[i]`` is the number of partitions.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    valid: np.ndarray
+    k_count: np.ndarray
+
+
+class BatchConstructionEngine:
+    """Vectorized construction/maintenance for one
+    :class:`~repro.core.overlay.OscarOverlay`.
+
+    Args:
+        overlay: The Oscar overlay to build/maintain.
+        vectorized: ``True`` (default) runs the numpy lock-step kernels;
+            ``False`` runs the sequential reference — same RNG stream,
+            same round semantics, pure-Python decisions — whose output
+            the vectorized path must match bit-for-bit. The reference
+            exists for equivalence testing and as the executable
+            specification of the round semantics.
+    """
+
+    def __init__(self, overlay: "OscarOverlay", vectorized: bool = True) -> None:
+        self.overlay = overlay
+        self.vectorized = bool(vectorized)
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+
+    def rewire(self, rng: np.random.Generator) -> LinkAcquisitionStats:
+        """One global rewiring round, batched.
+
+        Same epoch structure as :func:`repro.core.construction.rewire_all`:
+        teardown of every long link, partition re-estimation for all
+        peers against the current population, then link re-acquisition
+        under a random peer priority so no cohort systematically wins
+        the race for scarce in-capacity.
+        """
+        view = LiveView.capture(self.overlay)
+        if view.m < 2:
+            raise SamplingError("cannot rewire an overlay with fewer than 2 live peers")
+        for node in view.nodes:
+            node.reset_links()
+            node.in_degree = 0
+        rows = np.arange(view.m, dtype=np.int64)
+        arcs = self._estimate(rng, view, rows, track_spend=True)
+        priority_of = self._draw_priority(rng, view, rows)
+        return self._acquire(rng, view, rows, arcs, priority_of)
+
+    def grow(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> LinkAcquisitionStats:
+        """Grow to ``target_size`` live peers in one bulk step.
+
+        Keys and caps are drawn in bulk (collisions redrawn), all
+        newcomers are spliced into the ring with one sorted merge
+        (:meth:`Ring.insert_many <repro.ring.ring.Ring.insert_many>`),
+        ring pointers are rebuilt once, and the newcomers then estimate
+        partitions and acquire links as one batched cohort against the
+        full population — existing peers keep their links, mirroring the
+        incremental contract of scalar ``grow``.
+        """
+        overlay = self.overlay
+        missing = int(target_size) - overlay.ring.live_count
+        if missing <= 0:
+            return LinkAcquisitionStats()
+        rng = overlay._join_rng
+        caps_in, caps_out = assign_caps(degrees, rng, missing, paired=paired_caps)
+        positions = self._draw_positions(rng, keys, missing)
+        first_id = overlay._next_id
+        new_ids = list(range(first_id, first_id + missing))
+        overlay._next_id += missing
+        overlay.ring.insert_many(zip(new_ids, positions))
+        from ..core.node import OscarNode
+
+        for index, node_id in enumerate(new_ids):
+            overlay.nodes[node_id] = OscarNode(
+                node_id=node_id,
+                position=float(positions[index]),
+                rho_max_in=int(caps_in[index]),
+                rho_max_out=int(caps_out[index]),
+            )
+        rebuild_pointers(overlay.ring, overlay.pointers)
+        if overlay.ring.live_count < 2:
+            return LinkAcquisitionStats()
+        view = LiveView.capture(overlay)
+        rows = np.sort(view.row_of[np.asarray(new_ids, dtype=np.int64)])
+        arcs = self._estimate(rng, view, rows, track_spend=False)
+        priority_of = self._draw_priority(rng, view, rows)
+        return self._acquire(rng, view, rows, arcs, priority_of)
+
+    # ------------------------------------------------------------------
+    # bulk membership helpers
+    # ------------------------------------------------------------------
+
+    def _draw_positions(
+        self, rng: np.random.Generator, keys: KeyDistribution, count: int
+    ) -> np.ndarray:
+        """``count`` distinct, unoccupied positions from the key sampler.
+
+        Bulk draws with vectorized collision rejection (against the ring
+        — dead entries included, positions are forever — *and* within
+        the batch, keeping first occurrences) replace the scalar
+        one-key-at-a-time try/except loop. Float key collisions have
+        probability ~0, so the expected number of redraw passes is 1.
+        """
+        occupied = np.sort(
+            np.asarray(self.overlay.ring.positions_array(live_only=False), dtype=float)
+        )
+        accepted: list[float] = []
+        seen: set[float] = set()
+        need = count
+        while need > 0:
+            draw = np.asarray(keys.sample(rng, need), dtype=float)
+            fresh = ~_isin_sorted(draw, occupied)
+            for value in draw[fresh]:
+                position = float(value)
+                if position in seen:
+                    continue
+                seen.add(position)
+                accepted.append(position)
+            need = count - len(accepted)
+        return np.asarray(accepted, dtype=float)
+
+    def _draw_priority(
+        self, rng: np.random.Generator, view: LiveView, rows: np.ndarray
+    ) -> np.ndarray:
+        """Random acquisition priority over the requesting rows.
+
+        Returns a length-``m`` array mapping a row to its rank in the
+        shuffled order (-1 for non-requesters); ascending rank is the
+        fixed sequential order conflict resolution replays.
+        """
+        order = rows.copy()
+        rng.shuffle(order)
+        priority_of = np.full(view.m, -1, dtype=np.int64)
+        priority_of[order] = np.arange(order.size, dtype=np.int64)
+        return priority_of
+
+    # ------------------------------------------------------------------
+    # partition estimation (all peers in lock-step)
+    # ------------------------------------------------------------------
+
+    def _estimate(
+        self,
+        rng: np.random.Generator,
+        view: LiveView,
+        rows: np.ndarray,
+        track_spend: bool,
+    ) -> _ArcTables:
+        """(Re-)estimate partition tables for ``rows``; returns their arcs.
+
+        Sets ``node.partitions`` on every estimated peer (the objects the
+        rest of the library reads) and returns the same tables as padded
+        arc matrices for the acquisition rounds. ``track_spend`` mirrors
+        the rewiring path's ``samples_spent`` cost accounting.
+        """
+        config = self.overlay.config
+        m = view.m
+        if m < 2:
+            raise SamplingError("partition estimation needs at least 2 live peers")
+        k = config.partitions_for(max(1, m))
+        n = int(rows.size)
+        origin = view.pos[rows]
+        far_end = view.pos[(rows - 1) % m]
+        levels = max(0, k - 1)
+        medians = np.zeros((n, max(1, levels)), dtype=float)
+        counts = np.zeros(n, dtype=np.int64)
+        if levels:
+            if config.sampling_mode is SamplingMode.ORACLE:
+                self._oracle_levels(view, rows, medians, counts, levels)
+            else:
+                self._sampled_levels(rng, view, rows, medians, counts, levels)
+        for i in range(n):
+            node = view.nodes[int(rows[i])]
+            node.partitions = PartitionTable(
+                origin=float(origin[i]),
+                far_end=float(far_end[i]),
+                medians=tuple(float(x) for x in medians[i, : int(counts[i])]),
+            )
+            if track_spend:
+                node.samples_spent += config.sample_size * max(
+                    0, node.partitions.n_partitions - 1
+                )
+        return self._arc_tables(origin, far_end, medians, counts)
+
+    def _oracle_levels(
+        self,
+        view: LiveView,
+        rows: np.ndarray,
+        medians: np.ndarray,
+        counts: np.ndarray,
+        levels: int,
+    ) -> None:
+        """Exact recursive medians straight from the ring order.
+
+        The peer at clockwise rank ``remaining // 2`` splits each level's
+        remaining near-side population — pure index arithmetic shared by
+        both execution paths (no randomness, no per-peer divergence).
+        """
+        m = view.m
+        remaining = m - 1
+        level = 0
+        while level < levels:
+            half = remaining // 2
+            if half < 1:
+                break
+            medians[:, level] = view.pos[(rows + half) % m]
+            remaining = half
+            level += 1
+        counts[:] = level
+
+    def _sampled_levels(
+        self,
+        rng: np.random.Generator,
+        view: LiveView,
+        rows: np.ndarray,
+        medians: np.ndarray,
+        counts: np.ndarray,
+        levels: int,
+    ) -> None:
+        """Sampled recursive medians (``UNIFORM`` or ``WALK``), lock-step.
+
+        Per level every still-active peer draws ``sample_size`` arc
+        members (one shared RNG call), takes the exact-rank clockwise
+        sample median, and stops when its arc runs empty or the border
+        clamp fires — the vectorized restatement of
+        :func:`repro.core.estimators.sampled_partitions`.
+        """
+        config = self.overlay.config
+        m = view.m
+        sample_size = config.sample_size
+        origin = view.pos[rows]
+        okey = view.keys[rows]
+        prev = view.pos[(rows - 1) % m].copy()
+        active = np.ones(int(rows.size), dtype=bool)
+        walk = config.sampling_mode is SamplingMode.WALK
+        if walk:
+            walker = BatchRestrictedWalker(view.pos, self._neighbor_matrix(view))
+            start_rows = (rows + 1) % m
+        for level in range(levels):
+            act = np.nonzero(active)[0]
+            if act.size == 0:
+                break
+            if walk:
+                started = in_cw_arc(view.pos[start_rows[act]], origin[act], prev[act])
+                # A walker whose ring successor fell outside the shrunken
+                # arc sees an arc empty of other live peers: stop (the
+                # scalar estimator bails with an empty sample the same way).
+                active[act[~started]] = False
+                act = act[started]
+                if act.size == 0:
+                    break
+                walk_fn = walker.walk if self.vectorized else walker.walk_reference
+                samples = walk_fn(
+                    rng,
+                    start_rows[act],
+                    origin[act],
+                    prev[act],
+                    sample_size,
+                    config.walk_hops,
+                )
+            else:
+                samples, drew = self._uniform_samples(rng, view, origin[act], prev[act])
+                if not drew.all():
+                    active[act[~drew]] = False
+                    samples = samples[drew]
+                    act = act[drew]
+                    if act.size == 0:
+                        continue
+            if self.vectorized:
+                border, stop = self._select_borders(
+                    view, okey[act], origin[act], prev[act], samples
+                )
+            else:
+                border, stop = self._select_borders_reference(
+                    view, okey[act], origin[act], prev[act], samples
+                )
+            active[act[stop]] = False
+            keep = act[~stop]
+            medians[keep, level] = border[~stop]
+            counts[keep] += 1
+            prev[keep] = border[~stop]
+
+    def _uniform_samples(
+        self,
+        rng: np.random.Generator,
+        view: LiveView,
+        origin: np.ndarray,
+        prev: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One ``(active peers, sample_size)`` uniform arc draw.
+
+        The uniform matrix is drawn for *every* active peer — peers whose
+        arc holds no peers discard their row (``drew`` false) — so the
+        draw layout is state-independent and both execution paths consume
+        the stream identically. Returns ``(sample rows, drew mask)``.
+        """
+        m = view.m
+        sample_size = self.overlay.config.sample_size
+        u = rng.random((int(origin.size), sample_size))
+        lo = np.searchsorted(view.pos, origin, side="right")
+        hi = np.searchsorted(view.pos, prev, side="right")
+        count = np.where(origin < prev, hi - lo, np.where(origin == prev, m, m - lo + hi))
+        drew = count > 0
+        if self.vectorized:
+            offsets = (u * count[:, None]).astype(np.int64)
+            samples = (lo[:, None] + offsets) % m
+            return samples, drew
+        samples = np.zeros((int(origin.size), sample_size), dtype=np.int64)
+        for i in range(int(origin.size)):
+            if not drew[i]:
+                continue
+            for j in range(sample_size):
+                samples[i, j] = (int(lo[i]) + int(u[i, j] * int(count[i]))) % m
+        return samples, drew
+
+    def _select_borders(
+        self,
+        view: LiveView,
+        okey: np.ndarray,
+        origin: np.ndarray,
+        prev: np.ndarray,
+        samples: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized clockwise sample medians + border clamp.
+
+        Samples are ranked by exact wrapping ``uint64`` distance from
+        each origin (stable ties by draw index); the returned border is
+        the float reconstruction ``normalize(origin + cw_distance)`` of
+        the selected sample — the historical output format — and
+        ``stop`` marks borders the clamp rejects.
+        """
+        n, sample_size = samples.shape
+        distance = view.keys[samples] - okey[:, None]  # wrapping uint64
+        order = np.argsort(distance, axis=1, kind="stable")
+        take = np.arange(n)
+        selected = samples[take, order[:, (sample_size - 1) // 2]]
+        float_dist = np.remainder(view.pos[selected] - origin, 1.0)
+        border = np.remainder(origin + float_dist, 1.0)
+        border = np.where(border >= 1.0, 0.0, border)
+        stop = (border == prev) | ~in_cw_arc(border, origin, prev)
+        return border, stop
+
+    def _select_borders_reference(
+        self,
+        view: LiveView,
+        okey: np.ndarray,
+        origin: np.ndarray,
+        prev: np.ndarray,
+        samples: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sequential twin of :meth:`_select_borders` (scalar keyspace ops)."""
+        n, sample_size = samples.shape
+        border = np.zeros(n, dtype=float)
+        stop = np.zeros(n, dtype=bool)
+        index = (sample_size - 1) // 2
+        for i in range(n):
+            row_samples = [int(s) for s in samples[i]]
+            anchor = int(okey[i])
+            ranks = [(int(view.keys[s]) - anchor) & KEY_MASK for s in row_samples]
+            order = sorted(range(sample_size), key=lambda j: (ranks[j], j))
+            selected = row_samples[order[index]]
+            float_dist = (float(view.pos[selected]) - float(origin[i])) % 1.0
+            b = normalize(float(origin[i]) + float_dist)
+            border[i] = b
+            stop[i] = border_is_terminal(b, float(origin[i]), float(prev[i]))
+        return border, stop
+
+    def _neighbor_matrix(self, view: LiveView) -> np.ndarray:
+        """Shared padded neighbor-row matrix for the batched walkers.
+
+        Row ``i``: geometric ring successor and predecessor (the
+        pointers' steady state) followed by the peer's long links, dead
+        targets dropped (a restricted walker refuses them anyway), in
+        provider order — the same adjacency the scalar walker scans.
+        """
+        m = view.m
+        lists: list[list[int]] = []
+        width = 1
+        for row in range(m):
+            succ = (row + 1) % m
+            pred = (row - 1) % m
+            nbrs: list[int] = []
+            if succ != row:
+                nbrs.append(succ)
+            if pred != row and pred != succ:
+                nbrs.append(pred)
+            for target in view.nodes[row].out_links:
+                t = int(target)
+                t_row = int(view.row_of[t]) if t < view.row_of.size else -1
+                if t_row >= 0:
+                    nbrs.append(t_row)
+            lists.append(nbrs)
+            width = max(width, len(nbrs))
+        matrix = np.full((m, width), -1, dtype=np.int64)
+        for row, nbrs in enumerate(lists):
+            if nbrs:
+                matrix[row, : len(nbrs)] = nbrs
+        return matrix
+
+    def _arc_tables(
+        self,
+        origin: np.ndarray,
+        far_end: np.ndarray,
+        medians: np.ndarray,
+        counts: np.ndarray,
+    ) -> _ArcTables:
+        """Pack per-peer partition arcs into padded matrices.
+
+        Matches :meth:`PartitionTable.arc
+        <repro.core.partitions.PartitionTable.arc>` exactly: partition
+        ``p`` (0-indexed) ends at ``far_end`` (``p == 0``) or median
+        ``p - 1``, starts at median ``p`` or the origin, and a
+        non-outermost arc whose borders coincide is degenerate.
+        """
+        n = int(origin.size)
+        kmax = int(counts.max(initial=0)) + 1
+        starts = np.zeros((n, kmax), dtype=float)
+        ends = np.zeros((n, kmax), dtype=float)
+        valid = np.zeros((n, kmax), dtype=bool)
+        for p in range(kmax):
+            has = (counts + 1) > p
+            end_col = far_end if p == 0 else medians[:, p - 1]
+            if p < medians.shape[1]:
+                start_col = np.where(counts > p, medians[:, p], origin)
+            else:
+                start_col = origin
+            starts[:, p] = np.where(has, start_col, 0.0)
+            ends[:, p] = np.where(has, end_col, 0.0)
+            valid[:, p] = has & ~((start_col == end_col) & (p > 0))
+        return _ArcTables(starts=starts, ends=ends, valid=valid, k_count=counts + 1)
+
+    # ------------------------------------------------------------------
+    # link acquisition (vectorized rounds)
+    # ------------------------------------------------------------------
+
+    def _acquire(
+        self,
+        rng: np.random.Generator,
+        view: LiveView,
+        rows: np.ndarray,
+        arcs: _ArcTables,
+        priority_of: np.ndarray,
+    ) -> LinkAcquisitionStats:
+        """Fill the outgoing slots of ``rows`` in vectorized rounds.
+
+        Round semantics (identical in both execution paths): every peer
+        with open slots and attempt budget issues one request — draw a
+        partition, draw candidates, evaluate refusals and the
+        power-of-two tiebreak against the round-*start* in-degree
+        snapshot — and acknowledged requests commit in ascending
+        priority, the first ``spare`` per candidate winning (argsort
+        ranks in the vectorized path, an explicit priority-ordered loop
+        in the reference). A failed attempt consumes one of the slot's
+        ``link_retries + 1`` tries; exhausting them gives the peer's
+        remaining slots up, exactly like the scalar per-slot loop.
+        """
+        config = self.overlay.config
+        stats = LinkAcquisitionStats()
+        m = view.m
+        n = int(rows.size)
+        if n == 0 or m < 2:
+            return stats
+        rho_in = np.array([node.rho_max_in for node in view.nodes], dtype=np.int64)
+        in_deg = np.array([node.in_degree for node in view.nodes], dtype=np.int64)
+        rho_out = np.array([view.nodes[int(r)].rho_max_out for r in rows], dtype=np.int64)
+        target = rho_out if config.respect_out_caps else np.maximum(rho_out, 1)
+        out_count = np.array(
+            [len(view.nodes[int(r)].out_links) for r in rows], dtype=np.int64
+        )
+        n_cand = 2 if config.power_of_two else 1
+
+        pair_list: list[int] = []
+        for r in rows:
+            for t in view.nodes[int(r)].out_links:
+                t_row = int(view.row_of[int(t)]) if int(t) < view.row_of.size else -1
+                if t_row >= 0:
+                    pair_list.append(int(r) * m + t_row)
+        linked = np.sort(np.asarray(pair_list, dtype=np.int64))
+        linked_set = set(pair_list)
+
+        slot_attempts = np.zeros(n, dtype=np.int64)
+        active = out_count < target
+
+        while True:
+            act = np.nonzero(active)[0]
+            if act.size == 0:
+                break
+            u_part = rng.random(act.size)
+            u_cand = rng.random((act.size, n_cand))
+            stats.draws += int(act.size)
+            if self.vectorized:
+                success, linked = self._round_vectorized(
+                    view, rows, arcs, priority_of, act, u_part, u_cand,
+                    rho_in, in_deg, out_count, linked, n_cand, stats,
+                )
+            else:
+                success = self._round_reference(
+                    view, rows, arcs, priority_of, act, u_part, u_cand,
+                    rho_in, in_deg, out_count, linked_set, n_cand, stats,
+                )
+            fail = ~success
+            slot_attempts[act[success]] = 0
+            slot_attempts[act[fail]] += 1
+            gave = fail & (slot_attempts[act] > config.link_retries)
+            stats.slots_given_up += int(gave.sum())
+            active[act[gave]] = False
+            filled = success & (out_count[act] >= target[act])
+            active[act[filled]] = False
+
+        for row, node in enumerate(view.nodes):
+            node.in_degree = int(in_deg[row])
+        return stats
+
+    def _round_vectorized(
+        self,
+        view: LiveView,
+        rows: np.ndarray,
+        arcs: _ArcTables,
+        priority_of: np.ndarray,
+        act: np.ndarray,
+        u_part: np.ndarray,
+        u_cand: np.ndarray,
+        rho_in: np.ndarray,
+        in_deg: np.ndarray,
+        out_count: np.ndarray,
+        linked: np.ndarray,
+        n_cand: int,
+        stats: LinkAcquisitionStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One acquisition round as array kernels; returns
+        ``(success mask over act, updated sorted link-pair table)``."""
+        m = view.m
+        pos = view.pos
+        ids = view.ids
+        snapshot = in_deg.copy()
+        act_rows = rows[act]
+        success = np.zeros(act.size, dtype=bool)
+
+        pcol = (u_part * arcs.k_count[act]).astype(np.int64)
+        okay = arcs.valid[act, pcol]
+        start = arcs.starts[act, pcol]
+        end = arcs.ends[act, pcol]
+        lo = np.searchsorted(pos, start, side="right")
+        hi = np.searchsorted(pos, end, side="right")
+        count = np.where(start < end, hi - lo, np.where(start == end, m, m - lo + hi))
+        count = np.where(okay, count, 0)
+        drew = count > 0
+        stats.empty_partition_draws += int((~drew).sum())
+
+        offsets = (u_cand * count[:, None]).astype(np.int64)
+        cand = (lo[:, None] + offsets) % m
+        ack = np.zeros((act.size, n_cand), dtype=bool)
+        for j in range(n_cand):
+            c = cand[:, j]
+            considered = drew if j == 0 else (drew & (cand[:, 1] != cand[:, 0]))
+            eligible = (
+                considered
+                & (c != act_rows)
+                & ~_isin_sorted(act_rows * m + c, linked)
+            )
+            acks = eligible & (snapshot[c] < rho_in[c])
+            stats.refusals += int((eligible & ~acks).sum())
+            ack[:, j] = acks
+
+        if n_cand == 2:
+            c0, c1 = cand[:, 0], cand[:, 1]
+            d0, d1 = snapshot[c0], snapshot[c1]
+            s0, s1 = d0 - rho_in[c0], d1 - rho_in[c1]
+            i0, i1 = ids[c0], ids[c1]
+            # Lexicographic (in-degree, -spare, id) — the scalar min() key.
+            better1 = (d1 < d0) | (
+                (d1 == d0) & ((s1 < s0) | ((s1 == s0) & (i1 < i0)))
+            )
+            use1 = ack[:, 1] & (~ack[:, 0] | better1)
+            chosen = np.where(use1, c1, c0)
+            has_choice = ack[:, 0] | ack[:, 1]
+        else:
+            chosen = cand[:, 0]
+            has_choice = ack[:, 0]
+
+        req = np.nonzero(has_choice)[0]
+        if req.size:
+            req_rows = act_rows[req]
+            req_cand = chosen[req]
+            order_idx = np.lexsort((priority_of[req_rows], req_cand))
+            sorted_cand = req_cand[order_idx]
+            seq = np.arange(sorted_cand.size, dtype=np.int64)
+            group_head = np.empty(sorted_cand.size, dtype=bool)
+            group_head[0] = True
+            group_head[1:] = sorted_cand[1:] != sorted_cand[:-1]
+            group_start = np.maximum.accumulate(np.where(group_head, seq, 0))
+            rank = seq - group_start
+            win = rank < (rho_in[sorted_cand] - snapshot[sorted_cand])
+            winners = req[order_idx[win]]
+            stats.conflicts += int(req.size - winners.size)
+            if winners.size:
+                win_rows = act_rows[winners]
+                win_cand = chosen[winners]
+                np.add.at(in_deg, win_cand, 1)
+                out_count[act[winners]] += 1
+                linked = np.sort(
+                    np.concatenate([linked, win_rows * m + win_cand])
+                )
+                for r_row, c_row in zip(win_rows, win_cand):
+                    view.nodes[int(r_row)].out_links.append(int(ids[int(c_row)]))
+                stats.links_placed += int(winners.size)
+                success[winners] = True
+        return success, linked
+
+    def _round_reference(
+        self,
+        view: LiveView,
+        rows: np.ndarray,
+        arcs: _ArcTables,
+        priority_of: np.ndarray,
+        act: np.ndarray,
+        u_part: np.ndarray,
+        u_cand: np.ndarray,
+        rho_in: np.ndarray,
+        in_deg: np.ndarray,
+        out_count: np.ndarray,
+        linked_set: set[int],
+        n_cand: int,
+        stats: LinkAcquisitionStats,
+    ) -> np.ndarray:
+        """One acquisition round replayed one request at a time.
+
+        Identical semantics to :meth:`_round_vectorized` by explicit
+        sequential execution: requests are processed in ascending
+        priority; acknowledgment and the choice-of-two tiebreak read the
+        round-start snapshot, the commit capacity check reads the live
+        in-degree (so a candidate filled earlier in the round loses the
+        race — a ``conflicts`` event).
+        """
+        m = view.m
+        pos = view.pos
+        ids = view.ids
+        snapshot = in_deg.copy()
+        success = np.zeros(act.size, dtype=bool)
+        for a_i in np.argsort(priority_of[rows[act]], kind="stable"):
+            r_row = int(rows[act[a_i]])
+            k_count = int(arcs.k_count[act[a_i]])
+            p = int(u_part[a_i] * k_count)
+            if not arcs.valid[act[a_i], p]:
+                stats.empty_partition_draws += 1
+                continue
+            start = float(arcs.starts[act[a_i], p])
+            end = float(arcs.ends[act[a_i], p])
+            lo = int(np.searchsorted(pos, start, side="right"))
+            hi = int(np.searchsorted(pos, end, side="right"))
+            if start < end:
+                count = hi - lo
+            elif start == end:
+                count = m
+            else:
+                count = m - lo + hi
+            if count == 0:
+                stats.empty_partition_draws += 1
+                continue
+            candidates: list[int] = []
+            for j in range(n_cand):
+                c = (lo + int(u_cand[a_i, j] * count)) % m
+                if c not in candidates:
+                    candidates.append(c)
+            accepting: list[int] = []
+            for c in candidates:
+                if c == r_row or (r_row * m + c) in linked_set:
+                    continue
+                if snapshot[c] < rho_in[c]:
+                    accepting.append(c)
+                else:
+                    stats.refusals += 1
+            if not accepting:
+                continue
+            chosen = min(
+                accepting,
+                key=lambda c: (int(snapshot[c]), int(snapshot[c]) - int(rho_in[c]), int(ids[c])),
+            )
+            if in_deg[chosen] < rho_in[chosen]:
+                in_deg[chosen] += 1
+                out_count[act[a_i]] += 1
+                view.nodes[r_row].out_links.append(int(ids[chosen]))
+                linked_set.add(r_row * m + chosen)
+                stats.links_placed += 1
+                success[a_i] = True
+            else:
+                stats.conflicts += 1
+        return success

@@ -30,6 +30,7 @@ from . import (  # noqa: F401
     fig1b,
     fig1c,
     fig2,
+    scale_build,
     scenario,
 )
 from .base import ExperimentResult, scaled_sizes

@@ -1,0 +1,122 @@
+"""Construction-throughput extension: how fast can the overlay be built?
+
+The paper's core claim is *cheap construction and maintenance* of a
+small-world overlay under heterogeneity — yet none of its figures
+measure the build phase itself. This spec records that trajectory: for a
+sweep of network sizes up to 100k peers it times a cold bulk build
+(``grow_batch`` from an empty ring), a full maintenance round
+(``rewire_batch``), derives the end-to-end construction throughput in
+peers/second, and sanity-routes a query batch so a fast-but-broken build
+cannot masquerade as a win. At the smallest size it also times the
+scalar ``rewire`` for the batched-vs-scalar speedup headline.
+
+The emitted series are what ``scripts/bench_ci.py`` snapshots into
+``BENCH_build.json`` on every CI run — the durable benchmark trajectory
+ISSUE 4 introduces.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..degree import ConstantDegrees
+from ..engine import BatchQueryEngine
+from ..rng import split
+from ..workloads import GnutellaLikeDistribution
+from .base import ExperimentResult, scaled_sizes
+from .growth import make_overlay
+from .spec import experiment
+
+
+@experiment(
+    "scale-build",
+    title="Batched construction wall time vs network size",
+    tags=("extension",),
+    help={
+        "sizes": "paper-scale network sizes to build (each scaled by --scale)",
+        "substrate": "overlay kind: oscar (vectorized) / chord / mercury (scalar fallback)",
+        "cap": "per-peer degree cap (in and out)",
+        "n_queries": "post-build sanity queries per size (0 = one per peer)",
+        "compare_scalar": "also time scalar rewire at the smallest size for the speedup scalar",
+    },
+)
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    sizes: tuple[int, ...] = (10_000, 31_600, 100_000),
+    substrate: str = "oscar",
+    cap: int = 12,
+    n_queries: int = 500,
+    compare_scalar: bool = True,
+) -> ExperimentResult:
+    """Build/rewire wall-time trajectory of the batched construction engine."""
+    measured = scaled_sizes(sizes, scale)
+    build_series: list[tuple[float, float]] = []
+    rewire_series: list[tuple[float, float]] = []
+    rate_series: list[tuple[float, float]] = []
+    cost_series: list[tuple[float, float]] = []
+    rewire_speedup = float("nan")
+
+    for index, size in enumerate(measured):
+        overlay = make_overlay(substrate, seed=seed)
+        keys = GnutellaLikeDistribution()
+        degrees = ConstantDegrees(cap)
+
+        started = time.perf_counter()
+        overlay.grow_batch(size, keys, degrees)
+        build_seconds = time.perf_counter() - started
+
+        if compare_scalar and index == 0:
+            # Scalar reference rewire first (it is replaced by the batched
+            # round below, so the measured overlay is the batched build).
+            started = time.perf_counter()
+            overlay.rewire(split(seed, "scale-build-scalar", size))
+            scalar_seconds = time.perf_counter() - started
+        else:
+            scalar_seconds = None
+
+        started = time.perf_counter()
+        overlay.rewire_batch(split(seed, "scale-build-rewire", size))
+        rewire_seconds = time.perf_counter() - started
+        if scalar_seconds is not None:
+            rewire_speedup = scalar_seconds / max(rewire_seconds, 1e-9)
+
+        engine = BatchQueryEngine(overlay)
+        queries = size if n_queries == 0 else n_queries
+        stats = engine.measure(
+            split(seed, "scale-build-queries", size), n_queries=queries
+        )
+
+        build_series.append((float(size), build_seconds))
+        rewire_series.append((float(size), rewire_seconds))
+        rate_series.append(
+            (float(size), size / max(build_seconds + rewire_seconds, 1e-9))
+        )
+        cost_series.append((float(size), stats.mean_cost))
+
+    return ExperimentResult(
+        experiment_id="scale-build",
+        title="Batched construction wall time vs network size",
+        series={
+            "build seconds": build_series,
+            "rewire seconds": rewire_series,
+            "peers per second": rate_series,
+            "mean search cost": cost_series,
+        },
+        scalars={
+            "rewire_speedup": rewire_speedup,
+            "final_peers_per_second": rate_series[-1][1],
+            "final_mean_cost": cost_series[-1][1],
+            "final_build_seconds": build_series[-1][1],
+            "final_rewire_seconds": rewire_series[-1][1],
+        },
+        metadata={
+            "scale": scale,
+            "seed": seed,
+            "sizes": tuple(measured),
+            "substrate": substrate,
+            "cap": cap,
+            "n_queries": n_queries,
+            "compare_scalar": compare_scalar,
+        },
+    )

@@ -27,8 +27,8 @@ from __future__ import annotations
 
 import inspect
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
 from ..errors import ConfigError
 from ..rng import stable_label_hash

@@ -139,6 +139,26 @@ class MercuryOverlay:
         self._links_epoch += 1
         return rewire_all(self, rng if rng is not None else self._rewire_rng)
 
+    def grow_batch(
+        self,
+        target_size: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> None:
+        """Scalar fallback of the batched-construction surface.
+
+        Mercury is the *baseline* whose construction cost the paper
+        argues against; vectorizing it would change what the comparison
+        measures, so the batched surface delegates to scalar
+        :meth:`grow` draw-for-draw.
+        """
+        return self.grow(target_size, keys, degrees, paired_caps=paired_caps)
+
+    def rewire_batch(self, rng: np.random.Generator | None = None) -> int:
+        """Scalar fallback: delegates to :meth:`rewire` unchanged."""
+        return self.rewire(rng)
+
     def repair_ring(self) -> int:
         """Re-stabilize ring pointers after churn; returns pointers fixed."""
         self._links_epoch += 1

@@ -26,7 +26,14 @@ from .identifiers import (
     in_cw_interval,
     normalize,
 )
-from .maintenance import RingPointers, attach_node, build_pointers, repair, verify
+from .maintenance import (
+    RingPointers,
+    attach_node,
+    build_pointers,
+    rebuild_pointers,
+    repair,
+    verify,
+)
 from .ring import Ring
 
 __all__ = [
@@ -44,6 +51,7 @@ __all__ = [
     "in_cw_interval",
     "keyspace",
     "normalize",
+    "rebuild_pointers",
     "repair",
     "verify",
 ]

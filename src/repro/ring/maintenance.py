@@ -27,7 +27,7 @@ from ..errors import EmptyPopulationError, RingInvariantError
 from ..types import NodeId
 from .ring import Ring
 
-__all__ = ["RingPointers", "attach_node", "build_pointers", "repair", "verify"]
+__all__ = ["RingPointers", "attach_node", "build_pointers", "rebuild_pointers", "repair", "verify"]
 
 
 @dataclass
@@ -74,6 +74,23 @@ def attach_node(ring: Ring, pointers: RingPointers, node_id: NodeId) -> None:
     pointers.predecessor[node_id] = pred
     pointers.successor[pred] = node_id
     pointers.predecessor[succ] = node_id
+
+
+def rebuild_pointers(ring: Ring, pointers: RingPointers) -> None:
+    """Reset ``pointers`` *in place* to the correct live-ring wiring.
+
+    The bulk counterpart of :func:`attach_node`: after a bulk membership
+    change (:meth:`Ring.insert_many <repro.ring.ring.Ring.insert_many>`)
+    one ``O(N)`` rebuild replaces K pointer splices. Mutating the given
+    object (rather than returning a fresh one) keeps every holder of the
+    pointers table — overlays, engines, cached snapshots — looking at
+    the same instance.
+    """
+    fresh = build_pointers(ring)
+    pointers.successor.clear()
+    pointers.successor.update(fresh.successor)
+    pointers.predecessor.clear()
+    pointers.predecessor.update(fresh.predecessor)
 
 
 def repair(ring: Ring, pointers: RingPointers) -> int:

@@ -5,18 +5,23 @@
   ``WALK`` fidelity modes);
 * :func:`cw_sample_median` / :func:`cw_sample_quantile` — clockwise
   order statistics used for Oscar's recursive partition borders;
+* :class:`BatchRestrictedWalker` — the lock-step batched twin of the
+  restricted walker used by the construction engine;
 * :class:`NodeDensityHistogram` — Mercury's equi-width density learner.
 """
 
+from .batch_walk import BatchRestrictedWalker, in_cw_arc
 from .histogram import NodeDensityHistogram
 from .median import cw_sample_median, cw_sample_quantile, lower_median_index
 from .random_walk import RestrictedWalker, sample_arc_uniform
 
 __all__ = [
+    "BatchRestrictedWalker",
     "NodeDensityHistogram",
     "RestrictedWalker",
     "cw_sample_median",
     "cw_sample_quantile",
+    "in_cw_arc",
     "lower_median_index",
     "sample_arc_uniform",
 ]

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.experiments import ArtifactStore, artifact_key, get_spec
 from repro.experiments.base import ExperimentResult, jsonify

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from conftest import build_mercury, build_overlay
-from repro import ChordOverlay, MercuryOverlay, OscarConfig, OscarOverlay, Substrate
+from repro import ChordOverlay, Substrate
 from repro.churn import apply_churn, revive_all
 from repro.config import ChurnConfig
 from repro.degree import ConstantDegrees

@@ -280,6 +280,42 @@ class TestBenchSubcommand:
     def test_bench_rejects_bad_sizes(self, capsys):
         assert main(["bench", "--nodes", "1"]) == 2
 
+    def test_bench_phase_defaults_to_route(self):
+        assert build_bench_parser().parse_args([]).phase == "route"
+        assert build_bench_parser().parse_args(["--phase", "build"]).phase == "build"
+
+    def test_bench_batch_zero_means_one_query_per_peer(self, capsys):
+        # The PR 2 n_queries=0 convention: 0 is a valid "default budget".
+        exit_code = main(
+            ["bench", "--substrate", "chord", "--nodes", "80", "--batch", "0",
+             "--rounds", "1", "--skip-scalar"]
+        )
+        assert exit_code == 0
+        assert "batch=80" in capsys.readouterr().out
+
+    def test_bench_negative_batch_is_a_config_error(self, capsys):
+        assert main(["bench", "--batch", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "--batch must be >= 0" in err
+
+    def test_bench_rejects_bad_rounds_and_cap(self, capsys):
+        assert main(["bench", "--rounds", "0"]) == 2
+        assert "--rounds" in capsys.readouterr().err
+        assert main(["bench", "--cap", "0"]) == 2
+        assert "--cap" in capsys.readouterr().err
+
+    def test_bench_build_phase_runs(self, capsys):
+        exit_code = main(
+            ["bench", "--phase", "build", "--nodes", "150", "--rounds", "1",
+             "--batch", "50"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "phase=build" in out
+        assert "grow_batch" in out
+        assert "speedup" in out
+        assert "success_rate=1.000" in out
+
 
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.config import OscarConfig, SamplingMode
-from repro.core import OscarNode, acquire_links, oracle_partitions, rewire_all
+from repro.core import OscarNode, acquire_links, oracle_partitions
 from repro.degree import ConstantDegrees, SpikyDegreeDistribution
 from repro.ring import Ring
 from repro.rng import make_rng

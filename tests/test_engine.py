@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource, Timeout
+from repro.engine import AllOf, AnyOf, Environment, Interrupt, Process, Resource, Timeout
 from repro.errors import SimulationError
 
 

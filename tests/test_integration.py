@@ -14,14 +14,13 @@ the suite fast) and assert the *shape* results the paper reports:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import ChurnConfig, GrowthConfig
 from repro.degree import ConstantDegrees, SpikyDegreeDistribution, SteppedDegrees
 from repro.experiments import grow_and_measure, make_overlay
 from repro.metrics import load_gini, measure_search_cost, volume_exploitation
-from repro.rng import make_rng, split
+from repro.rng import split
 from repro.workloads import GnutellaLikeDistribution
 
 SIZES = (150, 300, 600)

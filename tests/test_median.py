@@ -10,7 +10,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import InsufficientSamplesError
-from repro.ring.identifiers import cw_distance
 from repro.sampling import cw_sample_median, cw_sample_quantile, lower_median_index
 
 keys = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)

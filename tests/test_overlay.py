@@ -5,12 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import OscarConfig, SamplingMode
+from repro.config import SamplingMode
 from repro.degree import ConstantDegrees, SteppedDegrees
 from repro.errors import EmptyPopulationError, UnknownNodeError
 from repro.ring import verify
 from repro.rng import make_rng
-from repro.workloads import GnutellaLikeDistribution, UniformKeys
+from repro.workloads import UniformKeys
 
 from repro import OscarOverlay
 

@@ -25,14 +25,14 @@ class TestSpecSchema:
         ids = {spec.id for spec in all_specs()}
         assert {
             "fig1a", "fig1b", "fig1c", "fig2a", "fig2b",
-            "ext-mercury", "ext-keydist", "ext-range", "ext-latency",
+            "ext-mercury", "ext-keydist", "ext-range", "ext-latency", "scale-build",
             "abl-power-of-two", "abl-sampling", "abl-partitions",
         } <= ids
 
     def test_tags_partition_the_registry(self):
         assert len(all_specs(tag="figure")) == 5
         assert len(all_specs(tag="ablation")) == 3
-        assert len(all_specs(tag="extension")) == 4
+        assert len(all_specs(tag="extension")) == 5
         assert [spec.id for spec in all_specs(tag="scenario")] == ["scenario"]
 
     def test_every_spec_has_scale_and_seed(self):
@@ -255,4 +255,4 @@ class TestScenarioSpec:
         from repro.experiments import EXPERIMENTS
 
         assert "scenario" not in EXPERIMENTS
-        assert len(EXPERIMENTS) == 12
+        assert len(EXPERIMENTS) == 13

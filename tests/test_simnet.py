@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, EmptyPopulationError
-from repro.rng import make_rng
 from repro.simnet import BandwidthModel, LatencyModel, QueryLatencyStats, QuerySimulation
 
 from conftest import build_overlay
