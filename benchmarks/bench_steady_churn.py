@@ -1,0 +1,82 @@
+"""Steady-state churn engine throughput and navigability under turnover.
+
+Not a paper artifact — this times the sustained-churn hot path ISSUE 5
+introduces: lock-step epochs of batched arrivals, session-expiry
+departures, periodic repair and routed probes through
+``SteadyStateChurnEngine``, plus the ``steady-churn`` spec through the
+shared Runner (the execution path ``scripts/bench_ci.py`` snapshots
+into ``BENCH_churn.json``). The assertions alongside the timings are
+the engine's headline claims: the population holds steady, stale links
+reset on repair epochs, and the overlay stays navigable throughout.
+"""
+
+from __future__ import annotations
+
+from repro.churn import make_sessions
+from repro.degree import ConstantDegrees
+from repro.engine import SteadyStateChurnEngine
+from repro.experiments import make_overlay, scaled_sizes
+from repro.workloads import GnutellaLikeDistribution
+
+from conftest import SCALE, SEED, attach_result, print_result, run_spec
+
+(SIZE,) = scaled_sizes((10_000,), SCALE)
+CAP = 12
+EPOCHS = 12
+HALF_LIFE = 8.0
+REPAIR_EVERY = 4
+
+
+def build_engine():
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(CAP)
+    overlay = make_overlay("oscar", seed=SEED)
+    overlay.grow_batch(SIZE, keys, degrees)
+    overlay.rewire_batch()
+    sessions = make_sessions("exponential", HALF_LIFE)
+    return SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        sessions,
+        arrival_rate=SIZE / sessions.mean,
+        repair_every=REPAIR_EVERY,
+        n_probes=128,
+        seed=SEED,
+    )
+
+
+def test_sustained_epochs(benchmark):
+    engine = build_engine()
+    history = benchmark.pedantic(lambda: engine.run(EPOCHS), rounds=1, iterations=1)
+    benchmark.extra_info["peers"] = SIZE
+    benchmark.extra_info["epochs"] = EPOCHS
+    benchmark.extra_info["mean_success"] = round(
+        sum(s.probes.success_rate for s in history) / len(history), 4
+    )
+    # The population holds near its steady state (generous band: the
+    # Poisson/expiry noise at miniature scale is large relative to N).
+    assert all(0.5 * SIZE <= s.live <= 1.6 * SIZE for s in history)
+    # Stale links accumulate between repairs and reset on repair epochs.
+    repaired = [s for s in history if s.link_repair]
+    assert repaired, "at least one repair epoch expected"
+    after_repair = [
+        history[s.epoch].stale_links for s in repaired if s.epoch < len(history)
+    ]
+    before = [s.stale_links for s in repaired]
+    assert all(a <= b for a, b in zip(after_repair, before))
+    # Navigability: probes keep succeeding throughout.
+    assert all(s.probes.success_rate > 0.9 for s in history)
+
+
+def test_steady_churn_spec(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_spec("steady-churn", epochs=EPOCHS, n_queries=128),
+        rounds=1,
+        iterations=1,
+    )
+    attach_result(benchmark, result)
+    print_result(result)
+    assert result.scalars["mean_success_rate"] > 0.9
+    assert result.scalars["max_stale_links"] > 0
+    assert result.scalars["final_live"] > 0

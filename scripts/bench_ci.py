@@ -1,6 +1,6 @@
 """Benchmark-trajectory recorder: emit BENCH_*.json, gate on regressions.
 
-Runs the two headline benchmarks through the same
+Runs the three headline benchmarks through the same
 :class:`repro.experiments.Runner` the CLI uses and snapshots them as
 schema-versioned JSON documents:
 
@@ -9,9 +9,12 @@ schema-versioned JSON documents:
 * ``BENCH_build.json`` — the construction hot path: ``scale-build`` at
   paper scale (10k and ~32k peers), recording build/rewire wall time,
   construction throughput in peers/second and the batched-vs-scalar
-  rewire speedup at 10k.
+  rewire speedup at 10k;
+* ``BENCH_churn.json`` — the steady-state hot path: a ``steady-churn``
+  run on a mid-size overlay, recording epoch throughput, probe success
+  and the stale-link ceiling.
 
-CI uploads both files as artifacts on every run — the durable
+CI uploads the files as artifacts on every run — the durable
 performance trajectory — and this script *fails* the job when
 
 * a benchmark's wall time regresses more than ``--max-regression``
@@ -110,6 +113,33 @@ def bench_build(seed: int, sizes: tuple[int, ...]) -> dict:
     )
 
 
+def bench_churn(seed: int, size: int, epochs: int) -> dict:
+    """Churn-phase benchmark: steady-churn on a mid-size overlay."""
+    runner = Runner(store=None, defaults={"scale": 1.0, "seed": seed})
+    started = time.perf_counter()
+    record = runner.run(
+        "steady-churn", {"size": size, "epochs": epochs, "n_queries": 256}
+    )
+    wall = time.perf_counter() - started
+    result = record.result
+    metrics = {
+        "wall_seconds": round(wall, 3),
+        "epochs_per_second": round(result.scalars["epochs_per_second"], 3),
+        "mean_success_rate": round(result.scalars["mean_success_rate"], 4),
+        "mean_cost": round(result.scalars["mean_cost"], 4),
+        "max_stale_links": int(result.scalars["max_stale_links"]),
+        "final_live": int(result.scalars["final_live"]),
+        "build_seconds": round(result.scalars["build_seconds"], 3),
+        "churn_seconds": round(result.scalars["churn_seconds"], 3),
+    }
+    return _document(
+        "churn",
+        {"seed": seed, "size": size, "epochs": epochs, "scale": 1.0},
+        metrics,
+        {name: points for name, points in result.series.items()},
+    )
+
+
 def compare(document: dict, baseline_path: Path, max_regression: float) -> list[str]:
     """Regression findings of ``document`` vs its committed baseline."""
     if not baseline_path.exists():
@@ -159,6 +189,15 @@ def main(argv: list[str] | None = None) -> int:
         "size drops below this (0 disables)",
     )
     parser.add_argument(
+        "--churn-size",
+        type=int,
+        default=5000,
+        help="steady-churn benchmark population (mid-size by design)",
+    )
+    parser.add_argument(
+        "--churn-epochs", type=int, default=10, help="steady-churn benchmark epochs"
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="record the measured numbers as the new committed baselines",
@@ -168,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     documents = {
         "BENCH_fig1c.json": bench_fig1c(args.scale, args.seed),
         "BENCH_build.json": bench_build(args.seed, args.sizes),
+        "BENCH_churn.json": bench_churn(args.seed, args.churn_size, args.churn_epochs),
     }
     args.out_dir.mkdir(parents=True, exist_ok=True)
     for name, document in documents.items():

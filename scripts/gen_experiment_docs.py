@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Render the experiment registry into docs/experiments.md (generated section).
+
+The spec registry (``repro.experiments.spec``) is the single source of
+truth for what experiments exist; this script renders it — id, tags,
+title, description, parameter schema with defaults, plus every
+registered sweep — into the marked section of ``docs/experiments.md``,
+so the document can never drift from the ``@experiment`` decorators
+again. CI runs ``--check`` and fails when the committed file is stale.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_experiment_docs.py           # rewrite
+    PYTHONPATH=src python scripts/gen_experiment_docs.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import all_specs, all_sweeps  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCUMENT = REPO_ROOT / "docs" / "experiments.md"
+BEGIN = "<!-- BEGIN GENERATED REGISTRY (scripts/gen_experiment_docs.py) -->"
+END = "<!-- END GENERATED REGISTRY -->"
+
+
+def render_registry() -> str:
+    """The generated markdown between the markers (markers included)."""
+    lines: list[str] = [BEGIN, ""]
+    lines.append("### Experiment specs")
+    lines.append("")
+    for spec in all_specs():
+        tags = ", ".join(sorted(spec.tags)) or "-"
+        lines.append(f"#### `{spec.id}` — {spec.title}")
+        lines.append("")
+        if spec.description:
+            lines.append(spec.description)
+            lines.append("")
+        lines.append(f"Tags: {tags}")
+        lines.append("")
+        lines.append("| parameter | default | type | help |")
+        lines.append("| --- | --- | --- | --- |")
+        for param in spec.params:
+            help_text = param.help.replace("|", "\\|") if param.help else ""
+            lines.append(f"| `{param.name}` | `{param.default!r}` | {param.kind} | {help_text} |")
+        lines.append("")
+    lines.append("### Registered sweeps")
+    lines.append("")
+    lines.append("| sweep | over spec | axes |")
+    lines.append("| --- | --- | --- |")
+    for sweep in all_sweeps():
+        axes = "; ".join(
+            f"`{name}` ∈ {', '.join(f'`{v!r}`' for v in values)}" for name, values in sweep.axes
+        )
+        lines.append(f"| `{sweep.id}` | `{sweep.spec_id}` | {axes} |")
+    lines.append("")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def updated_document(text: str) -> str:
+    """``docs/experiments.md`` with the generated section replaced."""
+    begin = text.find(BEGIN)
+    end = text.find(END)
+    if begin < 0 or end < 0:
+        raise SystemExit(
+            f"{DOCUMENT}: generated-section markers not found "
+            f"(expected {BEGIN!r} ... {END!r})"
+        )
+    return text[:begin] + render_registry() + text[end + len(END):]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the committed document is stale instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    current = DOCUMENT.read_text(encoding="utf-8")
+    fresh = updated_document(current)
+    if args.check:
+        if current != fresh:
+            print(
+                f"{DOCUMENT.relative_to(REPO_ROOT)} is stale: regenerate with "
+                "`PYTHONPATH=src python scripts/gen_experiment_docs.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{DOCUMENT.relative_to(REPO_ROOT)}: registry section up to date")
+        return 0
+    if current != fresh:
+        DOCUMENT.write_text(fresh, encoding="utf-8")
+        print(f"rewrote {DOCUMENT.relative_to(REPO_ROOT)}")
+    else:
+        print(f"{DOCUMENT.relative_to(REPO_ROOT)} already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,6 +117,18 @@ class ChordOverlay:
         if repair:
             self.repair_ring()
 
+    def leave_batch(self, node_ids: Sequence[NodeId], repair: bool = True) -> int:
+        """Scalar fallback of the bulk-departure surface (see
+        :meth:`Substrate.leave_batch
+        <repro.core.substrate.Substrate.leave_batch>`): mark every peer
+        dead, then one ring repair — identical end state to per-peer
+        :meth:`leave` calls, one stabilization pass instead of K.
+        Returns the pointer entries fixed (0 with ``repair=False``).
+        """
+        for node_id in node_ids:
+            self.ring.mark_dead(int(node_id))
+        return self.repair_ring() if repair else 0
+
     # ------------------------------------------------------------------
     # fingers
     # ------------------------------------------------------------------
@@ -148,6 +160,7 @@ class ChordOverlay:
         keys: KeyDistribution,
         degrees: object = None,
         paired_caps: bool = True,
+        vectorized: bool = True,
     ) -> None:
         """Scalar fallback of the batched-construction surface.
 
@@ -155,13 +168,19 @@ class ChordOverlay:
         negotiation), so there is nothing to vectorize: per-join
         construction already costs ``O(log N)`` deterministic lookups.
         Delegates to :meth:`grow` — here the fallback *is* the batched
-        semantics, draw-for-draw.
+        semantics, draw-for-draw (``vectorized`` is accepted for
+        surface uniformity and ignored).
         """
+        del vectorized
         return self.grow(target_size, keys, degrees, paired_caps=paired_caps)
 
-    def rewire_batch(self, rng: np.random.Generator | None = None) -> int:
+    def rewire_batch(
+        self, rng: np.random.Generator | None = None, vectorized: bool = True
+    ) -> int:
         """Scalar fallback: finger rebuilds are deterministic, so the
-        batched surface delegates to :meth:`rewire` unchanged."""
+        batched surface delegates to :meth:`rewire` unchanged
+        (``vectorized`` accepted for surface uniformity, ignored)."""
+        del vectorized
         return self.rewire(rng)
 
     def repair_ring(self) -> int:

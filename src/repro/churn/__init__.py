@@ -1,12 +1,39 @@
-"""Failure models: the paper's crash waves and a continuous extension.
+"""Failure models: crash waves, session times, and continuous churn.
 
 * :func:`crash_fraction` / :func:`apply_churn` — static kill of 10%/33%
   of the population with optional ring repair (Figure 2);
+* :func:`crash_many` / :func:`revive_many` — the bulk liveness
+  primitives every failure process is built on;
+* :mod:`repro.churn.sessions` — pluggable session-time distributions
+  (exponential, Pareto heavy-tail, Gnutella-trace-driven) for
+  steady-state churn;
 * :class:`ContinuousChurn` — Poisson crashes + periodic maintenance on
-  the event kernel (future-work extension).
+  the event kernel (the scalar, event-driven twin of
+  :class:`~repro.engine.churn.SteadyStateChurnEngine`).
 """
 
-from .failures import apply_churn, crash_fraction, revive_all
+from .failures import apply_churn, crash_fraction, crash_many, revive_all, revive_many
 from .process import ContinuousChurn
+from .sessions import (
+    SESSION_DISTRIBUTIONS,
+    ExponentialSessions,
+    ParetoSessions,
+    SessionTimes,
+    TraceSessions,
+    make_sessions,
+)
 
-__all__ = ["ContinuousChurn", "apply_churn", "crash_fraction", "revive_all"]
+__all__ = [
+    "SESSION_DISTRIBUTIONS",
+    "ContinuousChurn",
+    "ExponentialSessions",
+    "ParetoSessions",
+    "SessionTimes",
+    "TraceSessions",
+    "apply_churn",
+    "crash_fraction",
+    "crash_many",
+    "make_sessions",
+    "revive_all",
+    "revive_many",
+]

@@ -8,10 +8,17 @@ fault-aware router.
 
 :func:`crash_fraction` implements the kill step; :func:`apply_churn`
 bundles kill + optional ring repair into the exact procedure the
-experiments call.
+experiments call. The bulk primitives :func:`crash_many` /
+:func:`revive_many` are the shared mechanics underneath: both the
+one-shot waves here and the steady-state churn engine
+(:class:`repro.engine.churn.SteadyStateChurnEngine`) flip liveness
+through them, so there is exactly one implementation of "peers die"
+whatever the failure process looks like.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 import numpy as np
 
@@ -21,7 +28,40 @@ from ..ring import Ring, RingPointers, repair
 from ..rng import split
 from ..types import NodeId
 
-__all__ = ["crash_fraction", "revive_all", "apply_churn"]
+__all__ = ["crash_fraction", "crash_many", "revive_all", "revive_many", "apply_churn"]
+
+
+def crash_many(ring: Ring, node_ids: "Iterable[NodeId]") -> list[NodeId]:
+    """Crash the given peers in bulk (idempotent per peer).
+
+    The bulk counterpart of repeated :meth:`Ring.mark_dead
+    <repro.ring.ring.Ring.mark_dead>` calls — already-dead peers are
+    tolerated (a second crash of the same peer is a no-op, exactly like
+    the scalar method). Returns the ids that actually changed state,
+    in input order.
+    """
+    crashed: list[NodeId] = []
+    for node_id in node_ids:
+        node_id = int(node_id)
+        if ring.is_alive(node_id):
+            ring.mark_dead(node_id)
+            crashed.append(node_id)
+    return crashed
+
+
+def revive_many(ring: Ring, node_ids: "Iterable[NodeId]") -> list[NodeId]:
+    """Revive the given peers in bulk (idempotent per peer).
+
+    Mirror of :func:`crash_many`; returns the ids that actually changed
+    state, in input order.
+    """
+    revived: list[NodeId] = []
+    for node_id in node_ids:
+        node_id = int(node_id)
+        if not ring.is_alive(node_id):
+            ring.mark_alive(node_id)
+            revived.append(node_id)
+    return revived
 
 
 def crash_fraction(ring: Ring, rng: np.random.Generator, fraction: float) -> list[NodeId]:
@@ -29,10 +69,14 @@ def crash_fraction(ring: Ring, rng: np.random.Generator, fraction: float) -> lis
 
     The victim count is ``floor(fraction * live_count)``, but never the
     entire population (at least one peer survives — a fully dead network
-    has no behaviour to measure). Returns the victims' ids.
+    has no behaviour to measure), so ``fraction=1.0`` on ``n`` live
+    peers kills ``n - 1`` and a single-peer ring loses nobody. Victims
+    are drawn from the *live* view only: already-dead peers are never
+    re-selected and never count toward the base population. Returns the
+    victims' ids.
     """
-    if not 0.0 <= fraction < 1.0:
-        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     live = ring.ids_array(live_only=True)
     if live.size == 0:
         raise EmptyPopulationError("no live peers to crash")
@@ -40,16 +84,13 @@ def crash_fraction(ring: Ring, rng: np.random.Generator, fraction: float) -> lis
     if n_victims <= 0:
         return []
     victims = rng.choice(live, size=n_victims, replace=False)
-    for victim in victims:
-        ring.mark_dead(int(victim))
-    return [int(v) for v in victims]
+    return crash_many(ring, victims)
 
 
 def revive_all(ring: Ring, victims: "list[NodeId]") -> None:
     """Undo :func:`crash_fraction` (lets one built network serve several
     churn cases without rebuilding)."""
-    for victim in victims:
-        ring.mark_alive(victim)
+    revive_many(ring, victims)
 
 
 def apply_churn(ring: Ring, pointers: RingPointers, config: ChurnConfig) -> list[NodeId]:

@@ -1,11 +1,21 @@
 """Continuous churn as an event-kernel process (extension).
 
 The paper injects a single crash wave; real deployments see continuous
-arrivals and departures. As a future-work extension we provide a churn
-*process* for the discrete-event kernel: peers crash as a Poisson
-process and the ring self-stabilizes on a maintenance period, letting
-examples and tests explore how stale long links accumulate between
-repair rounds.
+arrivals and departures. Two implementations cover that regime:
+
+* :class:`~repro.engine.churn.SteadyStateChurnEngine` — the batched,
+  epoch-based simulator that reaches 100k-peer populations (arrivals,
+  departures, repair and probes all vectorized);
+* :class:`ContinuousChurn` (this module) — the event-driven twin for
+  the discrete-event kernel, where crashes land at exponential gaps in
+  *continuous* time instead of epoch boundaries.
+
+Both are based on the same churn mechanics: victims flip liveness
+through the bulk primitives in :mod:`repro.churn.failures` and the ring
+re-stabilizes through the bulk
+:func:`~repro.ring.maintenance.repair_all` rebuild, so the two models
+cannot drift apart in what "crash" and "repair" mean — only in *when*
+they happen.
 
 This module deliberately builds only on public substrate APIs (ring,
 maintenance, kernel) — it is an example of composing the library as a
@@ -21,7 +31,7 @@ import numpy as np
 
 from ..engine import Environment, Event
 from ..errors import ConfigError
-from ..ring import Ring, RingPointers, repair
+from ..ring import Ring, RingPointers, repair_all
 from ..types import NodeId
 from .failures import crash_fraction
 
@@ -61,6 +71,9 @@ class ContinuousChurn:
     def crasher(self, env: Environment) -> Generator[Event, None, None]:
         """Kernel process: crash one random live peer per exponential gap.
 
+        Victim selection and the kill go through
+        :func:`~repro.churn.failures.crash_fraction` — the same bulk
+        crash mechanics the steady-state engine uses, at wave size 1.
         Stops (returns) when only one live peer would remain.
         """
         while True:
@@ -72,10 +85,16 @@ class ContinuousChurn:
             self.victims.extend(dead)
 
     def maintainer(self, env: Environment) -> Generator[Event, None, None]:
-        """Kernel process: periodic Chord-style stabilization."""
+        """Kernel process: periodic Chord-style stabilization.
+
+        Each round is one bulk
+        :func:`~repro.ring.maintenance.repair_all` rebuild —
+        bit-identical in outcome and change count to the entry-by-entry
+        :func:`~repro.ring.maintenance.repair`, one pass instead of N.
+        """
         while True:
             yield env.timeout(self.maintenance_period)
-            changed = repair(self.ring, self.pointers)
+            changed = repair_all(self.ring, self.pointers)
             self.repairs.append((env.now, changed))
 
     def start(self, env: Environment) -> tuple[object, object]:

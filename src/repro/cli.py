@@ -7,7 +7,9 @@ Subcommands::
     sweep   a registered sweep, or an ad-hoc ``--axis k=v1,v2`` grid
     list    the spec registry — the single source of truth
     report  regenerate EXPERIMENTS.md from stored artifacts
-    bench   batched-routing throughput of one substrate
+    bench   throughput of one substrate: --phase route (batched query
+            engine), --phase build (batched construction), or
+            --phase churn (steady-state churn epochs)
 
 Examples::
 
@@ -194,7 +196,8 @@ def build_bench_parser() -> argparse.ArgumentParser:
         description="Benchmark one substrate. --phase route grows an overlay "
         "and times BatchQueryEngine batches against the scalar route() loop; "
         "--phase build times bulk construction (grow_batch) and batched vs "
-        "scalar rewiring rounds.",
+        "scalar rewiring rounds; --phase churn sustains steady-state churn "
+        "epochs (arrivals, departures, repair, probes) and times each.",
     )
     parser.add_argument(
         "--substrate",
@@ -204,9 +207,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--phase",
-        choices=("route", "build"),
+        choices=("route", "build", "churn"),
         default="route",
-        help="what to measure: query routing (default) or construction",
+        help="what to measure: query routing (default), construction, or "
+        "steady-state churn throughput",
     )
     parser.add_argument(
         "--batch",
@@ -227,6 +231,30 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "--skip-scalar",
         action="store_true",
         help="skip the scalar comparison loop (it dominates runtime at scale)",
+    )
+    churn = parser.add_argument_group("churn phase")
+    churn.add_argument(
+        "--epochs", type=int, default=10, help="steady-state churn epochs to sustain"
+    )
+    churn.add_argument(
+        "--half-life",
+        type=float,
+        default=8.0,
+        dest="half_life",
+        help="median session length in epochs",
+    )
+    churn.add_argument(
+        "--sessions",
+        choices=("exponential", "pareto", "trace"),
+        default="exponential",
+        help="session-time distribution shape",
+    )
+    churn.add_argument(
+        "--repair-every",
+        type=int,
+        default=4,
+        dest="repair_every",
+        help="epochs between full link repairs (1 = every epoch)",
     )
     return parser
 
@@ -250,6 +278,12 @@ def _validate_bench(args: argparse.Namespace) -> None:
         raise ConfigError(f"--rounds must be >= 1, got {args.rounds}")
     if args.cap < 1:
         raise ConfigError(f"--cap must be >= 1, got {args.cap}")
+    if args.epochs < 1:
+        raise ConfigError(f"--epochs must be >= 1, got {args.epochs}")
+    if not args.half_life > 0:
+        raise ConfigError(f"--half-life must be > 0, got {args.half_life}")
+    if args.repair_every < 1:
+        raise ConfigError(f"--repair-every must be >= 1, got {args.repair_every}")
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -261,6 +295,8 @@ def run_bench(args: argparse.Namespace) -> int:
         return 2
     if args.phase == "build":
         return _run_bench_build(args)
+    if args.phase == "churn":
+        return _run_bench_churn(args)
     return _run_bench_route(args)
 
 
@@ -379,6 +415,64 @@ def _run_bench_build(args: argparse.Namespace) -> int:
     print(
         f"[bench] sanity routing: mean_cost={stats.mean_cost:.3f} "
         f"success_rate={stats.success_rate:.3f}"
+    )
+    return 0
+
+
+def _run_bench_churn(args: argparse.Namespace) -> int:
+    """The steady-state churn phase: sustained epochs on a live overlay."""
+    from .churn import make_sessions
+    from .degree import ConstantDegrees
+    from .engine import SteadyStateChurnEngine
+    from .experiments import make_overlay
+    from .workloads import GnutellaLikeDistribution
+
+    probes = args.batch
+    print(
+        f"[bench] phase=churn substrate={args.substrate} nodes={args.nodes} "
+        f"epochs={args.epochs} half_life={args.half_life} sessions={args.sessions} "
+        f"repair_every={args.repair_every} probes={probes or 'N'} seed={args.seed}"
+    )
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(args.cap)
+    overlay = make_overlay(args.substrate, seed=args.seed)
+    started = time.perf_counter()
+    overlay.grow_batch(args.nodes, keys, degrees)
+    overlay.rewire_batch()
+    print(f"[bench] build (grow_batch + rewire_batch): {time.perf_counter() - started:.2f}s")
+
+    sessions = make_sessions(args.sessions, args.half_life)
+    engine = SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        sessions,
+        arrival_rate=args.nodes / sessions.mean,
+        repair_every=args.repair_every,
+        n_probes=probes,
+        seed=args.seed,
+    )
+    churn_started = time.perf_counter()
+    for __ in range(args.epochs):
+        t0 = time.perf_counter()
+        stats = engine.run_epoch()
+        elapsed = time.perf_counter() - t0
+        print(
+            f"[bench] epoch {stats.epoch:>3}: {elapsed * 1e3:7.1f} ms  "
+            f"live={stats.live} +{stats.arrivals}/-{stats.departures} "
+            f"stale={stats.stale_links}"
+            + (f" repair(compacted={stats.compacted})" if stats.link_repair else "")
+            + f" success={stats.probes.success_rate:.3f} cost={stats.probes.mean_cost:.2f}"
+        )
+    churn_elapsed = time.perf_counter() - churn_started
+    history = engine.history
+    mean_success = sum(s.probes.success_rate for s in history) / len(history)
+    print(
+        f"[bench] {args.epochs} epochs in {churn_elapsed:.2f}s "
+        f"({args.epochs / max(churn_elapsed, 1e-9):.2f} epochs/s) "
+        f"mean_success={mean_success:.3f} "
+        f"max_stale={max(s.stale_links for s in history)} "
+        f"final_live={history[-1].live}"
     )
     return 0
 

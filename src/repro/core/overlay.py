@@ -32,6 +32,7 @@ from ..degree import DegreeDistribution, assign_caps
 from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
 from ..ring import Ring, RingPointers, attach_node
 from ..ring import repair as repair_ring
+from ..ring import repair_all as bulk_repair_ring
 from ..routing import RouteResult, route_faulty, route_greedy
 from ..rng import split
 from ..types import Key, NodeId
@@ -137,6 +138,7 @@ class OscarOverlay:
         keys: KeyDistribution,
         degrees: DegreeDistribution,
         paired_caps: bool = True,
+        vectorized: bool = True,
     ) -> LinkAcquisitionStats:
         """Grow to ``target_size`` live peers in one vectorized bulk step.
 
@@ -147,12 +149,15 @@ class OscarOverlay:
         Existing peers keep their links (the same incremental contract
         as ``grow``); the two paths are statistically equivalent but not
         draw-for-draw aligned, so they build different (equally valid)
-        overlays from the same seed. Returns the cohort's
+        overlays from the same seed. ``vectorized=False`` runs the
+        engine's pure-Python sequential reference on the identical RNG
+        stream — bit-identical output, used by equivalence tests and
+        the churn engine's reference path. Returns the cohort's
         :class:`~repro.core.construction.LinkAcquisitionStats`.
         """
         from ..engine.construct import BatchConstructionEngine  # lazy: import cycle
 
-        return BatchConstructionEngine(self).grow(
+        return BatchConstructionEngine(self, vectorized=vectorized).grow(
             target_size, keys, degrees, paired_caps=paired_caps
         )
 
@@ -169,6 +174,26 @@ class OscarOverlay:
         self.ring.mark_dead(node_id)
         if repair:
             self.repair_ring()
+
+    def leave_batch(self, node_ids: Sequence[NodeId], repair: bool = True) -> int:
+        """Remove many peers in one bulk step (see
+        :meth:`Substrate.leave_batch
+        <repro.core.substrate.Substrate.leave_batch>`).
+
+        All departures are marked dead through
+        :func:`~repro.churn.failures.crash_many`, then the ring is
+        re-stabilized once via the bulk
+        :func:`~repro.ring.maintenance.repair_all` rebuild — identical
+        resulting pointers to per-peer :meth:`leave` calls, one repair
+        pass instead of K. Returns the pointer entries fixed.
+        """
+        from ..churn.failures import crash_many  # lazy: import cycle
+
+        crash_many(self.ring, node_ids)
+        if not repair:
+            return 0
+        self._links_epoch += 1
+        return bulk_repair_ring(self.ring, self.pointers)
 
     def _attach_pointers(self, node_id: NodeId) -> None:
         """Splice a fresh peer into the maintained ring pointers."""
@@ -215,7 +240,11 @@ class OscarOverlay:
         self._links_epoch += 1
         return rewire_all(self, rng if rng is not None else self._rewire_rng)
 
-    def rewire_batch(self, rng: np.random.Generator | None = None) -> LinkAcquisitionStats:
+    def rewire_batch(
+        self,
+        rng: np.random.Generator | None = None,
+        vectorized: bool = True,
+    ) -> LinkAcquisitionStats:
         """One global rewiring round, vectorized.
 
         Same epoch semantics as :meth:`rewire` (teardown, re-estimation
@@ -225,11 +254,13 @@ class OscarOverlay:
         lock-step numpy rounds — ≥5× faster at 10k peers. Batched and
         scalar rewiring consume the RNG differently, so the resulting
         overlays differ per-link while obeying the identical invariants.
+        ``vectorized=False`` runs the engine's sequential reference on
+        the same stream instead — bit-identical to the vectorized round.
         """
         from ..engine.construct import BatchConstructionEngine  # lazy: import cycle
 
         self._links_epoch += 1
-        return BatchConstructionEngine(self).rewire(
+        return BatchConstructionEngine(self, vectorized=vectorized).rewire(
             rng if rng is not None else self._rewire_rng
         )
 

@@ -59,6 +59,23 @@ class Substrate(Protocol):
         """Remove a peer from the live population (graceful departure)."""
         ...
 
+    def leave_batch(self, node_ids: Sequence[NodeId], repair: bool = True) -> int:
+        """Remove many peers from the live population in one bulk step.
+
+        The departure mirror of :meth:`grow_batch`: all peers are marked
+        dead first and the ring is re-stabilized *once* at the end
+        (``repair=True``, the paper's self-stabilization assumption)
+        instead of once per departure. Long links keep pointing at the
+        dead peers — discovering that costs the fault-aware router a
+        probe, exactly as after a crash wave. Oscar repairs through the
+        bulk :func:`~repro.ring.maintenance.repair_all` rebuild;
+        Chord and Mercury fall back to scalar departures with one final
+        repair — identical resulting state either way. Returns the
+        number of pointer entries the repair fixed (0 with
+        ``repair=False``).
+        """
+        ...
+
     def grow(
         self,
         target_size: int,
@@ -75,6 +92,7 @@ class Substrate(Protocol):
         keys: object,
         degrees: object,
         paired_caps: bool = True,
+        vectorized: bool = True,
     ) -> object:
         """Grow to ``target_size`` live peers in one bulk construction
         step — vectorized where the substrate supports it (Oscar's
@@ -82,7 +100,9 @@ class Substrate(Protocol):
         substrates whose construction is already cheap (Chord's
         deterministic fingers, Mercury's histogram wiring) fall back to
         scalar :meth:`grow`. Statistically equivalent to ``grow`` but
-        not draw-for-draw aligned with it."""
+        not draw-for-draw aligned with it. ``vectorized=False`` selects
+        the bit-identical pure-Python reference path where one exists
+        (Oscar); scalar-fallback substrates accept and ignore it."""
         ...
 
     # -- maintenance ---------------------------------------------------
@@ -91,10 +111,17 @@ class Substrate(Protocol):
         """One global long-link (or finger) rebuild round."""
         ...
 
-    def rewire_batch(self, rng: np.random.Generator | None = None) -> object:
+    def rewire_batch(
+        self,
+        rng: np.random.Generator | None = None,
+        vectorized: bool = True,
+    ) -> object:
         """One global rebuild round through the batched construction
         path, with scalar :meth:`rewire` as the fallback semantics for
-        substrates without a vectorized builder."""
+        substrates without a vectorized builder. ``vectorized=False``
+        selects the bit-identical pure-Python reference path where one
+        exists (Oscar); scalar-fallback substrates accept and ignore
+        it."""
         ...
 
     def repair_ring(self) -> int:

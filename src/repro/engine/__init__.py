@@ -1,6 +1,6 @@
-"""Execution engines: discrete-event simulation and batched queries.
+"""Execution engines: discrete-event simulation and batched operations.
 
-Two engines live here:
+Four engines live here:
 
 * the discrete-event kernel (:mod:`repro.engine.core`,
   :mod:`repro.engine.resources`) — :class:`Environment` drives
@@ -15,7 +15,13 @@ Two engines live here:
 * the batched construction engine (:mod:`repro.engine.construct`) —
   :class:`BatchConstructionEngine` runs partition estimation and link
   acquisition for all peers in lock-step numpy rounds, with a
-  sequential reference path pinned bit-identical by tests.
+  sequential reference path pinned bit-identical by tests;
+* the steady-state churn engine (:mod:`repro.engine.churn`) —
+  :class:`SteadyStateChurnEngine` advances an overlay through lock-step
+  epochs of batched arrivals, session-expiry departures, periodic
+  repair and routed probes, composing the other engines into one
+  continuous-turnover simulation (same bit-identical reference-path
+  contract).
 """
 
 from .batch import BatchQueryEngine, BatchRouteResult, TopologySnapshot
@@ -23,18 +29,26 @@ from .construct import BatchConstructionEngine, LiveView
 from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import Resource
 
+# Imported last: repro.churn.process (pulled in by repro.churn, which
+# the churn engine's session distributions live under) imports this
+# package's kernel names, so they must be bound before the line below
+# triggers that import chain.
+from .churn import ChurnEpochStats, SteadyStateChurnEngine  # noqa: E402
+
 __all__ = [
     "AllOf",
     "AnyOf",
     "BatchConstructionEngine",
     "BatchQueryEngine",
     "BatchRouteResult",
+    "ChurnEpochStats",
     "Environment",
     "Event",
     "Interrupt",
     "LiveView",
     "Process",
     "Resource",
+    "SteadyStateChurnEngine",
     "Timeout",
     "TopologySnapshot",
 ]

@@ -380,6 +380,14 @@ class BatchQueryEngine:
             Aggregate :class:`~repro.routing.RouteStats`, identical to
             folding per-query ``route()`` results for the same RNG
             state.
+
+        RNG-stream contract: exactly one workload draw against ``rng``
+        per call (sources + targets through
+        :meth:`QueryWorkload.generate_arrays
+        <repro.workloads.queries.QueryWorkload.generate_arrays>`),
+        whether the batch is then routed vectorized or scalar — the
+        same ``(ring, rng state, count)`` always yields the same
+        queries and the same statistics on either path.
         """
         count = self.substrate.ring.live_count if n_queries is None else n_queries
         wl = workload if workload is not None else QueryWorkload()

@@ -1,0 +1,479 @@
+"""Steady-state churn: batched arrivals, departures, repair and probes.
+
+The paper's Figure 2 injects one crash wave into a finished network; a
+deployed overlay instead lives under *continuous* membership turnover —
+peers arrive, serve a session, and vanish, while maintenance races the
+decay. This module simulates that regime at the scales the batched
+construction engine builds: :class:`SteadyStateChurnEngine` advances
+any :class:`~repro.core.substrate.Substrate` through lock-step
+**epochs**, each epoch being
+
+1. **arrivals** — a Poisson cohort joins through the substrate's
+   ``grow_batch`` (Oscar: the vectorized
+   :class:`~repro.engine.construct.BatchConstructionEngine`; Chord /
+   Mercury: their scalar fallbacks), each newcomer drawing a session
+   length from a pluggable :class:`~repro.churn.sessions.SessionTimes`
+   distribution (exponential, Pareto heavy-tail, or trace-driven from
+   the synthetic Gnutella cascade);
+2. **departures** — every peer whose session expired crashes in one
+   bulk ``leave_batch`` wave, and ring pointers re-stabilize immediately
+   (the paper's standing self-stabilization assumption) through the
+   bulk :func:`~repro.ring.maintenance.repair_all` rebuild, while long
+   links keep dangling;
+3. **periodic repair** — every ``repair_every`` epochs the accumulated
+   damage is actually fixed: long-dead peers are compacted out of the
+   ring in one :meth:`Ring.remove_many
+   <repro.ring.ring.Ring.remove_many>` pass (keeping long runs
+   memory-bounded) and every live peer rewires through the batched
+   construction path;
+4. **probes** — a routed query batch through
+   :class:`~repro.engine.batch.BatchQueryEngine` measures what users
+   would see *right now*: the fault-aware router (and its probe costs)
+   whenever crashed peers are present, the vectorized fault-free walk
+   on a freshly repaired overlay.
+
+Per-epoch outcomes land in :class:`ChurnEpochStats` — success rate,
+mean cost, stale-link count, population size — the time series the
+``steady-churn`` experiment plots.
+
+Determinism contract
+--------------------
+
+Every random decision draws from a labelled stream derived from the
+engine's ``seed`` (see :meth:`SteadyStateChurnEngine.run_epoch` for the
+exact layout), and the draw layout is state-independent: both execution
+paths consume each stream identically. ``vectorized=False`` replaces
+every churn-side numpy kernel with its pure-Python twin — expiry
+selection by loop, stale-link counting by set membership, scalar ring
+repair, the construction engine's sequential reference, scalar probe
+routing — and must produce **bit-identical** epoch statistics and final
+overlay state; the test suite pins the equivalence property-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..churn.sessions import SessionTimes
+from ..degree import DegreeDistribution
+from ..errors import ConfigError
+from ..routing import RouteStats
+from ..rng import split
+from ..workloads import KeyDistribution, QueryWorkload
+from .batch import BatchQueryEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.substrate import Substrate
+
+__all__ = ["ChurnEpochStats", "SteadyStateChurnEngine"]
+
+
+@dataclass(frozen=True)
+class ChurnEpochStats:
+    """Everything observed in one steady-state churn epoch.
+
+    Attributes:
+        epoch: 1-based epoch index.
+        arrivals: Peers that joined this epoch (the Poisson cohort).
+        departures: Peers whose sessions expired and crashed this epoch.
+        live: Live population at the end of the epoch.
+        pointer_fixes: Ring pointer entries the post-wave stabilization
+            had to add, change or drop.
+        stale_links: Live-to-dead long links outstanding after the wave
+            (before any periodic repair this epoch) — the damage the
+            fault-aware router pays probes for.
+        link_repair: Whether the periodic full repair ran this epoch.
+        compacted: Dead peers removed from the ring by that repair
+            (0 on non-repair epochs).
+        probes: Routed probe-batch statistics
+            (:class:`~repro.routing.RouteStats`): success rate and mean
+            cost as seen by queries issued at this instant.
+    """
+
+    epoch: int
+    arrivals: int
+    departures: int
+    live: int
+    pointer_fixes: int
+    stale_links: int
+    link_repair: bool
+    compacted: int
+    probes: RouteStats
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat JSON-ready view (used by benchmarks and the CLI)."""
+        return {
+            "epoch": self.epoch,
+            "arrivals": self.arrivals,
+            "departures": self.departures,
+            "live": self.live,
+            "pointer_fixes": self.pointer_fixes,
+            "stale_links": self.stale_links,
+            "link_repair": self.link_repair,
+            "compacted": self.compacted,
+            "success_rate": self.probes.success_rate,
+            "mean_cost": self.probes.mean_cost,
+        }
+
+
+class _ScalarQueryEngine(BatchQueryEngine):
+    """A :class:`BatchQueryEngine` pinned to the scalar routing fallback
+    — the reference path's probe backend (identical RNG consumption,
+    identical statistics; the batched/scalar agreement is pinned by the
+    engine's own test suite)."""
+
+    def _vectorizable(self) -> bool:
+        """Always route one query at a time."""
+        return False
+
+
+class SteadyStateChurnEngine:
+    """Vectorized steady-state churn simulation over one substrate.
+
+    Args:
+        substrate: Any overlay satisfying the
+            :class:`~repro.core.substrate.Substrate` protocol. Must hold
+            at least one live peer (the engine assigns the initial
+            population its sessions at construction).
+        keys: Key distribution for arriving peers.
+        degrees: Capacity-cap distribution for arriving peers (ignored
+            by cap-less substrates, exactly like ``grow``).
+        sessions: Session-time distribution
+            (:mod:`repro.churn.sessions`); its median ``half_life``
+            decides how fast the population turns over.
+        arrival_rate: Expected arrivals per epoch (Poisson). The
+            steady-state population is ``arrival_rate * sessions.mean``
+            (Little's law); pass
+            ``live_count / sessions.mean`` to hold the current size.
+        repair_every: Periodic full repair cadence in epochs (1 = every
+            epoch; damage never accumulates).
+        n_probes: Routed probes per epoch (0 = one per live peer, the
+            paper's N convention).
+        seed: Root of every engine-labelled RNG stream.
+        vectorized: ``True`` runs the numpy kernels; ``False`` the
+            bit-identical pure-Python reference (see module docstring).
+        workload: Probe target selection policy (default: uniform over
+            live peers).
+
+    Attributes:
+        history: Every :class:`ChurnEpochStats` recorded so far.
+    """
+
+    def __init__(
+        self,
+        substrate: "Substrate",
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        sessions: SessionTimes,
+        arrival_rate: float,
+        repair_every: int = 4,
+        n_probes: int = 256,
+        seed: int = 42,
+        vectorized: bool = True,
+        workload: QueryWorkload | None = None,
+    ) -> None:
+        if not (arrival_rate >= 0.0 and np.isfinite(arrival_rate)):
+            raise ConfigError(f"arrival_rate must be a finite float >= 0, got {arrival_rate}")
+        if repair_every < 1:
+            raise ConfigError(f"repair_every must be >= 1, got {repair_every}")
+        if n_probes < 0:
+            raise ConfigError(f"n_probes must be >= 0 (0 = one per live peer), got {n_probes}")
+        if substrate.ring.live_count < 2:
+            raise ConfigError("steady-state churn needs an overlay with >= 2 live peers")
+        # Fail fast on substrates the engine cannot observe: beyond the
+        # Substrate protocol it reads the per-peer link state (`nodes`
+        # with ``out_links``, or Chord-style `fingers`) for stale-link
+        # accounting and compaction, and the contiguous `_next_id` join
+        # counter to identify each epoch's arrival cohort. A silently
+        # unobservable substrate would report stale_links=0 forever and
+        # leak state on compaction — better to refuse it here.
+        if getattr(substrate, "nodes", None) is None and getattr(substrate, "fingers", None) is None:
+            raise ConfigError(
+                "substrate exposes neither 'nodes' (with out_links) nor 'fingers'; "
+                "the churn engine cannot track its long links"
+            )
+        if not hasattr(substrate, "_next_id"):
+            raise ConfigError(
+                "substrate has no '_next_id' join counter; the churn engine "
+                "cannot identify arrival cohorts"
+            )
+        self.substrate = substrate
+        self.keys = keys
+        self.degrees = degrees
+        self.sessions = sessions
+        self.arrival_rate = float(arrival_rate)
+        self.repair_every = int(repair_every)
+        self.n_probes = int(n_probes)
+        self.seed = int(seed)
+        self.vectorized = bool(vectorized)
+        self.workload = workload if workload is not None else QueryWorkload()
+        self.history: list[ChurnEpochStats] = []
+        self._epoch = 0
+        engine_cls = BatchQueryEngine if self.vectorized else _ScalarQueryEngine
+        self._query_engine = engine_cls(substrate)
+        # The initial population's sessions, clocked from time 0 — one
+        # bulk draw on its own labelled stream.
+        ids = substrate.ring.ids_array(live_only=True)
+        lengths = self.sessions.sample(split(self.seed, "steady-sessions-init"), int(ids.size))
+        self._session_ids = ids.astype(np.int64, copy=True)
+        self._departs = np.asarray(lengths, dtype=float)
+
+    @property
+    def epoch(self) -> int:
+        """Number of epochs run so far (the current simulation time)."""
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # the epoch loop
+    # ------------------------------------------------------------------
+
+    def run(self, epochs: int) -> list[ChurnEpochStats]:
+        """Advance ``epochs`` lock-step epochs; returns their statistics.
+
+        Purely cumulative: ``run(3)`` then ``run(2)`` is identical to
+        one ``run(5)`` — every epoch draws from streams labelled by its
+        absolute index, never from a shared cursor.
+        """
+        if epochs < 0:
+            raise ConfigError(f"epochs must be >= 0, got {epochs}")
+        return [self.run_epoch() for __ in range(epochs)]
+
+    def run_epoch(self) -> ChurnEpochStats:
+        """Advance one epoch: arrivals, departures, repair, probes.
+
+        RNG-stream layout (all derived from the engine ``seed``; ``e``
+        is the 1-based epoch index):
+
+        * ``("steady-arrivals", e)`` — one Poisson draw for the cohort
+          size;
+        * ``("steady-sessions", e)`` — one bulk session-length draw for
+          the cohort;
+        * ``("steady-repair", e)`` — rewiring randomness of a periodic
+          repair landing on this epoch;
+        * ``("steady-probes", e)`` — the probe workload;
+        * the substrate's own join stream is consumed by ``grow_batch``
+          (state-dependent, but both execution paths consume it
+          identically — the construction engine's own contract).
+
+        The layout is state-independent: every stream is consumed the
+        same way whatever individual peers decide, which is what keeps
+        the vectorized and reference paths bit-identical.
+        """
+        self._epoch += 1
+        e = self._epoch
+        arrivals = self._arrive(e)
+        departures, pointer_fixes = self._depart(e)
+        stale = self._count_stale_links()
+        repair_due = (e % self.repair_every) == 0
+        compacted = self._repair_links(e) if repair_due else 0
+        probes = self._probe(e)
+        stats = ChurnEpochStats(
+            epoch=e,
+            arrivals=arrivals,
+            departures=departures,
+            live=self.substrate.ring.live_count,
+            pointer_fixes=pointer_fixes,
+            stale_links=stale,
+            link_repair=repair_due,
+            compacted=compacted,
+            probes=probes,
+        )
+        self.history.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # epoch phases
+    # ------------------------------------------------------------------
+
+    def _arrive(self, e: int) -> int:
+        """Join this epoch's Poisson cohort; returns its size.
+
+        One count draw plus one bulk session draw, both on epoch-``e``
+        labelled streams; the join itself goes through the substrate's
+        ``grow_batch`` with the engine's execution path threaded in, so
+        an Oscar cohort estimates partitions and acquires links as one
+        lock-step batch.
+        """
+        ring = self.substrate.ring
+        count = int(split(self.seed, "steady-arrivals", e).poisson(self.arrival_rate))
+        lengths = self.sessions.sample(split(self.seed, "steady-sessions", e), count)
+        if count == 0:
+            return 0
+        before = int(self.substrate._next_id)
+        self.substrate.grow_batch(
+            ring.live_count + count, self.keys, self.degrees, vectorized=self.vectorized
+        )
+        new_ids = np.arange(before, int(self.substrate._next_id), dtype=np.int64)
+        self._session_ids = np.concatenate([self._session_ids, new_ids])
+        self._departs = np.concatenate(
+            [self._departs, float(e) + np.asarray(lengths, dtype=float)]
+        )
+        return count
+
+    def _depart(self, e: int) -> tuple[int, int]:
+        """Crash every expired session; returns ``(departures, fixes)``.
+
+        Expiry is "session end at or before time ``e``". At least one
+        peer always survives (a fully dead overlay has nothing left to
+        measure): when every session expired at once, the longest-lived
+        peer (ties to the higher id) is reprieved and keeps its slot in
+        the table. The wave lands as one bulk ``leave_batch`` (ring
+        pointers re-stabilized once, long links left dangling); the
+        reference path crashes one peer at a time and runs the scalar
+        repair instead — identical end state.
+        """
+        if self.vectorized:
+            expired_mask = self._departs <= float(e)
+            expired = self._session_ids[expired_mask]
+        else:
+            expired = np.asarray(
+                [
+                    int(node_id)
+                    for node_id, depart in zip(self._session_ids, self._departs)
+                    if float(depart) <= float(e)
+                ],
+                dtype=np.int64,
+            )
+        if expired.size == 0:
+            return 0, 0
+        if expired.size >= self.substrate.ring.live_count:
+            keep = self._longest_lived(expired)
+            expired = expired[expired != keep]
+            if expired.size == 0:
+                return 0, 0
+        if self.vectorized:
+            fixes = int(self.substrate.leave_batch([int(i) for i in expired], repair=True))
+        else:
+            for node_id in expired:
+                self.substrate.ring.mark_dead(int(node_id))
+            fixes = int(self.substrate.repair_ring())
+        gone = np.isin(self._session_ids, expired)
+        self._session_ids = self._session_ids[~gone]
+        self._departs = self._departs[~gone]
+        return int(expired.size), fixes
+
+    def _longest_lived(self, expired: np.ndarray) -> int:
+        """The reprieved peer of a total-expiry wave: maximal
+        ``(departure time, id)`` — deterministic on both paths."""
+        order = np.isin(self._session_ids, expired)
+        ids = self._session_ids[order]
+        departs = self._departs[order]
+        best = int(np.lexsort((ids, departs))[-1])
+        return int(ids[best])
+
+    def _repair_links(self, e: int) -> int:
+        """Periodic full repair: compact the dead, rewire the living.
+
+        Long-dead peers leave the ring for good in one bulk
+        ``remove_many`` pass (their per-substrate state dropped with
+        them), then every live peer rebuilds its long links through the
+        substrate's batched rewiring on the ``("steady-repair", e)``
+        stream. Returns how many peers were compacted away.
+        """
+        ring = self.substrate.ring
+        all_ids = ring.ids_array(live_only=False)
+        live_ids = ring.ids_array(live_only=True)
+        dead = np.setdiff1d(all_ids, live_ids, assume_unique=True)
+        if dead.size:
+            self._drop_state(dead)
+            ring.remove_many([int(i) for i in dead])
+        if ring.live_count >= 2:
+            self.substrate.rewire_batch(
+                split(self.seed, "steady-repair", e), vectorized=self.vectorized
+            )
+        else:
+            # A lone survivor has nothing to rewire to; its long links
+            # all referenced compacted peers and must still be dropped.
+            self._clear_links(ring.ids_array(live_only=True))
+        return int(dead.size)
+
+    def _clear_links(self, live_ids: np.ndarray) -> None:
+        """Drop every long link of the given live peers (the degenerate
+        repair when the population collapsed below two peers)."""
+        nodes = getattr(self.substrate, "nodes", None)
+        fingers = getattr(self.substrate, "fingers", None)
+        for node_id in live_ids:
+            if nodes is not None:
+                node = nodes[int(node_id)]
+                node.reset_links()
+                node.in_degree = 0
+            elif fingers is not None:
+                fingers[int(node_id)] = []
+
+    def _drop_state(self, dead: np.ndarray) -> None:
+        """Delete per-substrate node state for compacted peers (Oscar /
+        Mercury ``nodes``, Chord ``fingers`` + ``application_key``)."""
+        nodes = getattr(self.substrate, "nodes", None)
+        if nodes is not None:
+            for node_id in dead:
+                nodes.pop(int(node_id), None)
+        fingers = getattr(self.substrate, "fingers", None)
+        if fingers is not None:
+            for node_id in dead:
+                fingers.pop(int(node_id), None)
+        application_key = getattr(self.substrate, "application_key", None)
+        if application_key is not None:
+            for node_id in dead:
+                application_key.pop(int(node_id), None)
+
+    def _probe(self, e: int) -> RouteStats:
+        """Route this epoch's probe batch; returns its statistics.
+
+        Fault-aware routing (scalar by nature — per-probe backtracking
+        state) whenever crashed peers are present; the vectorized
+        fault-free walk on a clean overlay. Both go through the one
+        :class:`~repro.engine.batch.BatchQueryEngine` API on the
+        ``("steady-probes", e)`` stream, so the probe count and targets
+        are identical across paths.
+        """
+        ring = self.substrate.ring
+        faulty = len(ring) > ring.live_count
+        count = None if self.n_probes == 0 else self.n_probes
+        return self._query_engine.measure(
+            split(self.seed, "steady-probes", e),
+            n_queries=count,
+            workload=self.workload,
+            faulty=faulty,
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _count_stale_links(self) -> int:
+        """Live-to-dead long links outstanding right now.
+
+        Long links are the substrate's sampled links (Oscar / Mercury
+        ``out_links``) or deterministic fingers (Chord); ring pointers
+        never count (they are re-stabilized every epoch). The vectorized
+        kernel batches liveness membership over one concatenated target
+        array; the reference twin walks a set — identical counts.
+        """
+        ring = self.substrate.ring
+        live_ids = ring.ids_array(live_only=True)
+        targets = self._long_link_targets(live_ids)
+        if not targets:
+            return 0
+        if self.vectorized:
+            nonempty = [np.asarray(links, dtype=np.int64) for links in targets if links]
+            if not nonempty:
+                return 0
+            flat = np.concatenate(nonempty)
+            live_sorted = np.sort(live_ids)  # ring order is by position, not id
+            idx = np.minimum(np.searchsorted(live_sorted, flat), live_sorted.size - 1)
+            return int((live_sorted[idx] != flat).sum())
+        live_set = {int(i) for i in live_ids}
+        return sum(1 for links in targets for target in links if int(target) not in live_set)
+
+    def _long_link_targets(self, live_ids: np.ndarray) -> list[Sequence[int]]:
+        """Per-live-peer long-link target lists, in ring order."""
+        nodes = getattr(self.substrate, "nodes", None)
+        if nodes is not None:
+            return [nodes[int(i)].out_links for i in live_ids]
+        fingers = getattr(self.substrate, "fingers", None)
+        if fingers is not None:
+            return [fingers[int(i)] for i in live_ids]
+        return []

@@ -166,6 +166,13 @@ class BatchConstructionEngine:
         peers against the current population, then link re-acquisition
         under a random peer priority so no cohort systematically wins
         the race for scarce in-capacity.
+
+        RNG-stream contract: all randomness comes from the passed
+        ``rng`` in a fixed, state-independent draw layout (one
+        estimation draw per level for every active peer, one priority
+        shuffle, one partition + candidate draw per acquisition round)
+        — both execution paths consume the stream identically, which is
+        what makes ``vectorized=False`` bit-identical.
         """
         view = LiveView.capture(self.overlay)
         if view.m < 2:
@@ -194,6 +201,12 @@ class BatchConstructionEngine:
         partitions and acquire links as one batched cohort against the
         full population — existing peers keep their links, mirroring the
         incremental contract of scalar ``grow``.
+
+        RNG-stream contract: consumes the overlay's join stream
+        (``_join_rng``) — state-dependent on the overlay's history, but
+        with the same fixed draw layout as :meth:`rewire`, so for a
+        given overlay state both execution paths consume it identically
+        and grow bit-identical cohorts.
         """
         overlay = self.overlay
         missing = int(target_size) - overlay.ring.live_count

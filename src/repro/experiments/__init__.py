@@ -32,6 +32,7 @@ from . import (  # noqa: F401
     fig2,
     scale_build,
     scenario,
+    steady_churn,
 )
 from .base import ExperimentResult, scaled_sizes
 from .growth import SizeMeasurement, grow_and_measure, make_overlay

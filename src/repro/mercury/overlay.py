@@ -103,6 +103,18 @@ class MercuryOverlay:
         if repair:
             self.repair_ring()
 
+    def leave_batch(self, node_ids: Sequence[NodeId], repair: bool = True) -> int:
+        """Scalar fallback of the bulk-departure surface (see
+        :meth:`Substrate.leave_batch
+        <repro.core.substrate.Substrate.leave_batch>`): mark every peer
+        dead, then one ring repair — identical end state to per-peer
+        :meth:`leave` calls, one stabilization pass instead of K.
+        Returns the pointer entries fixed (0 with ``repair=False``).
+        """
+        for node_id in node_ids:
+            self.ring.mark_dead(int(node_id))
+        return self.repair_ring() if repair else 0
+
     # ------------------------------------------------------------------
     # topology access (NeighborProvider)
     # ------------------------------------------------------------------
@@ -145,18 +157,25 @@ class MercuryOverlay:
         keys: KeyDistribution,
         degrees: DegreeDistribution,
         paired_caps: bool = True,
+        vectorized: bool = True,
     ) -> None:
         """Scalar fallback of the batched-construction surface.
 
         Mercury is the *baseline* whose construction cost the paper
         argues against; vectorizing it would change what the comparison
         measures, so the batched surface delegates to scalar
-        :meth:`grow` draw-for-draw.
+        :meth:`grow` draw-for-draw (``vectorized`` is accepted for
+        surface uniformity and ignored).
         """
+        del vectorized
         return self.grow(target_size, keys, degrees, paired_caps=paired_caps)
 
-    def rewire_batch(self, rng: np.random.Generator | None = None) -> int:
-        """Scalar fallback: delegates to :meth:`rewire` unchanged."""
+    def rewire_batch(
+        self, rng: np.random.Generator | None = None, vectorized: bool = True
+    ) -> int:
+        """Scalar fallback: delegates to :meth:`rewire` unchanged
+        (``vectorized`` accepted for surface uniformity, ignored)."""
+        del vectorized
         return self.rewire(rng)
 
     def repair_ring(self) -> int:

@@ -32,6 +32,7 @@ from .maintenance import (
     build_pointers,
     rebuild_pointers,
     repair,
+    repair_all,
     verify,
 )
 from .ring import Ring
@@ -53,5 +54,6 @@ __all__ = [
     "normalize",
     "rebuild_pointers",
     "repair",
+    "repair_all",
     "verify",
 ]

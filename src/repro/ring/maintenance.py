@@ -27,7 +27,15 @@ from ..errors import EmptyPopulationError, RingInvariantError
 from ..types import NodeId
 from .ring import Ring
 
-__all__ = ["RingPointers", "attach_node", "build_pointers", "rebuild_pointers", "repair", "verify"]
+__all__ = [
+    "RingPointers",
+    "attach_node",
+    "build_pointers",
+    "rebuild_pointers",
+    "repair",
+    "repair_all",
+    "verify",
+]
 
 
 @dataclass
@@ -118,6 +126,35 @@ def repair(ring: Ring, pointers: RingPointers) -> int:
             if table.get(node) != target:
                 table[node] = target
                 changes += 1
+    return changes
+
+
+def repair_all(ring: Ring, pointers: RingPointers) -> int:
+    """Bulk self-stabilization — :func:`repair` restated as one rebuild.
+
+    Computes the correct live wiring once from the ring's sorted order
+    and replaces both tables wholesale instead of probing them entry by
+    entry, which is what the steady-state churn engine calls after every
+    bulk departure wave. The returned change count (entries added,
+    changed or removed) is **bit-identical** to :func:`repair` on the
+    same state — the test suite pins the equivalence — so the two are
+    interchangeable; this one is the bulk-departure hot path.
+    """
+    live = ring.node_ids(live_only=True)
+    if not live:
+        raise EmptyPopulationError("cannot repair a ring with no live peers")
+    n = len(live)
+    changes = 0
+    for table, correct in (
+        (pointers.successor, {node: live[(i + 1) % n] for i, node in enumerate(live)}),
+        (pointers.predecessor, {node: live[(i - 1) % n] for i, node in enumerate(live)}),
+    ):
+        stale = sum(1 for node in table if node not in correct)
+        changed = sum(1 for node, target in correct.items() if table.get(node) != target)
+        changes += stale + changed
+        if stale or changed:
+            table.clear()
+            table.update(correct)
     return changes
 
 

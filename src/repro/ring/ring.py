@@ -149,6 +149,40 @@ class Ring:
         self._version += len(pairs)
         self._invalidate()
 
+    def remove_many(self, node_ids: "Iterable[NodeId]") -> None:
+        """Bulk-remove peers (live or dead) from the structure entirely.
+
+        The teardown mirror of :meth:`insert_many`: one mask pass over
+        the sorted arrays instead of ``O(N)``-per-peer list splicing,
+        which is what keeps long steady-state churn runs memory-bounded
+        — crashed peers are *marked* dead (so dangling links stay
+        discoverable) and only compacted away here once periodic repair
+        has rewired around them. Removed positions become free again.
+
+        Validation happens before any mutation: an unknown or repeated
+        id raises :class:`UnknownNodeError` / :class:`DuplicateNodeError`
+        and leaves the ring untouched. Removing nothing is a no-op (no
+        version bump).
+        """
+        ids = [int(node_id) for node_id in node_ids]
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise DuplicateNodeError("bulk remove contains a repeated node id")
+        for node_id in ids:
+            self._require_known(node_id)
+        drop = set(ids)
+        keep = [i for i, node_id in enumerate(self._sorted_ids) if node_id not in drop]
+        self._sorted_positions = [self._sorted_positions[i] for i in keep]
+        self._sorted_keys = [self._sorted_keys[i] for i in keep]
+        self._sorted_ids = [self._sorted_ids[i] for i in keep]
+        for node_id in ids:
+            del self._pos_of[node_id]
+            del self._key_of[node_id]
+            del self._alive[node_id]
+        self._version += len(ids)
+        self._invalidate()
+
     def mark_dead(self, node_id: NodeId) -> None:
         """Crash a peer. Idempotent."""
         self._require_known(node_id)

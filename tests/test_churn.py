@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.churn import apply_churn, crash_fraction, revive_all
+from repro.churn import apply_churn, crash_fraction, crash_many, revive_all, revive_many
 from repro.config import ChurnConfig
 from repro.errors import EmptyPopulationError
 from repro.ring import Ring, build_pointers, verify
@@ -42,9 +42,35 @@ class TestCrashFraction:
         assert ring.live_count >= 1
         assert len(victims) <= 2
 
-    def test_rejects_full_fraction(self):
+    def test_full_fraction_spares_exactly_one(self):
+        ring = ring_of(5)
+        victims = crash_fraction(ring, make_rng(4), 1.0)
+        assert len(victims) == 4
+        assert ring.live_count == 1
+
+    def test_rejects_fraction_above_one(self):
         with pytest.raises(ValueError):
-            crash_fraction(ring_of(5), make_rng(4), 1.0)
+            crash_fraction(ring_of(5), make_rng(4), 1.0000001)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            crash_fraction(ring_of(5), make_rng(4), -0.1)
+
+    def test_single_peer_ring_loses_nobody(self):
+        ring = ring_of(1)
+        assert crash_fraction(ring, make_rng(4), 1.0) == []
+        assert ring.live_count == 1
+
+    def test_already_dead_victims_excluded_from_base(self):
+        # 10 peers, 4 already dead: fraction 0.5 counts over the 6 live
+        # peers only (3 victims) and never re-selects a dead one.
+        ring = ring_of(10)
+        first = crash_fraction(ring, make_rng(11), 0.4)
+        assert len(first) == 4
+        second = crash_fraction(ring, make_rng(12), 0.5)
+        assert len(second) == 3
+        assert not set(first) & set(second)
+        assert ring.live_count == 3
 
     def test_rejects_empty_ring(self):
         with pytest.raises(EmptyPopulationError):
@@ -59,6 +85,33 @@ class TestCrashFraction:
         ring = ring_of(100)
         crash_fraction(ring, make_rng(7), 0.5)
         crash_fraction(ring, make_rng(8), 0.5)
+        assert ring.live_count == 25
+
+
+class TestBulkPrimitives:
+    def test_crash_many_flips_and_reports(self):
+        ring = ring_of(10)
+        assert crash_many(ring, [1, 3, 5]) == [1, 3, 5]
+        assert ring.live_count == 7
+
+    def test_crash_many_skips_already_dead(self):
+        ring = ring_of(10)
+        crash_many(ring, [1, 3])
+        # Re-crashing dead peers is a no-op, reported as unchanged.
+        assert crash_many(ring, [1, 3, 5]) == [5]
+        assert ring.live_count == 7
+
+    def test_revive_many_mirrors_crash_many(self):
+        ring = ring_of(10)
+        crash_many(ring, [2, 4, 6])
+        assert revive_many(ring, [2, 6, 8]) == [2, 6]  # 8 was never dead
+        assert ring.live_count == 9
+        assert not ring.is_alive(4)
+
+    def test_bulk_round_trip_restores_everything(self):
+        ring = ring_of(25)
+        dead = crash_many(ring, range(0, 25, 2))
+        assert revive_many(ring, dead) == dead
         assert ring.live_count == 25
 
 

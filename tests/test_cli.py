@@ -316,6 +316,35 @@ class TestBenchSubcommand:
         assert "speedup" in out
         assert "success_rate=1.000" in out
 
+    def test_bench_churn_phase_runs(self, capsys):
+        exit_code = main(
+            ["bench", "--phase", "churn", "--nodes", "150", "--epochs", "4",
+             "--batch", "32", "--half-life", "3", "--repair-every", "2"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "phase=churn" in out
+        assert "epoch   4" in out
+        assert "epochs/s" in out
+        assert "repair(compacted=" in out
+
+    def test_bench_churn_defaults(self):
+        args = build_bench_parser().parse_args(["--phase", "churn"])
+        assert args.epochs == 10
+        assert args.half_life == 8.0
+        assert args.sessions == "exponential"
+        assert args.repair_every == 4
+
+    def test_bench_churn_rejects_bad_flags(self, capsys):
+        assert main(["bench", "--phase", "churn", "--epochs", "0"]) == 2
+        assert "--epochs" in capsys.readouterr().err
+        assert main(["bench", "--phase", "churn", "--half-life", "0"]) == 2
+        assert "--half-life" in capsys.readouterr().err
+        assert main(["bench", "--phase", "churn", "--repair-every", "0"]) == 2
+        assert "--repair-every" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            build_bench_parser().parse_args(["--sessions", "weibull"])
+
 
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):

@@ -1,0 +1,51 @@
+"""The generated experiment-registry section must never drift.
+
+``docs/experiments.md`` carries a section rendered from the live spec
+registry by ``scripts/gen_experiment_docs.py``; CI gates it with
+``--check``, and this test pins the same guarantee in tier-1 so a new
+or changed spec fails fast locally with the regeneration command in
+the error message.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_generator(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "gen_experiment_docs.py"), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_registry_section_is_fresh():
+    completed = run_generator("--check")
+    assert completed.returncode == 0, (
+        f"docs/experiments.md is stale:\n{completed.stderr}\n"
+        "regenerate with: PYTHONPATH=src python scripts/gen_experiment_docs.py"
+    )
+
+
+def test_generated_section_mentions_every_spec_and_sweep():
+    from repro.experiments import all_specs, all_sweeps
+
+    text = (REPO_ROOT / "docs" / "experiments.md").read_text(encoding="utf-8")
+    generated = text.split("<!-- BEGIN GENERATED REGISTRY", 1)[1]
+    for spec in all_specs():
+        assert f"`{spec.id}`" in generated
+        for param in spec.params:
+            assert f"`{param.name}`" in generated
+    for sweep in all_sweeps():
+        assert f"`{sweep.id}`" in generated

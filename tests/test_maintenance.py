@@ -8,7 +8,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import EmptyPopulationError, RingInvariantError
-from repro.ring import Ring, RingPointers, attach_node, build_pointers, repair, verify
+from repro.ring import (
+    Ring,
+    RingPointers,
+    attach_node,
+    build_pointers,
+    repair,
+    repair_all,
+    verify,
+)
 
 
 def fresh_ring(positions: list[float]) -> Ring:
@@ -149,6 +157,57 @@ class TestRepair:
         for victim in rng.choice(live, size=n_kill, replace=False):
             ring.mark_dead(int(victim))
         repair(ring, pointers)
+        verify(ring, pointers)
+
+
+class TestRepairAll:
+    def test_noop_on_stable_ring(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        assert repair_all(ring, pointers) == 0
+
+    def test_empty_ring_rejected(self):
+        ring = fresh_ring([0.5])
+        ring.mark_dead(0)
+        with pytest.raises(EmptyPopulationError):
+            repair_all(ring, RingPointers())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=24),
+        data=st.data(),
+    )
+    def test_bit_identical_to_scalar_repair(self, n, data):
+        """repair_all must return the same change count and produce the
+        same pointer tables as entry-by-entry repair on any damage."""
+        positions = [i / n for i in range(n)]
+        ring_a = fresh_ring(positions)
+        ring_b = fresh_ring(positions)
+        pointers_a = build_pointers(ring_a)
+        pointers_b = build_pointers(ring_b)
+        victims = data.draw(
+            st.lists(st.integers(min_value=0, max_value=n - 1), unique=True, max_size=n - 1)
+        )
+        for victim in victims:
+            ring_a.mark_dead(victim)
+            ring_b.mark_dead(victim)
+        # Scramble some surviving entries to exercise the changed-entry path.
+        survivors = [i for i in range(n) if i not in set(victims)]
+        if len(survivors) >= 2:
+            pointers_a.successor[survivors[0]] = survivors[-1]
+            pointers_b.successor[survivors[0]] = survivors[-1]
+        assert repair_all(ring_a, pointers_a) == repair(ring_b, pointers_b)
+        assert pointers_a.successor == pointers_b.successor
+        assert pointers_a.predecessor == pointers_b.predecessor
+        verify(ring_a, pointers_a)
+
+    def test_idempotent(self, five_ring):
+        ring, __ = five_ring
+        pointers = build_pointers(ring)
+        ring.mark_dead(0)
+        ring.mark_dead(3)
+        assert repair_all(ring, pointers) > 0
+        assert repair_all(ring, pointers) == 0
         verify(ring, pointers)
 
 

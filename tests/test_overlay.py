@@ -189,6 +189,43 @@ class TestRepairRing:
             assert result.success
 
 
+class TestLeaveBatch:
+    def test_matches_sequential_leaves(self):
+        bulk = build_overlay(n=60, seed=33)
+        sequential = build_overlay(n=60, seed=33)
+        victims = list(bulk.ring.node_ids())[::6]
+        fixed = bulk.leave_batch(victims)
+        for victim in victims:
+            sequential.leave(victim)
+        assert fixed > 0
+        verify(bulk.ring, bulk.pointers)
+        assert bulk.pointers.successor == sequential.pointers.successor
+        assert bulk.pointers.predecessor == sequential.pointers.predecessor
+        assert bulk.ring.live_count == sequential.ring.live_count
+
+    def test_repair_false_defers_stabilization(self):
+        overlay = build_overlay(n=40, seed=34)
+        victims = list(overlay.ring.node_ids())[:5]
+        assert overlay.leave_batch(victims, repair=False) == 0
+        # Pointers still reference the dead peers until repaired.
+        assert any(
+            succ in victims for succ in overlay.pointers.successor.values()
+        )
+        overlay.repair_ring()
+        verify(overlay.ring, overlay.pointers)
+
+    def test_invalidates_query_engine_snapshot(self):
+        from repro.engine import BatchQueryEngine
+
+        overlay = build_overlay(n=50, seed=35)
+        engine = BatchQueryEngine(overlay)
+        engine.snapshot()
+        version = overlay.topology_version
+        overlay.leave_batch(list(overlay.ring.node_ids())[:3])
+        assert overlay.topology_version != version
+        assert engine.snapshot().version == overlay.topology_version
+
+
 class TestSamplingModes:
     @pytest.mark.parametrize("mode", list(SamplingMode))
     def test_overlay_builds_under_every_mode(self, mode):

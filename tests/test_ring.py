@@ -69,6 +69,65 @@ class TestMembership:
         assert list(ring) == ids
 
 
+class TestRemoveMany:
+    def test_removes_live_and_dead(self, five_ring):
+        ring, __ = five_ring
+        ring.mark_dead(1)
+        version_before = ring.version
+        ring.remove_many([1, 3])
+        assert len(ring) == 3
+        assert 1 not in ring and 3 not in ring
+        assert ring.live_count == 3
+        assert ring.version == version_before + 2
+
+    def test_position_becomes_free_again(self, five_ring):
+        ring, __ = five_ring
+        position = ring.position(2)
+        ring.remove_many([2])
+        ring.insert(99, position)  # no DuplicateNodeError
+        assert ring.position(99) == position
+
+    def test_matches_sorted_order_after_removal(self):
+        ring = make_ring([0.7, 0.1, 0.4, 0.9, 0.2])
+        ring.remove_many([0, 4])  # positions 0.7 and 0.2
+        assert ring.node_ids() == [1, 2, 3]
+        assert list(ring.positions_array()) == [0.1, 0.4, 0.9]
+
+    def test_unknown_id_rejected_before_any_mutation(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(UnknownNodeError):
+            ring.remove_many([0, 99])
+        assert len(ring) == 5
+        assert 0 in ring
+
+    def test_repeated_id_rejected(self, five_ring):
+        ring, __ = five_ring
+        with pytest.raises(DuplicateNodeError):
+            ring.remove_many([2, 2])
+        assert len(ring) == 5
+
+    def test_empty_removal_is_a_noop(self, five_ring):
+        ring, __ = five_ring
+        version = ring.version
+        ring.remove_many([])
+        assert ring.version == version
+
+    def test_lookups_consistent_after_removal(self, five_ring):
+        ring, __ = five_ring
+        ring.remove_many([2])
+        remaining = ring.node_ids()
+        for node_id in remaining:
+            assert ring.successor(ring.predecessor(node_id)) == node_id
+        assert ring.successor_of_key(0.5) == 3  # 0.5's peer is gone
+
+    def test_mirrors_insert_many_round_trip(self):
+        ring = make_ring([i / 10 for i in range(10)])
+        ring.remove_many(list(range(0, 10, 2)))
+        ring.insert_many((90 + i, (i + 0.5) / 10) for i in range(5))
+        assert len(ring) == 10
+        assert ring.live_count == 10
+
+
 class TestSuccessorLookups:
     def test_successor_of_key_between_nodes(self, five_ring):
         ring, __ = five_ring

@@ -1,0 +1,301 @@
+"""Tests for the steady-state churn engine (repro.engine.churn) and the
+session-time distributions (repro.churn.sessions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn import (
+    SESSION_DISTRIBUTIONS,
+    ExponentialSessions,
+    ParetoSessions,
+    TraceSessions,
+    make_sessions,
+)
+from repro.degree import ConstantDegrees
+from repro.engine import ChurnEpochStats, SteadyStateChurnEngine
+from repro.errors import ConfigError
+from repro.experiments import make_overlay
+from repro.ring import verify
+from repro.rng import split
+from repro.workloads import GnutellaLikeDistribution, UniformKeys
+
+
+def build_engine(
+    substrate: str = "oscar",
+    size: int = 120,
+    half_life: float = 6.0,
+    sessions: str = "exponential",
+    repair_every: int = 3,
+    n_probes: int = 50,
+    seed: int = 42,
+    vectorized: bool = True,
+    arrival_scale: float = 1.0,
+) -> SteadyStateChurnEngine:
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(8)
+    overlay = make_overlay(substrate, seed=seed)
+    overlay.grow_batch(size, keys, degrees, vectorized=vectorized)
+    overlay.rewire_batch(vectorized=vectorized)
+    session_times = make_sessions(sessions, half_life)
+    return SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        session_times,
+        arrival_rate=arrival_scale * size / session_times.mean,
+        repair_every=repair_every,
+        n_probes=n_probes,
+        seed=seed,
+        vectorized=vectorized,
+    )
+
+
+class TestSessionTimes:
+    @pytest.mark.parametrize("name", sorted(SESSION_DISTRIBUTIONS))
+    def test_median_is_half_life(self, name):
+        sessions = make_sessions(name, 5.0)
+        draw = sessions.sample(split(1, "median", name), 40_001)
+        assert np.all(draw > 0)
+        assert np.all(np.isfinite(draw))
+        assert float(np.median(draw)) == pytest.approx(5.0, rel=0.1)
+
+    @pytest.mark.parametrize("name", sorted(SESSION_DISTRIBUTIONS))
+    def test_mean_matches_empirical(self, name):
+        sessions = make_sessions(name, 4.0)
+        draw = sessions.sample(split(2, "mean", name), 200_000)
+        assert float(draw.mean()) == pytest.approx(sessions.mean, rel=0.1)
+
+    def test_pareto_is_heavier_tailed_than_exponential(self):
+        half_life = 8.0
+        exp = ExponentialSessions(half_life).sample(split(3, "e"), 100_000)
+        par = ParetoSessions(half_life).sample(split(3, "p"), 100_000)
+        assert float(np.quantile(par, 0.999)) > float(np.quantile(exp, 0.999))
+
+    def test_trace_follows_cascade_median(self):
+        trace = TraceSessions(10.0)
+        assert 0.0 < trace.k_median < 1.0
+        assert trace.trace.cdf(trace.k_median) == pytest.approx(0.5, abs=1e-9)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_sessions("weibull", 5.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialSessions(0.0)
+        with pytest.raises(ConfigError):
+            ExponentialSessions(float("inf"))
+        with pytest.raises(ConfigError):
+            ParetoSessions(5.0, alpha=1.0)  # infinite mean
+        with pytest.raises(ConfigError):
+            TraceSessions(5.0, dynamic_range=1.0)
+
+    def test_sampling_is_deterministic(self):
+        a = make_sessions("trace", 3.0).sample(split(4, "det"), 100)
+        b = make_sessions("trace", 3.0).sample(split(4, "det"), 100)
+        assert np.array_equal(a, b)
+
+
+class TestEngineValidation:
+    def test_rejects_bad_parameters(self):
+        overlay = make_overlay("oscar", seed=0)
+        overlay.grow_batch(10, UniformKeys(), ConstantDegrees(4))
+        keys, degrees = UniformKeys(), ConstantDegrees(4)
+        sessions = ExponentialSessions(4.0)
+        with pytest.raises(ConfigError):
+            SteadyStateChurnEngine(overlay, keys, degrees, sessions, arrival_rate=-1.0)
+        with pytest.raises(ConfigError):
+            SteadyStateChurnEngine(
+                overlay, keys, degrees, sessions, arrival_rate=1.0, repair_every=0
+            )
+        with pytest.raises(ConfigError):
+            SteadyStateChurnEngine(
+                overlay, keys, degrees, sessions, arrival_rate=1.0, n_probes=-1
+            )
+
+    def test_rejects_tiny_overlay(self):
+        overlay = make_overlay("oscar", seed=0)
+        overlay.join(0.5, 4, 4)
+        with pytest.raises(ConfigError):
+            SteadyStateChurnEngine(
+                overlay, UniformKeys(), ConstantDegrees(4), ExponentialSessions(4.0), 1.0
+            )
+
+    def test_rejects_unobservable_substrate(self):
+        # A substrate without per-peer link state (nodes/fingers) or the
+        # join counter must be refused loudly, not tracked silently wrong.
+        real = make_overlay("oscar", seed=1)
+        real.grow_batch(10, UniformKeys(), ConstantDegrees(4))
+
+        class Opaque:
+            ring = real.ring
+            pointers = real.pointers
+
+        with pytest.raises(ConfigError, match="long links"):
+            SteadyStateChurnEngine(
+                Opaque(), UniformKeys(), ConstantDegrees(4), ExponentialSessions(4.0), 1.0
+            )
+
+        class NoCounter(Opaque):
+            nodes = real.nodes
+
+        with pytest.raises(ConfigError, match="_next_id"):
+            SteadyStateChurnEngine(
+                NoCounter(), UniformKeys(), ConstantDegrees(4), ExponentialSessions(4.0), 1.0
+            )
+
+    def test_rejects_negative_epoch_count(self):
+        engine = build_engine(size=20, n_probes=5)
+        with pytest.raises(ConfigError):
+            engine.run(-1)
+
+
+class TestEpochSemantics:
+    def test_population_holds_roughly_steady(self):
+        engine = build_engine(size=150, half_life=5.0, n_probes=20)
+        history = engine.run(10)
+        assert all(60 <= stats.live <= 300 for stats in history)
+        assert sum(s.arrivals for s in history) > 0
+        assert sum(s.departures for s in history) > 0
+
+    def test_stale_links_accumulate_then_reset_on_repair(self):
+        engine = build_engine(size=150, half_life=4.0, repair_every=3, n_probes=10)
+        history = engine.run(9)
+        repair_epochs = [s.epoch for s in history if s.link_repair]
+        assert repair_epochs == [3, 6, 9]
+        for epoch in (3, 6):
+            before = history[epoch - 1].stale_links  # counted pre-repair
+            after = history[epoch].stale_links  # one epoch of fresh damage
+            assert before > 0
+            assert after < before
+        assert all(s.compacted > 0 for s in history if s.link_repair)
+        assert all(s.compacted == 0 for s in history if not s.link_repair)
+
+    def test_ring_stays_memory_bounded(self):
+        engine = build_engine(size=100, half_life=2.0, repair_every=2, n_probes=5)
+        engine.run(12)
+        ring = engine.substrate.ring
+        # Dead peers only survive until the next repair epoch; the ring
+        # can never hold more than ~repair_every epochs of corpses.
+        assert len(ring) < 3 * ring.live_count
+
+    def test_incremental_runs_equal_one_run(self):
+        one = build_engine(seed=9, n_probes=10)
+        two = build_engine(seed=9, n_probes=10)
+        combined = one.run(3) + one.run(2)
+        assert combined == two.run(5)
+        assert one.epoch == two.epoch == 5
+
+    def test_probe_counts_follow_convention(self):
+        engine = build_engine(size=80, n_probes=17)
+        assert engine.run_epoch().probes.n_routes == 17
+        per_peer = build_engine(size=80, n_probes=0)
+        stats = per_peer.run_epoch()
+        assert stats.probes.n_routes == stats.live
+
+    def test_total_expiry_spares_longest_lived(self):
+        # Tiny half-life, no arrivals: everyone's session expires in
+        # epoch 1, but one peer must survive every epoch.
+        engine = build_engine(size=30, half_life=0.25, arrival_scale=0.0, n_probes=3)
+        history = engine.run(3)
+        assert history[0].departures == 29
+        assert all(s.live >= 1 for s in history)
+
+    def test_epoch_stats_round_trip_dict(self):
+        stats = build_engine(size=40, n_probes=5).run_epoch()
+        assert isinstance(stats, ChurnEpochStats)
+        payload = stats.as_dict()
+        assert payload["epoch"] == 1
+        assert payload["live"] == stats.live
+        assert 0.0 <= payload["success_rate"] <= 1.0
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("substrate", ["oscar", "chord", "mercury"])
+    def test_vectorized_matches_reference(self, substrate):
+        vec = build_engine(substrate=substrate, size=90, n_probes=25, vectorized=True)
+        ref = build_engine(substrate=substrate, size=90, n_probes=25, vectorized=False)
+        assert vec.run(7) == ref.run(7)
+        ring_v, ring_r = vec.substrate.ring, ref.substrate.ring
+        assert np.array_equal(ring_v.ids_array(), ring_r.ids_array())
+        assert np.array_equal(ring_v.positions_array(), ring_r.positions_array())
+        assert np.array_equal(
+            ring_v.ids_array(live_only=True), ring_r.ids_array(live_only=True)
+        )
+        assert vec.substrate.pointers.successor == ref.substrate.pointers.successor
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        substrate=st.sampled_from(["oscar", "chord", "mercury"]),
+        size=st.integers(min_value=12, max_value=60),
+        half_life=st.sampled_from([0.5, 2.0, 6.0, 40.0]),
+        sessions=st.sampled_from(sorted(SESSION_DISTRIBUTIONS)),
+        repair_every=st.integers(min_value=1, max_value=5),
+        arrival_scale=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+        epochs=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_equivalence_and_invariants_property(
+        self, substrate, size, half_life, sessions, repair_every, arrival_scale, epochs, seed
+    ):
+        """Any interleaving of joins, deaths and repairs the process
+        produces keeps ring/pointer invariants intact, and the
+        vectorized and reference paths never diverge."""
+        vec = build_engine(
+            substrate=substrate,
+            size=size,
+            half_life=half_life,
+            sessions=sessions,
+            repair_every=repair_every,
+            n_probes=5,
+            seed=seed,
+            vectorized=True,
+            arrival_scale=arrival_scale,
+        )
+        ref = build_engine(
+            substrate=substrate,
+            size=size,
+            half_life=half_life,
+            sessions=sessions,
+            repair_every=repair_every,
+            n_probes=5,
+            seed=seed,
+            vectorized=False,
+            arrival_scale=arrival_scale,
+        )
+        for __ in range(epochs):
+            stats_v = vec.run_epoch()
+            stats_r = ref.run_epoch()
+            assert stats_v == stats_r
+            ring = vec.substrate.ring
+            verify(ring, vec.substrate.pointers)  # raises on violation
+            assert ring.live_count >= 1
+            # The session table tracks exactly the live population.
+            live = set(int(i) for i in ring.ids_array(live_only=True))
+            tracked = set(int(i) for i in vec._session_ids)
+            assert tracked <= live
+
+
+class TestExternalInterleaving:
+    def test_epochs_interleaved_with_wave_churn(self):
+        """Engine epochs composed with external crash waves + revival
+        (the fig2 procedure) keep pointers verifiable at every
+        stabilization point."""
+        from repro.churn import crash_fraction, revive_many
+        from repro.ring import repair_all
+
+        engine = build_engine(size=120, half_life=10.0, n_probes=10, seed=5)
+        substrate = engine.substrate
+        for round_no in range(3):
+            engine.run_epoch()
+            verify(substrate.ring, substrate.pointers)
+            victims = crash_fraction(substrate.ring, split(5, "wave", round_no), 0.2)
+            repair_all(substrate.ring, substrate.pointers)
+            verify(substrate.ring, substrate.pointers)
+            revive_many(substrate.ring, victims)
+            repair_all(substrate.ring, substrate.pointers)
+            verify(substrate.ring, substrate.pointers)
