@@ -7,9 +7,9 @@ schema-versioned JSON documents:
 * ``BENCH_fig1c.json`` — the routing hot path: fig1c wall time and final
   search costs at a CI-sized scale;
 * ``BENCH_build.json`` — the construction hot path: ``scale-build`` at
-  paper scale (10k and ~32k peers), recording build/rewire wall time,
-  construction throughput in peers/second and the batched-vs-scalar
-  rewire speedup at 10k;
+  paper scale (10k, ~32k and 100k peers on the struct-of-arrays
+  substrate), recording build/rewire wall time, construction throughput
+  in peers/second and the batched-vs-scalar rewire speedup at 10k;
 * ``BENCH_churn.json`` — the steady-state hot path: a ``steady-churn``
   run on a mid-size overlay, recording epoch throughput, probe success
   and the stale-link ceiling.
@@ -47,6 +47,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.engine.resources import max_rss_mb  # noqa: E402
 from repro.experiments import Runner  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -65,7 +66,11 @@ def _document(benchmark: str, params: dict, metrics: dict, series: dict) -> dict
             "machine": platform.machine(),
         },
         "params": params,
-        "metrics": metrics,
+        # Peak RSS so far (a process-lifetime high-water mark): the
+        # benchmarks run in document order, so each value bounds the
+        # memory its own phase needed. Recorded, not gated — the hard
+        # RSS gate lives in the million-peer smoke test.
+        "metrics": {**metrics, "max_rss_mb_so_far": round(max_rss_mb(), 1)},
         "series": series,
     }
 
@@ -172,8 +177,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sizes",
         type=lambda text: tuple(int(part) for part in text.split(",")),
-        default=(10_000, 31_600),
-        help="comma-separated build sizes (default: 10000,31600)",
+        default=(10_000, 31_600, 100_000),
+        help="comma-separated build sizes (default: 10000,31600,100000)",
     )
     parser.add_argument(
         "--max-regression",

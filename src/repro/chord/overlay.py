@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..config import RoutingConfig
+from ..core.soa import FingerTable, SubstrateState
 from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
 from ..ring import Ring, RingPointers, attach_node, in_closed_cw_range, normalize
 from ..ring import repair as repair_ring
@@ -57,9 +58,10 @@ class ChordOverlay:
     ) -> None:
         self.routing = routing or RoutingConfig()
         self.seed = seed
-        self.ring = Ring()
+        self.state = SubstrateState()
+        self.ring = Ring(self.state)
         self.pointers = RingPointers()
-        self.fingers: dict[NodeId, list[NodeId]] = {}
+        self.fingers = FingerTable(self.state)
         self.application_key: dict[NodeId, Key] = {}
         self._next_id = 0
         self._links_epoch = 0

@@ -6,22 +6,30 @@
 * :func:`acquire_links` / :func:`rewire_all` — capacity-respecting link
   acquisition with power-of-two balancing;
 * :class:`OscarOverlay` — the facade tying ring, links and routing
-  together.
+  together;
+* :class:`SubstrateState` — the struct-of-arrays store every substrate's
+  per-peer columns live in (:class:`OscarNode` and friends are views).
 """
 
 from .construction import LinkAcquisitionStats, acquire_links, rewire_all
 from .estimators import estimate_partitions, oracle_partitions, sampled_partitions
-from .node import OscarNode
+from .node import OscarNode, StateNodeView
 from .overlay import OscarOverlay
 from .partitions import PartitionTable
+from .soa import FingerTable, LinkView, NodeTable, SubstrateState
 from .substrate import Substrate
 
 __all__ = [
+    "FingerTable",
     "LinkAcquisitionStats",
+    "LinkView",
+    "NodeTable",
     "OscarNode",
     "OscarOverlay",
     "PartitionTable",
+    "StateNodeView",
     "Substrate",
+    "SubstrateState",
     "acquire_links",
     "estimate_partitions",
     "oracle_partitions",

@@ -4,21 +4,153 @@ A node's state is deliberately small: capacities, its current partition
 table, and its link sets. Link *semantics* (acceptance, choice-of-two,
 rewiring) live in :mod:`repro.core.construction`; the node only does the
 local bookkeeping a real peer would do.
+
+Since the struct-of-arrays refactor a node object is a *view*: it holds
+``(state, slot)`` and every attribute reads or writes one cell of the
+shared :class:`~repro.core.soa.SubstrateState`. Overlay-owned nodes
+share the overlay's state (so the batch kernels see the same cells);
+a node constructed directly — ``OscarNode(node_id=..., position=...)``
+— owns a private one-slot state, which keeps the old dataclass
+constructor and the standalone-population tests working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
 
 from ..errors import CapacityExhaustedError
+from ..ring import keyspace
 from ..types import NodeId
 from .partitions import PartitionTable
+from .soa import LinkView, SubstrateState
 
-__all__ = ["OscarNode"]
+__all__ = ["OscarNode", "StateNodeView"]
 
 
-@dataclass
-class OscarNode:
+class StateNodeView:
+    """Shared view machinery for Oscar/Mercury per-peer objects."""
+
+    __slots__ = ("_state", "_slot")
+
+    @classmethod
+    def _view(cls, state: SubstrateState, slot: int):
+        """Wrap an existing slot (the overlay/NodeTable path)."""
+        obj = object.__new__(cls)
+        obj._state = state
+        obj._slot = int(slot)
+        return obj
+
+    def _init_standalone(
+        self,
+        node_id: NodeId,
+        position: float,
+        rho_max_in: int,
+        rho_max_out: int,
+        out_links,
+        in_degree: int,
+        samples_spent: int,
+    ) -> None:
+        state = SubstrateState(1)
+        pos = float(position)
+        key = (
+            keyspace.from_unit(pos)
+            if math.isfinite(pos) and 0.0 <= pos < 1.0
+            else 0
+        )
+        slot = state.alloc_one(int(node_id), pos, key)
+        state.cap_in[slot] = int(rho_max_in)
+        state.cap_out[slot] = int(rho_max_out)
+        self._state = state
+        self._slot = slot
+        if out_links:
+            LinkView(state, slot).extend(out_links)
+        if in_degree:
+            state.in_deg[slot] = int(in_degree)
+        if samples_spent:
+            state.samples_spent[slot] = int(samples_spent)
+
+    # -- array-backed fields ------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return int(self._state.node_id[self._slot])
+
+    @property
+    def position(self) -> float:
+        return float(self._state.pos[self._slot])
+
+    @position.setter
+    def position(self, value: float) -> None:
+        pos = float(value)
+        self._state.pos[self._slot] = pos
+        self._state.key[self._slot] = (
+            keyspace.from_unit(pos)
+            if math.isfinite(pos) and 0.0 <= pos < 1.0
+            else 0
+        )
+
+    @property
+    def rho_max_in(self) -> int:
+        return int(self._state.cap_in[self._slot])
+
+    @rho_max_in.setter
+    def rho_max_in(self, value: int) -> None:
+        self._state.cap_in[self._slot] = int(value)
+
+    @property
+    def rho_max_out(self) -> int:
+        return int(self._state.cap_out[self._slot])
+
+    @rho_max_out.setter
+    def rho_max_out(self, value: int) -> None:
+        self._state.cap_out[self._slot] = int(value)
+
+    @property
+    def in_degree(self) -> int:
+        return int(self._state.in_deg[self._slot])
+
+    @in_degree.setter
+    def in_degree(self, value: int) -> None:
+        self._state.in_deg[self._slot] = int(value)
+
+    @property
+    def out_links(self) -> LinkView:
+        return LinkView(self._state, self._slot)
+
+    @property
+    def samples_spent(self) -> int:
+        return int(self._state.samples_spent[self._slot])
+
+    @samples_spent.setter
+    def samples_spent(self, value: int) -> None:
+        self._state.samples_spent[self._slot] = int(value)
+
+    # -- shared protocol ----------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        """Whether this peer acknowledges one more incoming long link."""
+        return self.in_degree < self.rho_max_in
+
+    def accept_in_link(self) -> None:
+        """Register an incoming link; raises if the cap is exhausted.
+
+        The raise (rather than a silent clamp) enforces the protocol: the
+        requesting peer must have asked first, so hitting this means a
+        bug in link acquisition, not an unlucky draw.
+        """
+        if not self.can_accept:
+            raise CapacityExhaustedError(
+                f"node {self.node_id} is at its in-degree cap ({self.rho_max_in})"
+            )
+        self._state.in_deg[self._slot] += 1
+
+    def reset_links(self) -> None:
+        """Forget outgoing links (the caller fixes the targets' in-degrees)."""
+        self.out_links.clear()
+
+
+class OscarNode(StateNodeView):
     """One Oscar peer.
 
     Attributes:
@@ -38,19 +170,50 @@ class OscarNode:
             (cost-accounting for the sampling ablation).
     """
 
-    node_id: NodeId
-    position: float
-    rho_max_in: int
-    rho_max_out: int
-    out_links: list[NodeId] = field(default_factory=list)
-    in_degree: int = 0
-    partitions: PartitionTable | None = None
-    samples_spent: int = 0
+    __slots__ = ()
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: float,
+        rho_max_in: int,
+        rho_max_out: int,
+        out_links=None,
+        in_degree: int = 0,
+        partitions: PartitionTable | None = None,
+        samples_spent: int = 0,
+    ) -> None:
+        self._init_standalone(
+            node_id, position, rho_max_in, rho_max_out, out_links, in_degree, samples_spent
+        )
+        if partitions is not None:
+            self.partitions = partitions
 
     @property
-    def can_accept(self) -> bool:
-        """Whether this peer acknowledges one more incoming long link."""
-        return self.in_degree < self.rho_max_in
+    def partitions(self) -> PartitionTable | None:
+        state, slot = self._state, self._slot
+        n = int(state.n_medians[slot])
+        if n < 0:
+            return None
+        return PartitionTable(
+            origin=float(state.part_origin[slot]),
+            far_end=float(state.part_far_end[slot]),
+            medians=tuple(float(x) for x in state.medians[slot, :n]),
+        )
+
+    @partitions.setter
+    def partitions(self, table: PartitionTable | None) -> None:
+        state, slot = self._state, self._slot
+        if table is None:
+            state.n_medians[slot] = -1
+            return
+        medians = table.medians
+        state.part_origin[slot] = table.origin
+        state.part_far_end[slot] = table.far_end
+        if medians:
+            state.ensure_median_width(len(medians))
+            state.medians[slot, : len(medians)] = medians
+        state.n_medians[slot] = len(medians)
 
     @property
     def wants_more_links(self) -> bool:
@@ -62,28 +225,36 @@ class OscarNode:
         """Remaining incoming slots (>= 0)."""
         return max(0, self.rho_max_in - self.in_degree)
 
-    def accept_in_link(self) -> None:
-        """Register an incoming link; raises if the cap is exhausted.
-
-        The raise (rather than a silent clamp) enforces the protocol: the
-        requesting peer must have asked first, so hitting this means a
-        bug in link acquisition, not an unlucky draw.
-        """
-        if not self.can_accept:
-            raise CapacityExhaustedError(
-                f"node {self.node_id} is at its in-degree cap ({self.rho_max_in})"
-            )
-        self.in_degree += 1
-
     def drop_in_link(self) -> None:
         """Unregister an incoming link (rewiring teardown)."""
         if self.in_degree <= 0:
             raise CapacityExhaustedError(f"node {self.node_id} has no incoming links to drop")
-        self.in_degree -= 1
+        self._state.in_deg[self._slot] -= 1
 
-    def reset_links(self) -> None:
-        """Forget outgoing links (the caller fixes the targets' in-degrees)."""
-        self.out_links.clear()
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OscarNode):
+            return (
+                self.node_id,
+                self.position,
+                self.rho_max_in,
+                self.rho_max_out,
+                list(self.out_links),
+                self.in_degree,
+                self.partitions,
+                self.samples_spent,
+            ) == (
+                other.node_id,
+                other.position,
+                other.rho_max_in,
+                other.rho_max_out,
+                list(other.out_links),
+                other.in_degree,
+                other.partitions,
+                other.samples_spent,
+            )
+        return NotImplemented
+
+    __hash__ = None  # mutable view, same as the old (unfrozen) dataclass
 
     def __repr__(self) -> str:
         return (

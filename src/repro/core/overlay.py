@@ -40,6 +40,7 @@ from ..workloads import KeyDistribution
 from .construction import LinkAcquisitionStats, acquire_links, rewire_all
 from .estimators import estimate_partitions
 from .node import OscarNode
+from .soa import NodeTable, SubstrateState
 
 __all__ = ["OscarOverlay"]
 
@@ -65,9 +66,10 @@ class OscarOverlay:
         self.config = config or OscarConfig()
         self.routing = routing or RoutingConfig()
         self.seed = seed
-        self.ring = Ring()
+        self.state = SubstrateState()
+        self.ring = Ring(self.state)
         self.pointers = RingPointers()
-        self.nodes: dict[NodeId, OscarNode] = {}
+        self.nodes = NodeTable(self.state, OscarNode._view)
         self._next_id = 0
         self._links_epoch = 0
         self._join_rng = split(seed, "join")
@@ -89,13 +91,10 @@ class OscarOverlay:
         node_id = self._next_id
         self.ring.insert(node_id, position)  # raises DuplicateNodeError on collision
         self._next_id += 1
-        node = OscarNode(
-            node_id=node_id,
-            position=position,
-            rho_max_in=int(rho_max_in),
-            rho_max_out=int(rho_max_out),
-        )
-        self.nodes[node_id] = node
+        slot = self.state.slot_of(node_id)
+        self.state.cap_in[slot] = int(rho_max_in)
+        self.state.cap_out[slot] = int(rho_max_out)
+        node = self.nodes[node_id]
         self._attach_pointers(node_id)
         if self.ring.live_count > 1:
             node.partitions = estimate_partitions(
@@ -310,19 +309,19 @@ class OscarOverlay:
 
     def in_degree_array(self) -> np.ndarray:
         """Long-link in-degrees of live peers (ring order)."""
-        return np.array([n.in_degree for n in self.live_nodes()], dtype=np.int64)
+        return self.state.in_deg[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def in_cap_array(self) -> np.ndarray:
         """``rho_max_in`` of live peers (ring order)."""
-        return np.array([n.rho_max_in for n in self.live_nodes()], dtype=np.int64)
+        return self.state.cap_in[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def out_degree_array(self) -> np.ndarray:
         """Long-link out-degrees of live peers (ring order)."""
-        return np.array([len(n.out_links) for n in self.live_nodes()], dtype=np.int64)
+        return self.state.out_count[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def out_cap_array(self) -> np.ndarray:
         """``rho_max_out`` of live peers (ring order)."""
-        return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+        return self.state.cap_out[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     @property
     def size(self) -> int:

@@ -1,0 +1,522 @@
+"""Struct-of-arrays substrate state shared by the ring and the overlays.
+
+This module is the data layout underneath the whole system: one
+:class:`SubstrateState` holds, in flat numpy arrays indexed by *slot*,
+everything the ring and the three substrates (Oscar, Mercury, Chord)
+know about a peer — its id, unit-circle position, exact ``uint64`` key,
+liveness flag, in/out capacities and degrees, its padded long-link
+table, its partition-table view of the key space, and its cumulative
+sampling spend. ``Ring``, ``OscarNode``, ``MercuryNode`` and the
+overlay ``nodes`` / ``fingers`` mappings are thin views over these
+arrays: reading ``node.in_degree`` reads one array cell, and the batch
+engines read whole columns without crossing the Python object boundary
+per peer.
+
+Design notes
+------------
+
+* **Slots, not ids.** A peer's *slot* is its physical row in the
+  arrays. Ids are logical and dense-ish (assigned by the overlays);
+  ``_slot_of`` maps id -> slot in O(1). Slots of removed peers are
+  recycled through a free list.
+* **The free list is sorted.** ``free_many`` returns slots to the pool
+  and ``alloc_many`` always hands out the *smallest* free slots first,
+  then fresh slots off the high-water mark. This makes slot layout a
+  pure function of the operation history — fixed-seed runs produce the
+  same physical layout regardless of dict iteration order or the
+  platform's hash seed, which is what lets resume-from-fixture tests
+  compare raw arrays.
+* **Padded tables.** The long-link table is an ``int32`` matrix with
+  ``-1`` padding; row ``s`` holds ``out_count[s]`` targets in columns
+  ``0..out_count[s])`` and ``-1`` everywhere after (the *padding
+  invariant* — vectorized kernels rely on it to read live links with a
+  single mask). The medians table is its float twin for partition
+  borders, gated by ``n_medians`` (``-1`` means "no table yet").
+* **Views are cheap and transient.** ``LinkView`` / node views carry
+  only ``(state, slot)``; equality and iteration materialize Python
+  ints so existing call sites (``set(node.out_links)``,
+  ``links == [3, 7]``) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..types import NodeId
+
+__all__ = ["SubstrateState", "LinkView", "NodeTable", "FingerTable"]
+
+_MIN_CAPACITY = 8
+
+
+class SubstrateState:
+    """Flat per-peer arrays indexed by slot, with free-list recycling."""
+
+    __slots__ = (
+        "node_id",
+        "pos",
+        "key",
+        "alive",
+        "cap_in",
+        "cap_out",
+        "in_deg",
+        "out_count",
+        "out_links",
+        "samples_spent",
+        "part_origin",
+        "part_far_end",
+        "n_medians",
+        "medians",
+        "histograms",
+        "_slot_of",
+        "_free",
+        "_top",
+    )
+
+    def __init__(self, capacity: int = 0) -> None:
+        capacity = max(int(capacity), 0)
+        self.node_id = np.full(capacity, -1, dtype=np.int64)
+        self.pos = np.zeros(capacity, dtype=np.float64)
+        self.key = np.zeros(capacity, dtype=np.uint64)
+        self.alive = np.zeros(capacity, dtype=bool)
+        self.cap_in = np.zeros(capacity, dtype=np.int32)
+        self.cap_out = np.zeros(capacity, dtype=np.int32)
+        self.in_deg = np.zeros(capacity, dtype=np.int32)
+        self.out_count = np.zeros(capacity, dtype=np.int32)
+        self.out_links = np.full((capacity, 0), -1, dtype=np.int32)
+        self.samples_spent = np.zeros(capacity, dtype=np.int64)
+        self.part_origin = np.zeros(capacity, dtype=np.float64)
+        self.part_far_end = np.zeros(capacity, dtype=np.float64)
+        self.n_medians = np.full(capacity, -1, dtype=np.int32)
+        self.medians = np.zeros((capacity, 0), dtype=np.float64)
+        # Object side-car for Mercury's density histograms (rare, small).
+        self.histograms: dict[int, Any] = {}
+        self._slot_of = np.full(capacity, -1, dtype=np.int64)
+        self._free: list[int] = []
+        self._top = 0
+
+    # ------------------------------------------------------------------
+    # capacity management
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of physical slots currently allocated."""
+        return int(self.node_id.size)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots in use (allocated and not freed)."""
+        return self._top - len(self._free)
+
+    @property
+    def link_width(self) -> int:
+        return int(self.out_links.shape[1])
+
+    @property
+    def median_width(self) -> int:
+        return int(self.medians.shape[1])
+
+    def _grow_rows(self, needed: int) -> None:
+        old = self.capacity
+        if needed <= old:
+            return
+        new = max(needed, old * 2, _MIN_CAPACITY)
+        self.node_id = _grow1(self.node_id, new, -1)
+        self.pos = _grow1(self.pos, new, 0.0)
+        self.key = _grow1(self.key, new, 0)
+        self.alive = _grow1(self.alive, new, False)
+        self.cap_in = _grow1(self.cap_in, new, 0)
+        self.cap_out = _grow1(self.cap_out, new, 0)
+        self.in_deg = _grow1(self.in_deg, new, 0)
+        self.out_count = _grow1(self.out_count, new, 0)
+        self.samples_spent = _grow1(self.samples_spent, new, 0)
+        self.part_origin = _grow1(self.part_origin, new, 0.0)
+        self.part_far_end = _grow1(self.part_far_end, new, 0.0)
+        self.n_medians = _grow1(self.n_medians, new, -1)
+        self.out_links = _grow2(self.out_links, new, self.link_width, -1)
+        self.medians = _grow2(self.medians, new, self.median_width, 0.0)
+
+    def ensure_link_width(self, width: int) -> None:
+        """Grow the padded link table to at least ``width`` columns."""
+        if width > self.link_width:
+            new_w = max(width, self.link_width * 2, 4)
+            self.out_links = _grow2(self.out_links, self.capacity, new_w, -1)
+
+    def ensure_median_width(self, width: int) -> None:
+        """Grow the padded medians table to at least ``width`` columns."""
+        if width > self.median_width:
+            new_w = max(width, self.median_width * 2, 4)
+            self.medians = _grow2(self.medians, self.capacity, new_w, 0.0)
+
+    def _ensure_ids(self, max_id: int) -> None:
+        if max_id >= self._slot_of.size:
+            new = max(max_id + 1, self._slot_of.size * 2, _MIN_CAPACITY)
+            self._slot_of = _grow1(self._slot_of, new, -1)
+
+    # ------------------------------------------------------------------
+    # id -> slot lookup
+    # ------------------------------------------------------------------
+
+    def slot_of(self, node_id: object) -> int:
+        """Slot of ``node_id``, or ``-1`` when unknown (never raises)."""
+        try:
+            i = operator.index(node_id)  # type: ignore[arg-type]
+        except TypeError:
+            return -1
+        if i < 0 or i >= self._slot_of.size:
+            return -1
+        return int(self._slot_of[i])
+
+    def slots_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorized id -> slot lookup; unknown ids map to ``-1``."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        table = self._slot_of
+        safe = np.clip(ids, 0, table.size - 1) if table.size else np.zeros_like(ids)
+        slots = table[safe] if table.size else np.full(ids.shape, -1, np.int64)
+        return np.where((ids >= 0) & (ids < table.size), slots, -1)
+
+    # ------------------------------------------------------------------
+    # slot allocation / recycling
+    # ------------------------------------------------------------------
+
+    def alloc_many(
+        self, node_ids: np.ndarray, positions: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Allocate one slot per peer and write id/position/key/alive.
+
+        Recycled slots are handed out smallest-first (the free list is
+        kept sorted), then fresh slots continue from the high-water
+        mark, so physical layout is deterministic for a fixed operation
+        history. All other per-slot fields start cleared (capacities 0,
+        degree 0, no links, no partition table).
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        k = int(ids.size)
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        reuse = min(k, len(self._free))
+        slots = np.empty(k, dtype=np.int64)
+        if reuse:
+            slots[:reuse] = self._free[:reuse]
+            del self._free[:reuse]
+        fresh = k - reuse
+        if fresh:
+            self._grow_rows(self._top + fresh)
+            slots[reuse:] = np.arange(self._top, self._top + fresh, dtype=np.int64)
+            self._top += fresh
+        self.node_id[slots] = ids
+        self.pos[slots] = np.asarray(positions, dtype=np.float64)
+        self.key[slots] = np.asarray(keys, dtype=np.uint64)
+        self.alive[slots] = True
+        self._ensure_ids(int(ids.max()))
+        self._slot_of[ids] = slots
+        return slots
+
+    def alloc_one(self, node_id: int, position: float, key: int) -> int:
+        return int(
+            self.alloc_many(
+                np.array([node_id], dtype=np.int64),
+                np.array([position], dtype=np.float64),
+                np.array([key], dtype=np.uint64),
+            )[0]
+        )
+
+    def free_many(self, slots: np.ndarray) -> None:
+        """Return slots to the pool and clear every per-slot field.
+
+        The free list is re-sorted so subsequent allocations pop the
+        smallest slot first (deterministic recycling).
+        """
+        arr = np.asarray(slots, dtype=np.int64)
+        if arr.size == 0:
+            return
+        ids = self.node_id[arr]
+        self._slot_of[ids[ids >= 0]] = -1
+        self.node_id[arr] = -1
+        self.pos[arr] = 0.0
+        self.key[arr] = 0
+        self.alive[arr] = False
+        self.cap_in[arr] = 0
+        self.cap_out[arr] = 0
+        self.in_deg[arr] = 0
+        self.out_count[arr] = 0
+        if self.link_width:
+            self.out_links[arr] = -1
+        self.samples_spent[arr] = 0
+        self.part_origin[arr] = 0.0
+        self.part_far_end[arr] = 0.0
+        self.n_medians[arr] = -1
+        if self.median_width:
+            self.medians[arr] = 0.0
+        if self.histograms:
+            for s in arr:
+                self.histograms.pop(int(s), None)
+        self._free.extend(int(s) for s in arr)
+        self._free.sort()
+
+    # ------------------------------------------------------------------
+    # link rows
+    # ------------------------------------------------------------------
+
+    def clear_links(self, slots: np.ndarray) -> None:
+        """Wipe the outgoing-link rows of ``slots`` back to padding."""
+        arr = np.asarray(slots, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if self.link_width:
+            self.out_links[arr] = -1
+        self.out_count[arr] = 0
+
+    def set_links(self, slot: int, targets: Iterable[int]) -> None:
+        """Replace the link row of one slot with ``targets`` (in order)."""
+        ids = [int(t) for t in targets]
+        if self.link_width:
+            self.out_links[slot] = -1
+        if ids:
+            self.ensure_link_width(len(ids))
+            self.out_links[slot, : len(ids)] = ids
+        self.out_count[slot] = len(ids)
+
+
+def _grow1(arr: np.ndarray, size: int, fill: object) -> np.ndarray:
+    out = np.full(size, fill, dtype=arr.dtype)
+    out[: arr.size] = arr
+    return out
+
+
+def _grow2(arr: np.ndarray, rows: int, cols: int, fill: object) -> np.ndarray:
+    out = np.full((rows, cols), fill, dtype=arr.dtype)
+    out[: arr.shape[0], : arr.shape[1]] = arr
+    return out
+
+
+class LinkView:
+    """List-like view of one peer's outgoing long links.
+
+    Supports the subset of the ``list`` protocol the construction and
+    churn code uses: ``len``, iteration (yielding Python ints),
+    indexing and slicing, ``in``, ``append`` / ``extend`` / ``clear``,
+    equality against lists/tuples/other views, and ``np.asarray``.
+    """
+
+    __slots__ = ("_state", "_slot")
+
+    def __init__(self, state: SubstrateState, slot: int) -> None:
+        self._state = state
+        self._slot = slot
+
+    def __len__(self) -> int:
+        return int(self._state.out_count[self._slot])
+
+    def __iter__(self) -> Iterator[int]:
+        row = self._state.out_links[self._slot]
+        for j in range(int(self._state.out_count[self._slot])):
+            yield int(row[j])
+
+    def __getitem__(self, index):
+        n = len(self)
+        if isinstance(index, slice):
+            return [int(v) for v in self._state.out_links[self._slot, :n][index]]
+        i = operator.index(index)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("link index out of range")
+        return int(self._state.out_links[self._slot, i])
+
+    def __contains__(self, value: object) -> bool:
+        try:
+            v = operator.index(value)  # type: ignore[arg-type]
+        except TypeError:
+            return False
+        n = len(self)
+        if n == 0:
+            return False
+        return bool((self._state.out_links[self._slot, :n] == v).any())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LinkView):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        n = len(self)
+        out = np.array(self._state.out_links[self._slot, :n], dtype=dtype or np.int64)
+        return out
+
+    def append(self, value: int) -> None:
+        state, slot = self._state, self._slot
+        n = int(state.out_count[slot])
+        state.ensure_link_width(n + 1)
+        state.out_links[slot, n] = int(value)
+        state.out_count[slot] = n + 1
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.append(value)
+
+    def clear(self) -> None:
+        state, slot = self._state, self._slot
+        n = int(state.out_count[slot])
+        if n:
+            state.out_links[slot, :n] = -1
+        state.out_count[slot] = 0
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+
+class NodeTable:
+    """Mapping-like view ``node_id -> node view`` over a substrate state.
+
+    Iteration yields node ids in ascending order (allocation order for
+    the dense ids the overlays assign, matching the old dict's
+    insertion order). ``pop`` is a deliberate no-op: peers leave the
+    table when their ring slot is freed (``Ring.remove_many``), not
+    before — the churn engine drops node state *then* compacts the
+    ring, and both must observe the peer until the slot goes away.
+    """
+
+    __slots__ = ("_state", "_factory")
+
+    def __init__(
+        self, state: SubstrateState, factory: Callable[[SubstrateState, int], Any]
+    ) -> None:
+        self._state = state
+        self._factory = factory
+
+    def _ids(self) -> np.ndarray:
+        used = self._state.node_id[: self._state._top]
+        return np.sort(used[used >= 0])
+
+    def __getitem__(self, node_id: NodeId) -> Any:
+        slot = self._state.slot_of(node_id)
+        if slot < 0:
+            raise KeyError(node_id)
+        return self._factory(self._state, slot)
+
+    def get(self, node_id: NodeId, default: Any = None) -> Any:
+        slot = self._state.slot_of(node_id)
+        if slot < 0:
+            return default
+        return self._factory(self._state, slot)
+
+    def __contains__(self, node_id: object) -> bool:
+        return self._state.slot_of(node_id) >= 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in self._ids())
+
+    def __len__(self) -> int:
+        return self._state.n_slots
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[Any]:
+        for node_id in self:
+            yield self[node_id]
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        for node_id in self:
+            yield node_id, self[node_id]
+
+    def pop(self, node_id: NodeId, default: Any = None) -> Any:
+        """Non-destructive: views die with their ring slot, not here."""
+        return self.get(node_id, default)
+
+    def __repr__(self) -> str:
+        return f"NodeTable(n={len(self)})"
+
+
+class FingerTable:
+    """Dict-like ``node_id -> finger list`` view for the Chord baseline.
+
+    Fingers are stored in the same padded link table the other
+    substrates use for long links; assignment replaces the row.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: SubstrateState) -> None:
+        self._state = state
+
+    def _ids(self) -> np.ndarray:
+        used = self._state.node_id[: self._state._top]
+        return np.sort(used[used >= 0])
+
+    def __getitem__(self, node_id: NodeId) -> LinkView:
+        slot = self._state.slot_of(node_id)
+        if slot < 0:
+            raise KeyError(node_id)
+        return LinkView(self._state, slot)
+
+    def __setitem__(self, node_id: NodeId, targets: Iterable[int]) -> None:
+        slot = self._state.slot_of(node_id)
+        if slot < 0:
+            raise KeyError(node_id)
+        self._state.set_links(slot, targets)
+
+    def get(self, node_id: NodeId, default: Any = None) -> Any:
+        slot = self._state.slot_of(node_id)
+        if slot < 0:
+            return default
+        return LinkView(self._state, slot)
+
+    def __contains__(self, node_id: object) -> bool:
+        return self._state.slot_of(node_id) >= 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(i) for i in self._ids())
+
+    def __len__(self) -> int:
+        return self._state.n_slots
+
+    def keys(self) -> Iterator[int]:
+        return iter(self)
+
+    def values(self) -> Iterator[LinkView]:
+        for node_id in self:
+            yield self[node_id]
+
+    def items(self) -> Iterator[tuple[int, LinkView]]:
+        for node_id in self:
+            yield node_id, self[node_id]
+
+    def pop(self, node_id: NodeId, default: Any = None) -> Any:
+        """Non-destructive: finger rows die with their ring slot."""
+        return self.get(node_id, default)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FingerTable):
+            return {i: list(v) for i, v in self.items()} == {
+                i: list(v) for i, v in other.items()
+            }
+        if isinstance(other, dict):
+            return {i: list(v) for i, v in self.items()} == {
+                int(i): [int(t) for t in v] for i, v in other.items()
+            }
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"FingerTable(n={len(self)})"

@@ -27,7 +27,7 @@ Four engines live here:
 from .batch import BatchQueryEngine, BatchRouteResult, TopologySnapshot
 from .construct import BatchConstructionEngine, LiveView
 from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
-from .resources import Resource
+from .resources import Resource, check_rss_ceiling, max_rss_mb
 
 # Imported last: repro.churn.process (pulled in by repro.churn, which
 # the churn engine's session distributions live under) imports this
@@ -51,4 +51,6 @@ __all__ = [
     "SteadyStateChurnEngine",
     "Timeout",
     "TopologySnapshot",
+    "check_rss_ceiling",
+    "max_rss_mb",
 ]

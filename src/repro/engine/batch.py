@@ -127,26 +127,33 @@ class TopologySnapshot:
         live_pos = ring.positions_array(live_only=True)
         live_rows = row_of[live_ids]
 
-        succ_row = np.full(n, -1, dtype=np.int64)
-        successor = substrate.pointers.successor
-        for node_id, succ in successor.items():
-            row = row_of[node_id] if node_id <= max_id else -1
-            if row >= 0:
-                succ_row[row] = row_of[succ]
+        succ_row = cls._pointer_rows(substrate.pointers.successor, row_of, max_id, n)
 
         # Rows for every peer, dead ones included: the greedy walk follows
         # links without liveness checks (so can land on an unrepaired dead
         # peer), and the scalar router still scans that peer's neighbors.
-        neighbor_lists: list[list[int]] = [[] for __ in range(n)]
-        width = 1
-        for row, node_id in enumerate(all_ids):
-            nbrs = [int(row_of[nbr]) for nbr in substrate.neighbors_of(int(node_id))]
-            neighbor_lists[row] = nbrs
-            width = max(width, len(nbrs))
-        nbr_rows = np.full((n, width), -1, dtype=np.int64)
-        for row, nbrs in enumerate(neighbor_lists):
-            if nbrs:
-                nbr_rows[row, : len(nbrs)] = nbrs
+        state = getattr(substrate, "state", None)
+        if state is not None and getattr(ring, "state", None) is state:
+            # Struct-of-arrays fast path: succ/pred columns from the
+            # pointer maps plus the state's padded link matrix, compacted
+            # into the exact rows the scalar per-peer scan would build.
+            pred_row = cls._pointer_rows(
+                substrate.pointers.predecessor, row_of, max_id, n
+            )
+            nbr_rows = cls._neighbor_rows_from_state(
+                state, ring, row_of, succ_row, pred_row, n
+            )
+        else:
+            neighbor_lists: list[list[int]] = [[] for __ in range(n)]
+            width = 1
+            for row, node_id in enumerate(all_ids):
+                nbrs = [int(row_of[nbr]) for nbr in substrate.neighbors_of(int(node_id))]
+                neighbor_lists[row] = nbrs
+                width = max(width, len(nbrs))
+            nbr_rows = np.full((n, width), -1, dtype=np.int64)
+            for row, nbrs in enumerate(neighbor_lists):
+                if nbrs:
+                    nbr_rows[row, : len(nbrs)] = nbrs
 
         return cls(
             version=substrate.topology_version,
@@ -159,6 +166,70 @@ class TopologySnapshot:
             succ_row=succ_row,
             nbr_rows=nbr_rows,
         )
+
+    @staticmethod
+    def _pointer_rows(
+        pointer_map: dict, row_of: np.ndarray, max_id: int, n: int
+    ) -> np.ndarray:
+        """Per-row pointer-target rows from one maintained pointer map
+        (-1 where the peer has no pointer)."""
+        rows = np.full(n, -1, dtype=np.int64)
+        if not pointer_map:
+            return rows
+        ks = np.fromiter(pointer_map.keys(), dtype=np.int64, count=len(pointer_map))
+        vs = np.fromiter(pointer_map.values(), dtype=np.int64, count=len(pointer_map))
+        ok = ks <= max_id
+        krows = row_of[ks[ok]]
+        keep = krows >= 0
+        rows[krows[keep]] = row_of[vs[ok][keep]]
+        return rows
+
+    @staticmethod
+    def _neighbor_rows_from_state(
+        state,
+        ring,
+        row_of: np.ndarray,
+        succ_row: np.ndarray,
+        pred_row: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Padded neighbor matrix straight from the substrate state.
+
+        Emits exactly what the scalar ``neighbors_of`` scan appends per
+        peer: ring successor (unless absent or self), ring predecessor
+        (unless absent, self, or equal to the successor), then every
+        outgoing link slot in table order — dead targets *kept* (their
+        rows resolve normally) and targets of hard-removed ids kept as
+        -1, both occupying their column just as the scalar translation
+        does. Only truly absent entries (no pointer, past ``out_count``)
+        are compacted away; they use a transient -2 sentinel so they
+        cannot be confused with the -1 unknown-translation entries.
+        """
+        rows_idx = np.arange(n, dtype=np.int64)
+        succ_col = np.where((succ_row >= 0) & (succ_row != rows_idx), succ_row, -2)
+        pred_col = np.where(
+            (pred_row >= 0) & (pred_row != rows_idx) & (pred_row != succ_row),
+            pred_row,
+            -2,
+        )
+        slots = ring.slots_array(live_only=False)
+        width = state.link_width
+        if width:
+            links = state.out_links[slots].astype(np.int64)
+            have = np.arange(width) < state.out_count[slots][:, None]
+            safe = np.clip(links, 0, row_of.size - 1)
+            trans = np.where((links >= 0) & (links < row_of.size), row_of[safe], -1)
+            link_cols = np.where(have, trans, -2)
+            full = np.concatenate(
+                [succ_col[:, None], pred_col[:, None], link_cols], axis=1
+            )
+        else:
+            full = np.stack([succ_col, pred_col], axis=1)
+        # Stable left-compaction of the absent entries only.
+        order = np.argsort(full == -2, axis=1, kind="stable")
+        matrix = np.take_along_axis(full, order, axis=1)
+        keep = max(1, int((full != -2).sum(axis=1).max(initial=0)))
+        return np.where(matrix == -2, -1, matrix)[:, :keep]
 
     def responsible_rows(self, target_keys: np.ndarray) -> np.ndarray:
         """Row of the live peer responsible for each key (vectorized

@@ -454,6 +454,22 @@ class SteadyStateChurnEngine:
         """
         ring = self.substrate.ring
         live_ids = ring.ids_array(live_only=True)
+        state = getattr(self.substrate, "state", None)
+        if self.vectorized and state is not None and getattr(ring, "state", None) is state:
+            # Struct-of-arrays fast path: every live peer's link row at
+            # once, no per-node list materialization.
+            slots = ring.slots_array(live_only=True)
+            width = state.link_width
+            if width == 0 or slots.size == 0:
+                return 0
+            links = state.out_links[slots]
+            have = np.arange(width) < state.out_count[slots][:, None]
+            flat = links[have].astype(np.int64)
+            if flat.size == 0:
+                return 0
+            live_sorted = np.sort(live_ids)  # ring order is by position, not id
+            idx = np.minimum(np.searchsorted(live_sorted, flat), live_sorted.size - 1)
+            return int((live_sorted[idx] != flat).sum())
         targets = self._long_link_targets(live_ids)
         if not targets:
             return 0

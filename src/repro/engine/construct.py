@@ -57,7 +57,6 @@ import numpy as np
 from ..config import SamplingMode
 from ..core.construction import LinkAcquisitionStats
 from ..core.estimators import border_is_terminal
-from ..core.partitions import PartitionTable
 from ..degree import DegreeDistribution, assign_caps
 from ..errors import SamplingError
 from ..ring import rebuild_pointers
@@ -73,7 +72,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["BatchConstructionEngine", "LiveView"]
 
 
-@dataclass(frozen=True)
 class LiveView:
     """Array view of the live population at one instant (ring order).
 
@@ -82,20 +80,50 @@ class LiveView:
         pos: Float position per row (sorted — the ``searchsorted`` base
             for arc counting, exactly the ring's own lookup array).
         keys: Exact ``uint64`` keyspace twin of ``pos``.
-        nodes: Row-aligned :class:`~repro.core.node.OscarNode` states.
         row_of: ``node id -> row`` translation (-1 for unknown/dead).
+        slots: Row-aligned physical slots into ``state`` — the bridge
+            the array kernels use to read/write per-peer columns.
+        state: The overlay's shared struct-of-arrays substrate state.
+        nodes: Row-aligned :class:`~repro.core.node.OscarNode` views,
+            materialized lazily (only the sequential reference path and
+            the test suite touch per-peer objects).
     """
 
-    ids: np.ndarray
-    pos: np.ndarray
-    keys: np.ndarray
-    nodes: tuple["OscarNode", ...]
-    row_of: np.ndarray
+    __slots__ = ("ids", "pos", "keys", "row_of", "slots", "state", "_nodes")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        pos: np.ndarray,
+        keys: np.ndarray,
+        row_of: np.ndarray,
+        slots: np.ndarray | None = None,
+        state=None,
+        nodes: "tuple[OscarNode, ...] | None" = None,
+    ) -> None:
+        self.ids = ids
+        self.pos = pos
+        self.keys = keys
+        self.row_of = row_of
+        self.slots = slots
+        self.state = state
+        self._nodes = tuple(nodes) if nodes is not None else None
 
     @property
     def m(self) -> int:
         """Live peer count."""
         return int(self.ids.size)
+
+    @property
+    def nodes(self) -> "tuple[OscarNode, ...]":
+        """Row-aligned node views (built on first access)."""
+        if self._nodes is None:
+            from ..core.node import OscarNode
+
+            self._nodes = tuple(
+                OscarNode._view(self.state, int(s)) for s in self.slots
+            )
+        return self._nodes
 
     @classmethod
     def capture(cls, overlay: "OscarOverlay") -> "LiveView":
@@ -107,8 +135,11 @@ class LiveView:
         max_id = int(ids.max()) if ids.size else -1
         row_of = np.full(max_id + 2, -1, dtype=np.int64)
         row_of[ids] = np.arange(ids.size, dtype=np.int64)
-        nodes = tuple(overlay.nodes[int(i)] for i in ids)
-        return cls(ids=ids, pos=pos, keys=keys, nodes=nodes, row_of=row_of)
+        state = getattr(overlay, "state", None)
+        if state is None:
+            nodes = tuple(overlay.nodes[int(i)] for i in ids)
+            return cls(ids, pos, keys, row_of, nodes=nodes)
+        return cls(ids, pos, keys, row_of, slots=ring.slots_array(live_only=True), state=state)
 
 
 def _isin_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
@@ -177,9 +208,8 @@ class BatchConstructionEngine:
         view = LiveView.capture(self.overlay)
         if view.m < 2:
             raise SamplingError("cannot rewire an overlay with fewer than 2 live peers")
-        for node in view.nodes:
-            node.reset_links()
-            node.in_degree = 0
+        view.state.clear_links(view.slots)
+        view.state.in_deg[view.slots] = 0
         rows = np.arange(view.m, dtype=np.int64)
         arcs = self._estimate(rng, view, rows, track_spend=True)
         priority_of = self._draw_priority(rng, view, rows)
@@ -219,15 +249,9 @@ class BatchConstructionEngine:
         new_ids = list(range(first_id, first_id + missing))
         overlay._next_id += missing
         overlay.ring.insert_many(zip(new_ids, positions))
-        from ..core.node import OscarNode
-
-        for index, node_id in enumerate(new_ids):
-            overlay.nodes[node_id] = OscarNode(
-                node_id=node_id,
-                position=float(positions[index]),
-                rho_max_in=int(caps_in[index]),
-                rho_max_out=int(caps_out[index]),
-            )
+        new_slots = overlay.state.slots_of(np.asarray(new_ids, dtype=np.int64))
+        overlay.state.cap_in[new_slots] = np.asarray(caps_in, dtype=np.int64)
+        overlay.state.cap_out[new_slots] = np.asarray(caps_out, dtype=np.int64)
         rebuild_pointers(overlay.ring, overlay.pointers)
         if overlay.ring.live_count < 2:
             return LinkAcquisitionStats()
@@ -298,10 +322,11 @@ class BatchConstructionEngine:
     ) -> _ArcTables:
         """(Re-)estimate partition tables for ``rows``; returns their arcs.
 
-        Sets ``node.partitions`` on every estimated peer (the objects the
-        rest of the library reads) and returns the same tables as padded
-        arc matrices for the acquisition rounds. ``track_spend`` mirrors
-        the rewiring path's ``samples_spent`` cost accounting.
+        Writes the partition columns of the substrate state (which back
+        ``node.partitions`` — the view the rest of the library reads)
+        and returns the same tables as padded arc matrices for the
+        acquisition rounds. ``track_spend`` mirrors the rewiring path's
+        ``samples_spent`` cost accounting.
         """
         config = self.overlay.config
         m = view.m
@@ -319,17 +344,16 @@ class BatchConstructionEngine:
                 self._oracle_levels(view, rows, medians, counts, levels)
             else:
                 self._sampled_levels(rng, view, rows, medians, counts, levels)
-        for i in range(n):
-            node = view.nodes[int(rows[i])]
-            node.partitions = PartitionTable(
-                origin=float(origin[i]),
-                far_end=float(far_end[i]),
-                medians=tuple(float(x) for x in medians[i, : int(counts[i])]),
-            )
-            if track_spend:
-                node.samples_spent += config.sample_size * max(
-                    0, node.partitions.n_partitions - 1
-                )
+        state = view.state
+        est_slots = view.slots[rows]
+        state.part_origin[est_slots] = origin
+        state.part_far_end[est_slots] = far_end
+        state.ensure_median_width(medians.shape[1])
+        state.medians[est_slots, :] = 0.0
+        state.medians[est_slots, : medians.shape[1]] = medians
+        state.n_medians[est_slots] = counts
+        if track_spend:
+            state.samples_spent[est_slots] += config.sample_size * counts
         return self._arc_tables(origin, far_end, medians, counts)
 
     def _oracle_levels(
@@ -524,28 +548,31 @@ class BatchConstructionEngine:
         provider order — the same adjacency the scalar walker scans.
         """
         m = view.m
-        lists: list[list[int]] = []
-        width = 1
-        for row in range(m):
-            succ = (row + 1) % m
-            pred = (row - 1) % m
-            nbrs: list[int] = []
-            if succ != row:
-                nbrs.append(succ)
-            if pred != row and pred != succ:
-                nbrs.append(pred)
-            for target in view.nodes[row].out_links:
-                t = int(target)
-                t_row = int(view.row_of[t]) if t < view.row_of.size else -1
-                if t_row >= 0:
-                    nbrs.append(t_row)
-            lists.append(nbrs)
-            width = max(width, len(nbrs))
-        matrix = np.full((m, width), -1, dtype=np.int64)
-        for row, nbrs in enumerate(lists):
-            if nbrs:
-                matrix[row, : len(nbrs)] = nbrs
-        return matrix
+        state = view.state
+        row_idx = np.arange(m, dtype=np.int64)
+        succ = (row_idx + 1) % m
+        pred = (row_idx - 1) % m
+        succ_col = np.where(succ != row_idx, succ, -1)
+        pred_col = np.where((pred != row_idx) & (pred != succ), pred, -1)
+        width = state.link_width
+        if width:
+            link_rows = state.out_links[view.slots].astype(np.int64)
+            have = np.arange(width) < state.out_count[view.slots][:, None]
+            targets = np.where(have, link_rows, -1)
+            safe = np.clip(targets, 0, view.row_of.size - 1)
+            t_rows = np.where(
+                (targets >= 0) & (targets < view.row_of.size), view.row_of[safe], -1
+            )
+            full = np.concatenate([succ_col[:, None], pred_col[:, None], t_rows], axis=1)
+        else:
+            full = np.stack([succ_col, pred_col], axis=1)
+        # Stable left-compaction: valid entries keep provider order, the
+        # -1 holes (self, dead targets) are pushed off the right edge —
+        # the same rows the scalar list construction produced.
+        order = np.argsort(full < 0, axis=1, kind="stable")
+        matrix = np.take_along_axis(full, order, axis=1)
+        keep = max(1, int((full >= 0).sum(axis=1).max(initial=0)))
+        return matrix[:, :keep]
 
     def _arc_tables(
         self,
@@ -610,23 +637,29 @@ class BatchConstructionEngine:
         n = int(rows.size)
         if n == 0 or m < 2:
             return stats
-        rho_in = np.array([node.rho_max_in for node in view.nodes], dtype=np.int64)
-        in_deg = np.array([node.in_degree for node in view.nodes], dtype=np.int64)
-        rho_out = np.array([view.nodes[int(r)].rho_max_out for r in rows], dtype=np.int64)
+        state = view.state
+        req_slots = view.slots[rows]
+        rho_in = state.cap_in[view.slots].astype(np.int64)
+        in_deg = state.in_deg[view.slots].astype(np.int64)
+        rho_out = state.cap_out[req_slots].astype(np.int64)
         target = rho_out if config.respect_out_caps else np.maximum(rho_out, 1)
-        out_count = np.array(
-            [len(view.nodes[int(r)].out_links) for r in rows], dtype=np.int64
-        )
+        out_count = state.out_count[req_slots].astype(np.int64)
         n_cand = 2 if config.power_of_two else 1
 
-        pair_list: list[int] = []
-        for r in rows:
-            for t in view.nodes[int(r)].out_links:
-                t_row = int(view.row_of[int(t)]) if int(t) < view.row_of.size else -1
-                if t_row >= 0:
-                    pair_list.append(int(r) * m + t_row)
-        linked = np.sort(np.asarray(pair_list, dtype=np.int64))
-        linked_set = set(pair_list)
+        width = state.link_width
+        if width:
+            link_rows = state.out_links[req_slots].astype(np.int64)
+            have = np.arange(width) < state.out_count[req_slots][:, None]
+            targets = link_rows[have]
+            requesters = np.broadcast_to(rows[:, None], link_rows.shape)[have]
+            safe = np.minimum(targets, view.row_of.size - 1)
+            t_rows = np.where(targets < view.row_of.size, view.row_of[safe], -1)
+            known = t_rows >= 0
+            pairs = requesters[known] * m + t_rows[known]
+        else:
+            pairs = np.empty(0, dtype=np.int64)
+        linked = np.sort(pairs)
+        linked_set = set(int(p) for p in pairs)
 
         slot_attempts = np.zeros(n, dtype=np.int64)
         active = out_count < target
@@ -657,8 +690,7 @@ class BatchConstructionEngine:
             filled = success & (out_count[act] >= target[act])
             active[act[filled]] = False
 
-        for row, node in enumerate(view.nodes):
-            node.in_degree = int(in_deg[row])
+        state.in_deg[view.slots] = in_deg
         return stats
 
     def _round_vectorized(
@@ -751,8 +783,14 @@ class BatchConstructionEngine:
                 linked = np.sort(
                     np.concatenate([linked, win_rows * m + win_cand])
                 )
-                for r_row, c_row in zip(win_rows, win_cand):
-                    view.nodes[int(r_row)].out_links.append(int(ids[int(c_row)]))
+                # Scatter commit: requester rows are unique within a round,
+                # so the write column is just each winner's current count.
+                state = view.state
+                win_slots = view.slots[win_rows]
+                write_col = state.out_count[win_slots].astype(np.int64)
+                state.ensure_link_width(int(write_col.max()) + 1)
+                state.out_links[win_slots, write_col] = ids[win_cand]
+                state.out_count[win_slots] = write_col + 1
                 stats.links_placed += int(winners.size)
                 success[winners] = True
         return success, linked

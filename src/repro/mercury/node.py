@@ -2,50 +2,79 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from ..errors import CapacityExhaustedError
+from ..core.node import StateNodeView
 from ..sampling import NodeDensityHistogram
 from ..types import NodeId
 
 __all__ = ["MercuryNode"]
 
 
-@dataclass
-class MercuryNode:
+class MercuryNode(StateNodeView):
     """One Mercury peer.
 
     Mirrors :class:`~repro.core.node.OscarNode` bookkeeping (the two
     systems share the acceptance protocol) but carries Mercury's learned
     state: the equi-width density histogram it built from its uniform
-    samples, instead of a recursive-median partition table.
+    samples, instead of a recursive-median partition table. Like the
+    Oscar node it is a view over a :class:`~repro.core.soa.SubstrateState`
+    slot; the histogram object lives in the state's object side-car
+    (``state.histograms``), keyed by slot.
     """
 
-    node_id: NodeId
-    position: float
-    rho_max_in: int
-    rho_max_out: int
-    out_links: list[NodeId] = field(default_factory=list)
-    in_degree: int = 0
-    histogram: NodeDensityHistogram | None = None
-    samples_spent: int = 0
+    __slots__ = ()
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: float,
+        rho_max_in: int,
+        rho_max_out: int,
+        out_links=None,
+        in_degree: int = 0,
+        histogram: NodeDensityHistogram | None = None,
+        samples_spent: int = 0,
+    ) -> None:
+        self._init_standalone(
+            node_id, position, rho_max_in, rho_max_out, out_links, in_degree, samples_spent
+        )
+        if histogram is not None:
+            self.histogram = histogram
 
     @property
-    def can_accept(self) -> bool:
-        """Whether this peer acknowledges one more incoming long link."""
-        return self.in_degree < self.rho_max_in
+    def histogram(self) -> NodeDensityHistogram | None:
+        return self._state.histograms.get(self._slot)
 
-    def accept_in_link(self) -> None:
-        """Register an incoming link; raises past the cap (protocol bug)."""
-        if not self.can_accept:
-            raise CapacityExhaustedError(
-                f"node {self.node_id} is at its in-degree cap ({self.rho_max_in})"
+    @histogram.setter
+    def histogram(self, value: NodeDensityHistogram | None) -> None:
+        if value is None:
+            self._state.histograms.pop(self._slot, None)
+        else:
+            self._state.histograms[self._slot] = value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MercuryNode):
+            return (
+                self.node_id,
+                self.position,
+                self.rho_max_in,
+                self.rho_max_out,
+                list(self.out_links),
+                self.in_degree,
+                self.histogram,
+                self.samples_spent,
+            ) == (
+                other.node_id,
+                other.position,
+                other.rho_max_in,
+                other.rho_max_out,
+                list(other.out_links),
+                other.in_degree,
+                other.histogram,
+                other.samples_spent,
             )
-        self.in_degree += 1
+        return NotImplemented
 
-    def reset_links(self) -> None:
-        """Forget outgoing links (the caller fixes targets' in-degrees)."""
-        self.out_links.clear()
+    __hash__ = None  # mutable view, same as the old (unfrozen) dataclass
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,7 @@ from ..routing import RouteResult, route_faulty, route_greedy
 from ..rng import split
 from ..types import Key, NodeId
 from ..workloads import KeyDistribution
+from ..core.soa import NodeTable, SubstrateState
 from .construction import acquire_links, build_histogram, rewire_all
 from .node import MercuryNode
 
@@ -39,9 +40,10 @@ class MercuryOverlay:
         self.config = config or MercuryConfig()
         self.routing = routing or RoutingConfig()
         self.seed = seed
-        self.ring = Ring()
+        self.state = SubstrateState()
+        self.ring = Ring(self.state)
         self.pointers = RingPointers()
-        self.nodes: dict[NodeId, MercuryNode] = {}
+        self.nodes = NodeTable(self.state, MercuryNode._view)
         self._next_id = 0
         self._links_epoch = 0
         self._join_rng = split(seed, "mercury-join")
@@ -56,13 +58,10 @@ class MercuryOverlay:
         node_id = self._next_id
         self.ring.insert(node_id, position)
         self._next_id += 1
-        node = MercuryNode(
-            node_id=node_id,
-            position=position,
-            rho_max_in=int(rho_max_in),
-            rho_max_out=int(rho_max_out),
-        )
-        self.nodes[node_id] = node
+        slot = self.state.slot_of(node_id)
+        self.state.cap_in[slot] = int(rho_max_in)
+        self.state.cap_out[slot] = int(rho_max_out)
+        node = self.nodes[node_id]
         attach_node(self.ring, self.pointers, node_id)
         if self.ring.live_count > 1:
             node.histogram = build_histogram(self.ring, self.config, self._join_rng)
@@ -211,19 +210,19 @@ class MercuryOverlay:
 
     def in_degree_array(self) -> np.ndarray:
         """Long-link in-degrees of live peers (ring order)."""
-        return np.array([n.in_degree for n in self.live_nodes()], dtype=np.int64)
+        return self.state.in_deg[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def in_cap_array(self) -> np.ndarray:
         """``rho_max_in`` of live peers (ring order)."""
-        return np.array([n.rho_max_in for n in self.live_nodes()], dtype=np.int64)
+        return self.state.cap_in[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def out_degree_array(self) -> np.ndarray:
         """Long-link out-degrees of live peers (ring order)."""
-        return np.array([len(n.out_links) for n in self.live_nodes()], dtype=np.int64)
+        return self.state.out_count[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     def out_cap_array(self) -> np.ndarray:
         """``rho_max_out`` of live peers (ring order)."""
-        return np.array([n.rho_max_out for n in self.live_nodes()], dtype=np.int64)
+        return self.state.cap_out[self.ring.slots_array(live_only=True)].astype(np.int64)
 
     @property
     def size(self) -> int:

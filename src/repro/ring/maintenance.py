@@ -58,12 +58,11 @@ def build_pointers(ring: Ring) -> RingPointers:
     live = ring.node_ids(live_only=True)
     if not live:
         raise EmptyPopulationError("cannot build ring pointers with no live peers")
-    pointers = RingPointers()
-    n = len(live)
-    for i, node in enumerate(live):
-        pointers.successor[node] = live[(i + 1) % n]
-        pointers.predecessor[node] = live[(i - 1) % n]
-    return pointers
+    # zip over the rotated list — one C-level pass instead of N indexings.
+    return RingPointers(
+        successor=dict(zip(live, live[1:] + live[:1])),
+        predecessor=dict(zip(live, live[-1:] + live[:-1])),
+    )
 
 
 def attach_node(ring: Ring, pointers: RingPointers, node_id: NodeId) -> None:
@@ -113,9 +112,8 @@ def repair(ring: Ring, pointers: RingPointers) -> int:
     if not live:
         raise EmptyPopulationError("cannot repair a ring with no live peers")
     changes = 0
-    n = len(live)
-    correct_succ = {node: live[(i + 1) % n] for i, node in enumerate(live)}
-    correct_pred = {node: live[(i - 1) % n] for i, node in enumerate(live)}
+    correct_succ = dict(zip(live, live[1:] + live[:1]))
+    correct_pred = dict(zip(live, live[-1:] + live[:-1]))
 
     for table, correct in ((pointers.successor, correct_succ), (pointers.predecessor, correct_pred)):
         for node in list(table):
@@ -143,13 +141,14 @@ def repair_all(ring: Ring, pointers: RingPointers) -> int:
     live = ring.node_ids(live_only=True)
     if not live:
         raise EmptyPopulationError("cannot repair a ring with no live peers")
-    n = len(live)
     changes = 0
     for table, correct in (
-        (pointers.successor, {node: live[(i + 1) % n] for i, node in enumerate(live)}),
-        (pointers.predecessor, {node: live[(i - 1) % n] for i, node in enumerate(live)}),
+        (pointers.successor, dict(zip(live, live[1:] + live[:1]))),
+        (pointers.predecessor, dict(zip(live, live[-1:] + live[:-1]))),
     ):
-        stale = sum(1 for node in table if node not in correct)
+        stale = len(table.keys() - correct.keys())
+        if stale == 0 and table == correct:
+            continue  # already stable — skip the per-entry diff entirely
         changed = sum(1 for node, target in correct.items() if table.get(node) != target)
         changes += stale + changed
         if stale or changed:

@@ -23,24 +23,31 @@ Design notes
   dead peers stay in the structure so that long-range links pointing at
   them can be discovered as dangling by the fault-aware router, exactly
   like a timed-out probe in a deployed system.
-* **Numpy caches.** Sorted position/id/key arrays (all peers, and
+* **Struct-of-arrays state.** Per-peer facts (position, exact ``uint64``
+  key, liveness) live in a shared :class:`~repro.core.soa.SubstrateState`
+  — flat arrays indexed by slot — and the ring maintains only the sorted
+  clockwise *order* of slots. Overlays pass their state in so node views
+  and ring queries read the same cells; a stand-alone ``Ring()`` owns a
+  private state. Sorted position/id/key arrays (all peers, and
   live-only) are cached and invalidated on mutation, so the hot lookups
   used by sampling, link acquisition and the batch engine are
-  vectorized. The ``uint64`` key arrays are what the exact-geometry hot
-  paths (batched routing, closest-preceding scans) compute on.
+  vectorized.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Iterable, Iterator
+import operator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from ..errors import DuplicateNodeError, EmptyPopulationError, UnknownNodeError
+from ..errors import DuplicateNodeError, EmptyPopulationError, RingInvariantError, UnknownNodeError
 from ..types import NodeId
 from . import keyspace
 from .identifiers import _check  # shared range validation
+
+if TYPE_CHECKING:
+    from ..core.soa import SubstrateState
 
 __all__ = ["Ring"]
 
@@ -48,15 +55,17 @@ __all__ = ["Ring"]
 class Ring:
     """A circle of peers ordered by their key-space position."""
 
-    def __init__(self) -> None:
-        self._pos_of: dict[NodeId, float] = {}
-        self._key_of: dict[NodeId, int] = {}
-        self._alive: dict[NodeId, bool] = {}
-        self._sorted_positions: list[float] = []
-        self._sorted_keys: list[int] = []
-        self._sorted_ids: list[NodeId] = []
-        self._cache_all: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._cache_live: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+    def __init__(self, state: "SubstrateState | None" = None) -> None:
+        if state is None:
+            from ..core.soa import SubstrateState
+
+            state = SubstrateState()
+        self.state = state
+        self._sorted_slots = np.empty(0, dtype=np.int64)
+        self._sorted_pos = np.empty(0, dtype=np.float64)
+        # Cached (positions, ids, keys, slots) tuples; see _arrays().
+        self._cache_all: tuple[np.ndarray, ...] | None = None
+        self._cache_live: tuple[np.ndarray, ...] | None = None
         self._version = 0
 
     @property
@@ -79,17 +88,15 @@ class Ring:
         """
         _check(position, "position")
         key = keyspace.from_unit(position, "position")
-        if node_id in self._pos_of:
+        if self.state.slot_of(node_id) >= 0:
             raise DuplicateNodeError(f"node {node_id} already joined")
-        idx = bisect.bisect_left(self._sorted_positions, position)
-        if idx < len(self._sorted_positions) and self._sorted_positions[idx] == position:
-            raise DuplicateNodeError(f"position {position!r} already occupied by node {self._sorted_ids[idx]}")
-        self._sorted_positions.insert(idx, position)
-        self._sorted_keys.insert(idx, key)
-        self._sorted_ids.insert(idx, node_id)
-        self._pos_of[node_id] = position
-        self._key_of[node_id] = key
-        self._alive[node_id] = True
+        idx = int(np.searchsorted(self._sorted_pos, position, side="left"))
+        if idx < self._sorted_pos.size and self._sorted_pos[idx] == position:
+            occupant = int(self.state.node_id[self._sorted_slots[idx]])
+            raise DuplicateNodeError(f"position {position!r} already occupied by node {occupant}")
+        slot = self.state.alloc_one(int(node_id), float(position), key)
+        self._sorted_slots = np.insert(self._sorted_slots, idx, slot)
+        self._sorted_pos = np.insert(self._sorted_pos, idx, position)
         self._version += 1
         self._invalidate()
 
@@ -99,8 +106,8 @@ class Ring:
         Equivalent to calling :meth:`insert` per pair (same uniqueness
         rules, same keys — the vectorized ``from_units`` adapter is
         bit-equal to the scalar one) but ``O((N + K) log (N + K))``
-        instead of the ``O(N)``-per-insert list splicing, which is what
-        makes 100k-peer bulk construction feasible. Validation happens
+        instead of the ``O(N)``-per-insert splicing, which is what
+        makes million-peer bulk construction feasible. Validation happens
         before any mutation: a duplicate id or position raises
         :class:`DuplicateNodeError` and leaves the ring untouched.
         """
@@ -114,38 +121,32 @@ class Ring:
         if len(set(new_ids)) != len(new_ids):
             raise DuplicateNodeError("bulk insert contains a repeated node id")
         for node_id in new_ids:
-            if node_id in self._pos_of:
+            if self.state.slot_of(node_id) >= 0:
                 raise DuplicateNodeError(f"node {node_id} already joined")
         order = np.argsort(new_pos, kind="stable")
         sorted_new = new_pos[order]
         if sorted_new.size > 1 and bool((sorted_new[1:] == sorted_new[:-1]).any()):
             raise DuplicateNodeError("bulk insert contains a repeated position")
-        existing = np.asarray(self._sorted_positions, dtype=float)
+        existing = self._sorted_pos
         if existing.size:
             at = np.searchsorted(existing, sorted_new, side="left")
             hit = (at < existing.size) & (existing[np.minimum(at, existing.size - 1)] == sorted_new)
             if bool(hit.any()):
                 taken = float(sorted_new[np.nonzero(hit)[0][0]])
+                occupant_slot = self._sorted_slots[int(np.searchsorted(existing, taken, side="left"))]
                 raise DuplicateNodeError(
                     f"position {taken!r} already occupied by node "
-                    f"{self._sorted_ids[int(np.searchsorted(existing, taken, side='left'))]}"
+                    f"{int(self.state.node_id[occupant_slot])}"
                 )
         new_keys = keyspace.from_units(new_pos)  # bit-equal to scalar from_unit
+        slots = self.state.alloc_many(
+            np.asarray(new_ids, dtype=np.int64), new_pos, new_keys.astype(np.uint64)
+        )
         merged_pos = np.concatenate([existing, new_pos])
-        merged_ids = np.concatenate(
-            [np.asarray(self._sorted_ids, dtype=np.int64), np.asarray(new_ids, dtype=np.int64)]
-        )
-        merged_keys = np.concatenate(
-            [np.asarray(self._sorted_keys, dtype=np.uint64), new_keys.astype(np.uint64)]
-        )
+        merged_slots = np.concatenate([self._sorted_slots, slots])
         merge_order = np.argsort(merged_pos, kind="stable")
-        self._sorted_positions = merged_pos[merge_order].tolist()
-        self._sorted_ids = [int(i) for i in merged_ids[merge_order]]
-        self._sorted_keys = [int(k) for k in merged_keys[merge_order]]
-        for node_id, position, key in zip(new_ids, new_pos, new_keys):
-            self._pos_of[node_id] = float(position)
-            self._key_of[node_id] = int(key)
-            self._alive[node_id] = True
+        self._sorted_pos = merged_pos[merge_order]
+        self._sorted_slots = merged_slots[merge_order]
         self._version += len(pairs)
         self._invalidate()
 
@@ -153,11 +154,13 @@ class Ring:
         """Bulk-remove peers (live or dead) from the structure entirely.
 
         The teardown mirror of :meth:`insert_many`: one mask pass over
-        the sorted arrays instead of ``O(N)``-per-peer list splicing,
-        which is what keeps long steady-state churn runs memory-bounded
-        — crashed peers are *marked* dead (so dangling links stay
-        discoverable) and only compacted away here once periodic repair
-        has rewired around them. Removed positions become free again.
+        the sorted order plus a free-list return of the slots, which is
+        what keeps long steady-state churn runs memory-bounded — crashed
+        peers are *marked* dead (so dangling links stay discoverable)
+        and only compacted away here once periodic repair has rewired
+        around them. Removed positions (and slots) become free again;
+        slots are recycled smallest-first so fixed-seed runs have a
+        deterministic physical layout.
 
         Validation happens before any mutation: an unknown or repeated
         id raises :class:`UnknownNodeError` / :class:`DuplicateNodeError`
@@ -171,45 +174,43 @@ class Ring:
             raise DuplicateNodeError("bulk remove contains a repeated node id")
         for node_id in ids:
             self._require_known(node_id)
-        drop = set(ids)
-        keep = [i for i, node_id in enumerate(self._sorted_ids) if node_id not in drop]
-        self._sorted_positions = [self._sorted_positions[i] for i in keep]
-        self._sorted_keys = [self._sorted_keys[i] for i in keep]
-        self._sorted_ids = [self._sorted_ids[i] for i in keep]
-        for node_id in ids:
-            del self._pos_of[node_id]
-            del self._key_of[node_id]
-            del self._alive[node_id]
+        drop_slots = self.state.slots_of(np.asarray(ids, dtype=np.int64))
+        flags = np.zeros(self.state.capacity, dtype=bool)
+        flags[drop_slots] = True
+        keep = ~flags[self._sorted_slots]
+        self._sorted_slots = self._sorted_slots[keep]
+        self._sorted_pos = self._sorted_pos[keep]
+        self.state.free_many(drop_slots)
         self._version += len(ids)
         self._invalidate()
 
     def mark_dead(self, node_id: NodeId) -> None:
         """Crash a peer. Idempotent."""
-        self._require_known(node_id)
-        if self._alive[node_id]:
-            self._alive[node_id] = False
+        slot = self._require_known(node_id)
+        if self.state.alive[slot]:
+            self.state.alive[slot] = False
             self._version += 1
             self._cache_live = None
 
     def mark_alive(self, node_id: NodeId) -> None:
         """Revive a crashed peer (used by churn processes). Idempotent."""
-        self._require_known(node_id)
-        if not self._alive[node_id]:
-            self._alive[node_id] = True
+        slot = self._require_known(node_id)
+        if not self.state.alive[slot]:
+            self.state.alive[slot] = True
             self._version += 1
             self._cache_live = None
 
     def is_alive(self, node_id: NodeId) -> bool:
         """Whether the peer is currently live."""
-        self._require_known(node_id)
-        return self._alive[node_id]
+        slot = self._require_known(node_id)
+        return bool(self.state.alive[slot])
 
     def __contains__(self, node_id: object) -> bool:
-        return node_id in self._pos_of
+        return self.state.slot_of(node_id) >= 0
 
     def __len__(self) -> int:
         """Total number of peers ever joined (live + dead)."""
-        return len(self._pos_of)
+        return int(self._sorted_slots.size)
 
     @property
     def live_count(self) -> int:
@@ -219,14 +220,14 @@ class Ring:
 
     def position(self, node_id: NodeId) -> float:
         """The unit-circle position of a peer (live or dead)."""
-        self._require_known(node_id)
-        return self._pos_of[node_id]
+        slot = self._require_known(node_id)
+        return float(self.state.pos[slot])
 
     def key_of(self, node_id: NodeId) -> int:
         """The exact fixed-point key of a peer (live or dead) — the
         ``uint64`` twin of :meth:`position`, converted once at insert."""
-        self._require_known(node_id)
-        return self._key_of[node_id]
+        slot = self._require_known(node_id)
+        return int(self.state.key[slot])
 
     def node_ids(self, live_only: bool = False) -> list[NodeId]:
         """All node ids in clockwise (position) order."""
@@ -363,38 +364,92 @@ class Ring:
         __, __i, keys = self._arrays(live_only)
         return keys
 
+    def slots_array(self, live_only: bool = False) -> np.ndarray:
+        """Physical slots (rows into the substrate state's arrays) in
+        clockwise order, aligned with :meth:`positions_array`. This is
+        the bridge the array kernels use to read per-peer columns
+        without building node views."""
+        cache = self._tuples(live_only)
+        return cache[3]
+
+    # ------------------------------------------------------------------
+    # structural verification
+    # ------------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check the ring/state structural invariants, raising
+        :class:`~repro.errors.RingInvariantError` on the first violation:
+
+        * the clockwise order is strictly increasing in position and
+          mirrors the state's position cells exactly;
+        * every ordered slot is allocated (``node_id >= 0``) and the
+          id -> slot map is its exact inverse;
+        * the cached live view agrees with the liveness bitmap;
+        * free slots are genuinely cleared (``node_id == -1``).
+        """
+        state = self.state
+        slots = self._sorted_slots
+        if slots.size != len(set(int(s) for s in slots)):
+            raise RingInvariantError("clockwise order repeats a slot")
+        pos = state.pos[slots]
+        if not np.array_equal(pos, self._sorted_pos):
+            raise RingInvariantError("sorted position cache diverged from state positions")
+        if pos.size > 1 and not bool((pos[1:] > pos[:-1]).all()):
+            raise RingInvariantError("clockwise order is not strictly increasing")
+        ids = state.node_id[slots]
+        if bool((ids < 0).any()):
+            raise RingInvariantError("clockwise order references a freed slot")
+        back = state.slots_of(ids)
+        if not np.array_equal(back, slots):
+            raise RingInvariantError("id -> slot map is not the inverse of the order")
+        live_ids = self.ids_array(live_only=True)
+        bitmap_ids = np.sort(ids[state.alive[slots]])
+        if not np.array_equal(np.sort(live_ids), bitmap_ids):
+            raise RingInvariantError("live cache disagrees with the liveness bitmap")
+        for free_slot in state._free:
+            if state.node_id[free_slot] != -1:
+                raise RingInvariantError(f"free slot {free_slot} still holds a peer")
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _require_known(self, node_id: NodeId) -> None:
-        if node_id not in self._pos_of:
+    def _require_known(self, node_id: NodeId) -> int:
+        slot = self.state.slot_of(node_id)
+        if slot < 0:
             raise UnknownNodeError(node_id)
+        return slot
 
     def _invalidate(self) -> None:
         self._cache_all = None
         self._cache_live = None
 
-    def _arrays(self, live_only: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _tuples(self, live_only: bool) -> tuple[np.ndarray, ...]:
+        state = self.state
         if live_only:
             if self._cache_live is None:
-                mask = np.fromiter(
-                    (self._alive[i] for i in self._sorted_ids),
-                    dtype=bool,
-                    count=len(self._sorted_ids),
+                mask = state.alive[self._sorted_slots]
+                slots = self._sorted_slots[mask]
+                self._cache_live = (
+                    self._sorted_pos[mask],
+                    state.node_id[slots],
+                    state.key[slots],
+                    slots,
                 )
-                positions = np.asarray(self._sorted_positions, dtype=float)[mask]
-                ids = np.asarray(self._sorted_ids, dtype=np.int64)[mask]
-                keys = np.array(self._sorted_keys, dtype=np.uint64)[mask]
-                self._cache_live = (positions, ids, keys)
             return self._cache_live
         if self._cache_all is None:
+            slots = self._sorted_slots
             self._cache_all = (
-                np.asarray(self._sorted_positions, dtype=float),
-                np.asarray(self._sorted_ids, dtype=np.int64),
-                np.array(self._sorted_keys, dtype=np.uint64),
+                self._sorted_pos.copy(),
+                state.node_id[slots],
+                state.key[slots],
+                slots.copy(),
             )
         return self._cache_all
+
+    def _arrays(self, live_only: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        positions, ids, keys, __ = self._tuples(live_only)
+        return positions, ids, keys
 
     def _range_span(self, start: float, end: float, live_only: bool) -> tuple[int, int, np.ndarray]:
         """Return ``(base_index, count, ids_array)`` describing clockwise

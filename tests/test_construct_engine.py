@@ -239,6 +239,24 @@ class TestGoldenBuild:
             assert node.partitions.far_end == entry["far_end"]
             assert list(node.partitions.medians) == entry["medians"]
 
+    def test_state_arrays_bit_identical(self, fixture, rebuilt):
+        """The same golden build read through the raw struct-of-arrays
+        columns instead of the node views — pins the storage itself, not
+        just the view translation, and the padding invariant with it."""
+        state = rebuilt[0].state
+        for entry in fixture["nodes"]:
+            slot = state.slot_of(entry["id"])
+            assert slot >= 0 and bool(state.alive[slot])
+            assert float(state.pos[slot]) == entry["position"]
+            assert int(state.in_deg[slot]) == entry["in_degree"]
+            count = int(state.out_count[slot])
+            assert [int(t) for t in state.out_links[slot, :count]] == entry["out_links"]
+            assert bool((state.out_links[slot, count:] == -1).all())
+            assert float(state.part_origin[slot]) == entry["origin"]
+            assert float(state.part_far_end[slot]) == entry["far_end"]
+            n_med = int(state.n_medians[slot])
+            assert [float(x) for x in state.medians[slot, :n_med]] == entry["medians"]
+
 
 class TestBatchWalker:
     @settings(max_examples=20, deadline=None)

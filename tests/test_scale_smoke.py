@@ -1,0 +1,68 @@
+"""Million-peer smoke test of the struct-of-arrays substrate.
+
+Marked ``slow`` and therefore excluded from the tier-1 run (see
+``pytest.ini``); the bench-trajectory CI job runs it with ``-m slow``. The
+gates are deliberately generous multiples of the measured CI-runner
+numbers (~60 s build, ~1.5 GiB peak RSS) — they catch order-of-magnitude
+regressions (per-peer Python objects creeping back in, accidental O(N²)
+loops), not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import OscarConfig, OscarOverlay
+from repro.churn.sessions import ExponentialSessions
+from repro.degree import ConstantDegrees
+from repro.engine import (
+    BatchQueryEngine,
+    SteadyStateChurnEngine,
+    check_rss_ceiling,
+)
+from repro.rng import split
+from repro.workloads import GnutellaLikeDistribution
+
+MILLION = 1_000_000
+BUILD_WALL_SECONDS = 300.0
+RSS_CEILING_MB = 8192.0
+
+
+@pytest.mark.slow
+def test_million_peer_build_and_steady_churn():
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(12)
+
+    started = time.perf_counter()
+    overlay = OscarOverlay(OscarConfig(), seed=42)
+    overlay.grow_batch(MILLION, keys, degrees)
+    build_seconds = time.perf_counter() - started
+    assert overlay.size == MILLION
+    assert build_seconds < BUILD_WALL_SECONDS, (
+        f"1M-peer build took {build_seconds:.0f}s (gate {BUILD_WALL_SECONDS:.0f}s)"
+    )
+    check_rss_ceiling(RSS_CEILING_MB)
+
+    probe = BatchQueryEngine(overlay).measure(
+        split(42, "million-smoke"), n_queries=10_000
+    )
+    assert probe.success_rate == 1.0
+    assert probe.n_routes == 10_000
+
+    churn = SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        ExponentialSessions(50.0),
+        arrival_rate=2000.0,
+        repair_every=5,
+        n_probes=500,
+        seed=7,
+    )
+    for _ in range(10):
+        stats = churn.run_epoch()
+        assert stats.probes.success_rate == 1.0
+    assert overlay.size > MILLION // 2
+    check_rss_ceiling(RSS_CEILING_MB)
