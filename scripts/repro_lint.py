@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""CI entry point for the determinism / SoA contract analyzer.
+
+Thin argv shim over :mod:`repro.analysis.run` so the ``static-analysis``
+job does not depend on the package being installed — it only needs
+``src`` importable. Identical interface to ``repro lint``::
+
+    python scripts/repro_lint.py src --format json > lint-report.json
+    python scripts/repro_lint.py --list-rules
+
+Exit status 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.run import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(prog="repro_lint.py"))

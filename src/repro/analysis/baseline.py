@@ -1,0 +1,214 @@
+"""The committed findings baseline: grandfathered violations, justified.
+
+The baseline is how a new rule lands without a flag day: violations
+that predate the rule (and are judged acceptable) are recorded in a
+committed JSON file with a **mandatory one-line justification**, and
+the analyzer treats them as known. Everything else about it is strict:
+
+* An entry matches a finding by ``(code, path, fingerprint)`` — the
+  fingerprint is the stripped source line, so entries survive pure
+  line-number drift but die the moment the offending line is edited.
+* Matching is multiset-style: two identical offending lines in one file
+  need two entries.
+* A **stale entry** (nothing matched it — the violation was fixed or
+  the line changed) is itself a finding (:data:`BASELINE_CODE`): the
+  baseline may only shrink through edits that prove the fix, never rot.
+* ``SUP001`` (unused suppression) findings can never be baselined.
+
+Format (``lint-baseline.json`` at the repo root)::
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "entries": [
+        {"code": "CLK001",
+         "path": "src/repro/experiments/store.py",
+         "fingerprint": "created = time.time()",
+         "justification": "artifact provenance timestamp, not simulation state"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import ConfigError
+from .core import Finding
+from .suppressions import SUPPRESSION_CODE
+
+__all__ = ["BASELINE_CODE", "BaselineEntry", "Baseline"]
+
+#: Framework code for stale baseline entries. Not suppressible.
+BASELINE_CODE = "BASE001"
+
+_SCHEMA = "repro-lint-baseline/1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    code: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        """The matching identity (justifications don't participate)."""
+        return (self.code, self.path, self.fingerprint)
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A loaded baseline with multiset matching and staleness tracking."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+        self._unmatched: dict[tuple[str, str, str], list[BaselineEntry]] = {}
+        for entry in self.entries:
+            self._unmatched.setdefault(entry.key(), []).append(entry)
+
+    # ------------------------------------------------------------------
+    # file round-trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse and validate a baseline file.
+
+        Raises:
+            ConfigError: missing file, unparsable JSON, wrong schema
+                tag, or any entry lacking one of its four fields (an
+                empty ``justification`` counts as lacking — the whole
+                point of the baseline is the recorded why).
+        """
+        if not path.is_file():
+            raise ConfigError(f"baseline file not found: {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"baseline {path} is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            raise ConfigError(
+                f"baseline {path} must carry schema {_SCHEMA!r}, "
+                f"got {payload.get('schema') if isinstance(payload, dict) else payload!r}"
+            )
+        entries = []
+        for index, raw in enumerate(payload.get("entries", [])):
+            if not isinstance(raw, dict):
+                raise ConfigError(f"baseline {path} entry {index} is not an object")
+            missing = [
+                k
+                for k in ("code", "path", "fingerprint", "justification")
+                if not str(raw.get(k, "")).strip()
+            ]
+            if missing:
+                raise ConfigError(
+                    f"baseline {path} entry {index} is missing {', '.join(missing)}"
+                )
+            if str(raw["justification"]).strip().lower().startswith("todo"):
+                raise ConfigError(
+                    f"baseline {path} entry {index} still carries the "
+                    "'TODO: justify' placeholder — write the real justification"
+                )
+            if raw["code"] == SUPPRESSION_CODE:
+                raise ConfigError(
+                    f"baseline {path} entry {index}: {SUPPRESSION_CODE} findings "
+                    "cannot be baselined (fix the stale suppression instead)"
+                )
+            entries.append(
+                BaselineEntry(
+                    code=str(raw["code"]),
+                    path=str(raw["path"]),
+                    fingerprint=str(raw["fingerprint"]),
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        """Serialize deterministically (sorted entries, stable keys)."""
+        ordered = sorted(self.entries, key=lambda e: e.key())
+        payload = {
+            "schema": _SCHEMA,
+            "entries": [entry.as_dict() for entry in ordered],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """A baseline covering ``findings``, for ``--write-baseline``.
+
+        Justifications of still-matching entries in ``previous`` are
+        preserved; genuinely new entries get an explicit
+        ``"TODO: justify"`` marker that :meth:`load` will reject until
+        a human replaces it — regeneration can never silently launder a
+        new violation into an accepted one.
+        """
+        keep: dict[tuple[str, str, str], list[str]] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                keep.setdefault(entry.key(), []).append(entry.justification)
+        entries = []
+        for finding in findings:
+            if finding.code in (SUPPRESSION_CODE, BASELINE_CODE):
+                continue
+            key = (finding.code, finding.path, finding.fingerprint)
+            stack = keep.get(key)
+            justification = stack.pop(0) if stack else "TODO: justify"
+            entries.append(
+                BaselineEntry(
+                    code=finding.code,
+                    path=finding.path,
+                    fingerprint=finding.fingerprint,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def match(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (consumes one entry)."""
+        if finding.code in (SUPPRESSION_CODE, BASELINE_CODE):
+            return False
+        stack = self._unmatched.get((finding.code, finding.path, finding.fingerprint))
+        if stack:
+            stack.pop()
+            return True
+        return False
+
+    def stale(self) -> list[Finding]:
+        """A :data:`BASELINE_CODE` finding per unconsumed entry."""
+        findings = []
+        for stack in self._unmatched.values():
+            for entry in stack:
+                findings.append(
+                    Finding(
+                        path=entry.path,
+                        line=0,
+                        col=0,
+                        code=BASELINE_CODE,
+                        message=(
+                            f"stale baseline entry: no {entry.code} finding matches "
+                            f"{entry.fingerprint!r} — remove the entry"
+                        ),
+                        fingerprint=entry.fingerprint,
+                    )
+                )
+        findings.sort()
+        return findings

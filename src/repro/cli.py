@@ -10,6 +10,8 @@ Subcommands::
     bench   throughput of one substrate: --phase route (batched query
             engine), --phase build (batched construction), or
             --phase churn (steady-state churn epochs)
+    lint    static analysis of the determinism / SoA contracts
+            (rule codes, suppressions and baseline: docs/determinism.md)
 
 Examples::
 
@@ -53,7 +55,7 @@ from .experiments import (
 __all__ = ["main", "build_parser", "build_bench_parser"]
 
 SUBSTRATES = ("oscar", "chord", "mercury")
-COMMANDS = ("run", "all", "sweep", "list", "report", "bench")
+COMMANDS = ("run", "all", "sweep", "list", "report", "bench", "lint")
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -178,11 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="markdown file to write (default: EXPERIMENTS.md)",
     )
 
-    # Documented here, dispatched before parsing (see main); this stub
-    # only makes `--help` list it next to the other subcommands.
+    # Documented here, dispatched before parsing (see main); these stubs
+    # only make `--help` list them next to the other subcommands.
     commands.add_parser(
         "bench",
         help="batched-routing throughput of one substrate (bench --help)",
+        add_help=False,
+    )
+    commands.add_parser(
+        "lint",
+        help="check the determinism / SoA source contracts (lint --help)",
         add_help=False,
     )
 
@@ -689,6 +696,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return run_bench(build_bench_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "lint":
+        # Deferred import: the analysis framework is not needed for the
+        # experiment paths, and `--help` stays instant.
+        from .analysis.run import main as lint_main
+
+        return lint_main(argv[1:], prog="oscar-repro lint")
     # Back-compat with the old single-parser CLI, where options could
     # precede the positional: find the first true positional (skipping
     # option values). A spec id there means `run <id> ...`; a subcommand

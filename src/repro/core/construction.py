@@ -146,7 +146,7 @@ def _acquire_one(
             stats.empty_partition_draws += 1
             continue
         accepting: list[OscarNode] = []
-        for candidate_id in {int(c) for c in drawn}:
+        for candidate_id in sorted({int(c) for c in drawn}):
             if candidate_id == node.node_id or candidate_id in existing:
                 continue
             candidate = nodes[candidate_id]

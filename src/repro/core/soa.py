@@ -319,7 +319,7 @@ class LinkView:
         for j in range(int(self._state.out_count[self._slot])):
             yield int(row[j])
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> int | list[int]:
         n = len(self)
         if isinstance(index, slice):
             return [int(v) for v in self._state.out_links[self._slot, :n][index]]
@@ -353,7 +353,9 @@ class LinkView:
             return result
         return not result
 
-    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+    def __array__(
+        self, dtype: np.dtype | type | None = None, copy: bool | None = None
+    ) -> np.ndarray:
         n = len(self)
         out = np.array(self._state.out_links[self._slot, :n], dtype=dtype or np.int64)
         return out

@@ -147,7 +147,10 @@ class TopologySnapshot:
             neighbor_lists: list[list[int]] = [[] for __ in range(n)]
             width = 1
             for row, node_id in enumerate(all_ids):
-                nbrs = [int(row_of[nbr]) for nbr in substrate.neighbors_of(int(node_id))]
+                nbrs = [
+                    int(row_of[nbr])
+                    for nbr in substrate.neighbors_of(int(node_id))  # repro: allow[SOA001] scalar fallback
+                ]
                 neighbor_lists[row] = nbrs
                 width = max(width, len(nbrs))
             nbr_rows = np.full((n, width), -1, dtype=np.int64)

@@ -137,7 +137,7 @@ class LiveView:
         row_of[ids] = np.arange(ids.size, dtype=np.int64)
         state = getattr(overlay, "state", None)
         if state is None:
-            nodes = tuple(overlay.nodes[int(i)] for i in ids)
+            nodes = tuple(overlay.nodes[int(i)] for i in ids)  # repro: allow[SOA001] no-SoA fallback
             return cls(ids, pos, keys, row_of, nodes=nodes)
         return cls(ids, pos, keys, row_of, slots=ring.slots_array(live_only=True), state=state)
 

@@ -1,0 +1,30 @@
+"""Run mypy --strict over the exactness-critical modules (mypy.ini).
+
+Skipped when mypy is not importable (the library itself depends only on
+numpy; mypy is CI tooling pinned in requirements-ci.txt) — the CI
+``static-analysis`` job always has it and enforces the gate there.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+mypy = pytest.importorskip("mypy", reason="mypy is CI-only tooling")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_strict_core_modules_typecheck():
+    process = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert process.returncode == 0, (
+        f"mypy --strict failed:\n{process.stdout}{process.stderr}"
+    )
