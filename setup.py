@@ -1,7 +1,24 @@
-"""Legacy shim: lets ``pip install -e . --no-build-isolation`` (and plain
-``python setup.py develop``) work on offline hosts whose setuptools lacks
-the ``wheel`` package. All metadata lives in pyproject.toml."""
+"""Legacy-friendly packaging: ``pip install -e . --no-build-isolation``
+(and plain ``python setup.py develop``) work on offline hosts whose
+setuptools lacks the ``wheel`` package.
 
-from setuptools import setup
+The library proper needs only numpy. The ``net`` extra pulls in msgpack
+for compact wire frames in the asyncio runtime (``repro.net``) — purely
+optional: without it the codec falls back to JSON with identical
+semantics (see ``src/repro/net/codec.py``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    extras_require={
+        # `pip install repro[net]`: msgpack-encoded frames for the TCP
+        # transport; JSON remains the zero-dependency fallback.
+        "net": ["msgpack>=1.0"],
+    },
+)

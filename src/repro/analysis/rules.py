@@ -616,9 +616,15 @@ class WallClockRule(Rule):
     phantom divergences. Timing belongs to the *measurement* layer:
     ``cli.py`` (bench output) and ``experiments/runner.py`` (the
     Runner's wall-time shim) are the two sanctioned scopes and are
-    excluded wholesale. Experiment specs that legitimately *report*
-    wall-time series (``scale-build``, ``steady-churn``) carry explicit
-    per-line allows so each site stays visible.
+    excluded wholesale, as is the whole ``repro.net`` transport package
+    — an asyncio runtime legitimately owns timeouts, socket deadlines
+    and loop clocks; its determinism is enforced *behaviorally* by the
+    lockstep oracle-equivalence suite (``tests/test_net.py``), not by
+    banning the clock. The sans-I/O machines the runtime drives live in
+    ``repro.protocol`` and remain fully in scope. Experiment specs that
+    legitimately *report* wall-time series (``scale-build``,
+    ``steady-churn``, ``net-smoke``) carry explicit per-line allows so
+    each site stays visible.
 
     Fires on ``time.time/..._ns/monotonic/perf_counter/process_time``,
     ``from time import <those>``, ``datetime.now/utcnow/today``,
@@ -644,8 +650,13 @@ class WallClockRule(Rule):
     )
     _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
     _ALLOWED_MODULES = ("repro/cli.py", "repro/experiments/runner.py")
+    # Whole packages on the I/O side of the sans-I/O boundary: the
+    # asyncio transport layer may use timeouts and loop clocks.
+    _ALLOWED_PACKAGES = ("repro/net/",)
 
     def applies(self, ctx: ModuleContext) -> bool:
+        if any(prefix in ctx.posix for prefix in self._ALLOWED_PACKAGES):
+            return False
         return not _in_repro(ctx, *self._ALLOWED_MODULES)
 
     def visit_Attribute(self, ctx: ModuleContext, node: ast.Attribute, analyzer: Analyzer):

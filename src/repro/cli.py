@@ -214,10 +214,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--phase",
-        choices=("route", "build", "churn"),
+        choices=("route", "build", "churn", "net"),
         default="route",
-        help="what to measure: query routing (default), construction, or "
-        "steady-state churn throughput",
+        help="what to measure: query routing (default), construction, "
+        "steady-state churn throughput, or the asyncio message-passing "
+        "runtime (net)",
     )
     parser.add_argument(
         "--batch",
@@ -291,6 +292,11 @@ def _validate_bench(args: argparse.Namespace) -> None:
         raise ConfigError(f"--half-life must be > 0, got {args.half_life}")
     if args.repair_every < 1:
         raise ConfigError(f"--repair-every must be >= 1, got {args.repair_every}")
+    if args.phase == "net" and args.substrate != "oscar":
+        raise ConfigError(
+            f"--phase net drives the Oscar message-passing runtime only, "
+            f"got --substrate {args.substrate}"
+        )
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -304,6 +310,8 @@ def run_bench(args: argparse.Namespace) -> int:
         return _run_bench_build(args)
     if args.phase == "churn":
         return _run_bench_churn(args)
+    if args.phase == "net":
+        return _run_bench_net(args)
     return _run_bench_route(args)
 
 
@@ -423,6 +431,85 @@ def _run_bench_build(args: argparse.Namespace) -> int:
         f"[bench] sanity routing: mean_cost={stats.mean_cost:.3f} "
         f"success_rate={stats.success_rate:.3f}"
     )
+    return 0
+
+
+def _run_bench_net(args: argparse.Namespace) -> int:
+    """The asyncio-runtime phase: live peers over the memory transport.
+
+    Builds the overlay twice — free mode (concurrent joins, the
+    throughput number) and lockstep oracle mode (coordinator-dealt RNG
+    tickets, the correctness number: its topology must match
+    ``BatchConstructionEngine.grow`` exactly) — then routes a probe
+    batch over real messages.
+    """
+    from .config import OscarConfig
+    from .degree import ConstantDegrees
+    from .net import NetHarness
+    from .workloads import GnutellaLikeDistribution
+
+    print(
+        f"[bench] phase=net substrate={args.substrate} nodes={args.nodes} "
+        f"cap={args.cap} seed={args.seed}"
+    )
+    with NetHarness(OscarConfig(), seed=args.seed) as free:
+        started = time.perf_counter()
+        stats = free.build(args.nodes, GnutellaLikeDistribution(), ConstantDegrees(args.cap))
+        elapsed = time.perf_counter() - started
+        summary = free.summary()
+        print(
+            f"[bench] free build: {elapsed:.2f}s "
+            f"({args.nodes / max(elapsed, 1e-9):,.0f} peers/s, "
+            f"{summary.messages:,} messages, {stats.links_placed:,} links)"
+        )
+        batch = args.batch if args.batch > 0 else args.nodes
+        started = time.perf_counter()
+        success, hops = free.route_check(batch)
+        elapsed = time.perf_counter() - started
+        print(
+            f"[bench] probes: {batch} in {elapsed:.2f}s "
+            f"success_rate={success:.3f} mean_hops={hops:.2f}"
+        )
+        if success < 1.0:
+            print("[bench] ERROR: routing success below 1.0 on a stable net", file=sys.stderr)
+            return 1
+
+    if args.skip_scalar:
+        return 0
+    lock_nodes = min(args.nodes, 500)
+    from .core.overlay import OscarOverlay
+    from .engine.construct import BatchConstructionEngine, LiveView
+
+    overlay = OscarOverlay(OscarConfig(), seed=args.seed)
+    BatchConstructionEngine(overlay).grow(
+        lock_nodes, GnutellaLikeDistribution(), ConstantDegrees(args.cap)
+    )
+    view = LiveView.capture(overlay)
+    state = view.state
+    oracle = {
+        int(view.ids[r]): [
+            int(x)
+            for x in state.out_links[int(view.slots[r])][
+                : int(state.out_count[int(view.slots[r])])
+            ]
+        ]
+        for r in range(view.m)
+    }
+    with NetHarness(OscarConfig(), seed=args.seed, lockstep=True) as locked:
+        started = time.perf_counter()
+        locked.build(lock_nodes, GnutellaLikeDistribution(), ConstantDegrees(args.cap))
+        elapsed = time.perf_counter() - started
+        equal = locked.out_links() == oracle
+        print(
+            f"[bench] lockstep oracle ({lock_nodes} peers): {elapsed:.2f}s "
+            f"topology_equal={equal}"
+        )
+        if not equal:
+            print(
+                "[bench] ERROR: lockstep topology diverges from BatchConstructionEngine",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

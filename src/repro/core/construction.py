@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import OscarConfig
+from ..protocol.decisions import accepts_link, link_winner_key
 from ..ring import Ring
 from ..types import NodeId
 from .estimators import estimate_partitions
@@ -150,15 +151,17 @@ def _acquire_one(
             if candidate_id == node.node_id or candidate_id in existing:
                 continue
             candidate = nodes[candidate_id]
-            if candidate.can_accept:
+            if accepts_link(candidate.in_degree, candidate.rho_max_in):
                 accepting.append(candidate)
             else:
                 stats.refusals += 1
         if not accepting:
             continue
-        # Power of two choices: lowest current in-degree wins; break ties
-        # toward more spare capacity, then id for determinism.
-        chosen = min(accepting, key=lambda c: (c.in_degree, -c.spare_in_capacity, c.node_id))
+        # Power of two choices: the shared protocol winner key — lowest
+        # current in-degree, ties toward more spare capacity, then id.
+        chosen = min(
+            accepting, key=lambda c: link_winner_key(c.in_degree, c.rho_max_in, c.node_id)
+        )
         chosen.accept_in_link()
         node.out_links.append(chosen.node_id)
         existing.add(chosen.node_id)

@@ -28,9 +28,10 @@ import numpy as np
 
 from ..config import OscarConfig, SamplingMode
 from ..errors import SamplingError
+from ..protocol.decisions import border_is_terminal
+from ..protocol.estimation import PartitionEstimator
 from ..ring import Ring
-from ..ring.identifiers import in_cw_interval
-from ..sampling import RestrictedWalker, cw_sample_median, sample_arc_uniform
+from ..sampling import RestrictedWalker, sample_arc_uniform
 from ..types import NodeId
 from .partitions import PartitionTable
 
@@ -38,25 +39,10 @@ __all__ = [
     "oracle_partitions",
     "sampled_partitions",
     "estimate_partitions",
-    "border_is_terminal",
+    "border_is_terminal",  # canonical home: repro.protocol.decisions
 ]
 
 NeighborFn = Callable[[NodeId], Sequence[NodeId]]
-
-
-def border_is_terminal(border: float, origin: float, previous_end: float) -> bool:
-    """Whether an estimated ``border`` ends the recursive-median descent.
-
-    The border must land strictly inside ``(origin, previous_end)`` — at
-    the arc end the next arc would be degenerate, so estimation stops.
-    Decided with the same comparison-exact interval predicate
-    :class:`~repro.core.partitions.PartitionTable` validates with, so an
-    estimator can never hand the table a border the table would reject.
-    Shared by the scalar estimator and the batched construction engine
-    (:mod:`repro.engine.construct`), whose vectorized twin must agree
-    with this predicate bit-for-bit.
-    """
-    return border == previous_end or not in_cw_interval(border, origin, previous_end)
 
 
 def oracle_partitions(ring: Ring, node_id: NodeId, k: int) -> PartitionTable:
@@ -95,11 +81,14 @@ def sampled_partitions(
 ) -> PartitionTable:
     """Estimate partitions from samples (``UNIFORM`` or ``WALK`` mode).
 
-    Per level ``i`` the estimator samples the remaining arc
-    ``(origin, m_{i-1}]`` and takes the clockwise sample median as the
-    border ``m_i``; levels stop early when a subpopulation yields no
-    non-self samples. Estimated borders are clamped to preserve the
-    table's monotonicity invariant under sampling noise.
+    Drives the sans-I/O :class:`~repro.protocol.estimation.PartitionEstimator`
+    — the same level machine the message-passing runtime runs — feeding
+    it this simulator's samplers: per level ``i`` the machine requests
+    the remaining arc ``(origin, m_{i-1}]``, receives samples, and takes
+    the clockwise sample median as the border ``m_i``; levels stop early
+    when a subpopulation yields no non-self samples, and estimated
+    borders are clamped to preserve the table's monotonicity invariant
+    under sampling noise.
     """
     origin = ring.position(node_id)
     if ring.live_count - (1 if ring.is_alive(node_id) else 0) < 1:
@@ -115,24 +104,12 @@ def sampled_partitions(
             raise SamplingError("WALK sampling requires a neighbor_fn")
         walker_start = ring.successor(node_id, live_only=True)
 
-    medians: list[float] = []
-    previous_end = far_end
-    for __ in range(k - 1):
-        positions = _sample_arc(
-            ring, config, rng, node_id, origin, previous_end, neighbor_fn, walker_start
+    estimator = PartitionEstimator(origin, far_end, k)
+    while (arc := estimator.pending_arc()) is not None:
+        estimator.add_samples(
+            _sample_arc(ring, config, rng, node_id, arc[0], arc[1], neighbor_fn, walker_start)
         )
-        if positions.size == 0:
-            break
-        border = cw_sample_median(origin, positions)
-        # Clamp: stop at a border that is not strictly inside the arc
-        # (see :func:`border_is_terminal` — a border a denormal step
-        # from the arc end used to round into exactly-at-the-end under
-        # the subtractive metric).
-        if border_is_terminal(border, origin, previous_end):
-            break
-        medians.append(border)
-        previous_end = border
-    return PartitionTable(origin=origin, far_end=far_end, medians=tuple(medians))
+    return estimator.table()
 
 
 def estimate_partitions(

@@ -56,12 +56,11 @@ import numpy as np
 
 from ..config import SamplingMode
 from ..core.construction import LinkAcquisitionStats
-from ..core.estimators import border_is_terminal
 from ..degree import DegreeDistribution, assign_caps
 from ..errors import SamplingError
+from ..protocol.decisions import accepts_link, link_winner_key
+from ..protocol.estimation import cw_arc_slice, select_border
 from ..ring import rebuild_pointers
-from ..ring.identifiers import normalize
-from ..ring.keyspace import KEY_MASK
 from ..sampling.batch_walk import BatchRestrictedWalker, in_cw_arc
 from ..workloads import KeyDistribution
 
@@ -522,21 +521,25 @@ class BatchConstructionEngine:
         prev: np.ndarray,
         samples: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Sequential twin of :meth:`_select_borders` (scalar keyspace ops)."""
-        n, sample_size = samples.shape
+        """Sequential twin of :meth:`_select_borders` (scalar keyspace ops).
+
+        The per-row body is the shared protocol kernel
+        :func:`repro.protocol.estimation.select_border` — the same exact
+        rank-median-and-clamp a lockstep net member computes over its
+        directory snapshot.
+        """
+        n, __ = samples.shape
         border = np.zeros(n, dtype=float)
         stop = np.zeros(n, dtype=bool)
-        index = (sample_size - 1) // 2
         for i in range(n):
-            row_samples = [int(s) for s in samples[i]]
-            anchor = int(okey[i])
-            ranks = [(int(view.keys[s]) - anchor) & KEY_MASK for s in row_samples]
-            order = sorted(range(sample_size), key=lambda j: (ranks[j], j))
-            selected = row_samples[order[index]]
-            float_dist = (float(view.pos[selected]) - float(origin[i])) % 1.0
-            b = normalize(float(origin[i]) + float_dist)
-            border[i] = b
-            stop[i] = border_is_terminal(b, float(origin[i]), float(prev[i]))
+            rows = [int(s) for s in samples[i]]
+            border[i], stop[i] = select_border(
+                int(okey[i]),
+                float(origin[i]),
+                float(prev[i]),
+                [int(view.keys[s]) for s in rows],
+                [float(view.pos[s]) for s in rows],
+            )
         return border, stop
 
     def _neighbor_matrix(self, view: LiveView) -> np.ndarray:
@@ -834,14 +837,7 @@ class BatchConstructionEngine:
                 continue
             start = float(arcs.starts[act[a_i], p])
             end = float(arcs.ends[act[a_i], p])
-            lo = int(np.searchsorted(pos, start, side="right"))
-            hi = int(np.searchsorted(pos, end, side="right"))
-            if start < end:
-                count = hi - lo
-            elif start == end:
-                count = m
-            else:
-                count = m - lo + hi
+            lo, __, count = cw_arc_slice(pos, start, end)
             if count == 0:
                 stats.empty_partition_draws += 1
                 continue
@@ -854,17 +850,20 @@ class BatchConstructionEngine:
             for c in candidates:
                 if c == r_row or (r_row * m + c) in linked_set:
                     continue
-                if snapshot[c] < rho_in[c]:
+                if accepts_link(int(snapshot[c]), int(rho_in[c])):
                     accepting.append(c)
                 else:
                     stats.refusals += 1
             if not accepting:
                 continue
+            # Acknowledgment ranks on the round-start snapshot via the
+            # shared protocol winner key; the commit below re-checks the
+            # live in-degree (losing that race is a ``conflicts`` event).
             chosen = min(
                 accepting,
-                key=lambda c: (int(snapshot[c]), int(snapshot[c]) - int(rho_in[c]), int(ids[c])),
+                key=lambda c: link_winner_key(int(snapshot[c]), int(rho_in[c]), int(ids[c])),
             )
-            if in_deg[chosen] < rho_in[chosen]:
+            if accepts_link(int(in_deg[chosen]), int(rho_in[chosen])):
                 in_deg[chosen] += 1
                 out_count[act[a_i]] += 1
                 view.nodes[r_row].out_links.append(int(ids[chosen]))

@@ -30,6 +30,7 @@ from . import (  # noqa: F401
     fig1b,
     fig1c,
     fig2,
+    net_smoke,
     scale_build,
     scenario,
     steady_churn,

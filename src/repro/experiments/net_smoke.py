@@ -1,0 +1,154 @@
+"""Net-smoke spec: the asyncio runtime validated against the engines.
+
+Every other spec in the registry runs Oscar inside a simulator that can
+see the whole ring at once. This one runs it as an actual distributed
+system — one asyncio task per peer driving the sans-I/O
+:mod:`repro.protocol` machines over the deterministic in-memory
+transport (:mod:`repro.net`) — and checks the two halves of the
+oracle-equivalence contract in ``docs/net.md``:
+
+* **lockstep**: coordinator-dealt RNG tickets must rebuild the exact
+  topology :class:`~repro.engine.construct.BatchConstructionEngine`
+  builds from the same seed — every link list, in-degree and stats
+  counter compared, any mismatch counted in ``lockstep_mismatches``;
+* **free**: peers joining concurrently under adversarial (seeded
+  random) delivery must still respect every in-cap and route all
+  probes to the responsible peer.
+
+Scalars report both, so a single ``repro run net-smoke`` is the
+runtime's end-to-end health check (the CI ``net-smoke`` job runs the
+TCP flavor separately via ``scripts/launch_network.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import OscarConfig
+from ..core.overlay import OscarOverlay
+from ..engine.construct import BatchConstructionEngine, LiveView
+from ..net import NetHarness
+from .base import ExperimentResult, scaled_sizes
+from .scenario import DEGREE_DISTRIBUTIONS, KEY_DISTRIBUTIONS
+from .spec import experiment
+
+__all__ = ["run"]
+
+
+def _engine_topology(
+    size: int, seed: int, keys, degrees
+) -> tuple[dict[int, list[int]], dict[int, int], list[int]]:
+    """Build the oracle topology with the batched engine."""
+    overlay = OscarOverlay(OscarConfig(), seed=seed)
+    engine = BatchConstructionEngine(overlay)
+    stats = engine.grow(size, keys, degrees)
+    view = LiveView.capture(overlay)
+    state = view.state
+    links: dict[int, list[int]] = {}
+    in_deg: dict[int, int] = {}
+    for row in range(view.m):
+        slot = int(view.slots[row])
+        count = int(state.out_count[slot])
+        node_id = int(view.ids[row])
+        links[node_id] = [int(x) for x in state.out_links[slot][:count]]
+        in_deg[node_id] = int(state.in_deg[slot])
+    return links, in_deg, [getattr(stats, f) for f in stats.__slots__]
+
+
+@experiment(
+    "net-smoke",
+    title="Asyncio runtime vs the deterministic engines",
+    tags=("extension",),
+    help={
+        "size": "peers in the lockstep oracle build (scaled by --scale)",
+        "free_size": "peers in the free-mode build (scaled by --scale)",
+        "probes": "route probes per topology",
+        "keys": "key distribution: uniform | clustered | zipf | gnutella",
+        "degrees": "cap distribution: constant | realistic | stepped",
+    },
+)
+def run(
+    scale: float = 1.0,
+    seed: int = 42,
+    size: int = 500,
+    free_size: int = 150,
+    probes: int = 200,
+    keys: str = "uniform",
+    degrees: str = "constant",
+) -> ExperimentResult:
+    """Lockstep oracle equivalence + free-mode invariants, one record."""
+    if keys not in KEY_DISTRIBUTIONS:
+        raise ValueError(f"unknown key distribution {keys!r}; known: {sorted(KEY_DISTRIBUTIONS)}")
+    if degrees not in DEGREE_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown degree distribution {degrees!r}; known: {sorted(DEGREE_DISTRIBUTIONS)}"
+        )
+    (lock_size,) = scaled_sizes((size,), scale)
+    (open_size,) = scaled_sizes((free_size,), scale)
+    key_distribution = KEY_DISTRIBUTIONS[keys]()
+    degree_distribution = DEGREE_DISTRIBUTIONS[degrees]()
+
+    # Lockstep half: the net build must equal the engine build exactly.
+    oracle_links, oracle_in, oracle_stats = _engine_topology(
+        lock_size, seed, KEY_DISTRIBUTIONS[keys](), DEGREE_DISTRIBUTIONS[degrees]()
+    )
+    t0 = time.perf_counter()  # repro: allow[CLK001] measured wall-time series
+    with NetHarness(OscarConfig(), seed=seed, lockstep=True) as locked:
+        net_stats = locked.build(lock_size, key_distribution, degree_distribution)
+        lock_seconds = time.perf_counter() - t0  # repro: allow[CLK001] measured wall-time series
+        mismatches = sum(
+            1
+            for node_id, expected in oracle_links.items()
+            if locked.out_links().get(node_id) != expected
+        )
+        mismatches += sum(
+            1
+            for node_id, expected in oracle_in.items()
+            if locked.in_degrees().get(node_id) != expected
+        )
+        stats_equal = [getattr(net_stats, f) for f in net_stats.__slots__] == oracle_stats
+        lock_success, lock_hops = locked.route_check(probes)
+        lock_summary = locked.summary()
+
+    # Free half: adversarial delivery, invariant-level checks.
+    t0 = time.perf_counter()  # repro: allow[CLK001] measured wall-time series
+    with NetHarness(OscarConfig(), seed=seed, delivery="random") as free:
+        free.build(open_size, KEY_DISTRIBUTIONS[keys](), DEGREE_DISTRIBUTIONS[degrees]())
+        free.rewire()
+        free_seconds = time.perf_counter() - t0  # repro: allow[CLK001] measured wall-time series
+        free_success, free_hops = free.route_check(probes)
+        free_summary = free.summary()
+
+    return ExperimentResult(
+        experiment_id="net-smoke",
+        title="Asyncio runtime vs the deterministic engines",
+        series={
+            "route success": [
+                (float(lock_size), lock_success),
+                (float(open_size), free_success),
+            ],
+            "mean hops": [(float(lock_size), lock_hops), (float(open_size), free_hops)],
+        },
+        scalars={
+            "lockstep_mismatches": float(mismatches),
+            "lockstep_stats_equal": float(stats_equal),
+            "lockstep_route_success": lock_success,
+            "lockstep_mean_hops": lock_hops,
+            "lockstep_messages": float(lock_summary.messages),
+            "lockstep_seconds": lock_seconds,
+            "free_route_success": free_success,
+            "free_mean_hops": free_hops,
+            "free_cap_violations": float(free_summary.cap_violations),
+            "free_messages": float(free_summary.messages),
+            "free_seconds": free_seconds,
+        },
+        metadata={
+            "seed": seed,
+            "scale": scale,
+            "size": lock_size,
+            "free_size": open_size,
+            "probes": probes,
+            "keys": keys,
+            "degrees": degrees,
+        },
+    )

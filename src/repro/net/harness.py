@@ -1,0 +1,530 @@
+"""Boot a network, run it to quiescence, validate the topology.
+
+:class:`NetHarness` owns the seed side of the runtime: it registers the
+seed endpoint (:data:`SEED_ID`), boots N :class:`~repro.net.node.NetNode`
+tasks, answers the bootstrap handshake, and drives construction to
+quiescence. Two build disciplines:
+
+* **free** — peers join concurrently under their own labelled RNG
+  streams; the harness only deals membership and collects ``JoinDone``.
+  Runs over the memory transport (any delivery order) and over TCP.
+* **lockstep** (memory transport only) — the harness is the
+  *coordinator*: it consumes one construction stream in the batched
+  engine's exact draw layout (caps, positions, one uniform matrix per
+  estimation level over the active rows in ascending row order, one
+  priority shuffle, one partition + candidate draw per acquisition
+  round) and deals the uniforms to peers as RNG tickets. Peers decide
+  everything locally from their directory; the transport's superstep
+  barrier gives replies snapshot semantics and replays commits in
+  priority order. The resulting topology and
+  :class:`~repro.core.construction.LinkAcquisitionStats` are
+  **bit-identical** to :meth:`BatchConstructionEngine.grow
+  <repro.engine.construct.BatchConstructionEngine.grow>` /
+  :meth:`rewire <repro.engine.construct.BatchConstructionEngine.rewire>`
+  on the same seed — the oracle-equivalence contract of ``docs/net.md``.
+
+The facade is synchronous (one private :class:`asyncio.Runner` carries
+the loop across calls) so the test suite needs no asyncio plugin::
+
+    harness = NetHarness(OscarConfig(), seed=7, lockstep=True)
+    stats = harness.build(500, UniformKeys(), ConstantDegrees(4))
+    success, hops = harness.route_check(200)
+    harness.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import OscarConfig, SamplingMode
+from ..core.construction import LinkAcquisitionStats
+from ..degree import DegreeDistribution, assign_caps
+from ..errors import SimulationError
+from ..protocol.directory import Directory
+from ..protocol.messages import (
+    AcquireReport,
+    AcquireTicket,
+    BeginAcquire,
+    DirectoryUpdate,
+    EstimateLevel,
+    EstimateReport,
+    Hello,
+    JoinDone,
+    Message,
+    ResetLinks,
+    Rewire,
+    RouteDone,
+    RouteProbe,
+    Welcome,
+)
+from ..rng import split
+from ..workloads import KeyDistribution
+from .codec import get_codec
+from .node import NetNode
+from .transport import MemoryTransport, TcpEndpoint
+
+__all__ = ["NetHarness", "SEED_ID", "TopologySummary"]
+
+SEED_ID = -1
+"""The seed node's transport id (peers are 0..n-1)."""
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """What a finished run looks like, in one verifiable value."""
+
+    n: int
+    links: int
+    gave_up: int
+    cap_violations: int
+    routes_attempted: int
+    routes_delivered: int
+    mean_hops: float
+    messages: int
+    generations: int
+
+    @property
+    def route_success(self) -> float:
+        """Fraction of probes delivered to the responsible peer."""
+        if not self.routes_attempted:
+            return 1.0
+        return self.routes_delivered / self.routes_attempted
+
+
+class NetHarness:
+    """Seed-side driver: boot peers, build, rewire, probe, extract.
+
+    Args:
+        config: Overlay parameters shared by every peer.
+        seed: Root seed — population draws, free-mode peer streams, the
+            ``random`` delivery shuffle and route probes all derive from
+            it by label.
+        lockstep: Coordinator-dealt oracle mode (memory transport,
+            ``UNIFORM`` sampling only).
+        delivery: Memory-transport delivery order override (defaults to
+            ``"lockstep"`` when ``lockstep`` else ``"fifo"``).
+        transport: ``"memory"`` or ``"tcp"``.
+        codec: Wire codec name for TCP (``"json"`` / ``"msgpack"``).
+    """
+
+    def __init__(
+        self,
+        config: OscarConfig | None = None,
+        *,
+        seed: int = 0,
+        lockstep: bool = False,
+        delivery: str | None = None,
+        transport: str = "memory",
+        codec: str = "json",
+    ) -> None:
+        self.config = config or OscarConfig()
+        self.seed = int(seed)
+        self.lockstep = bool(lockstep)
+        if transport not in ("memory", "tcp"):
+            raise SimulationError(f"unknown transport {transport!r}")
+        if self.lockstep:
+            if transport != "memory":
+                raise SimulationError("lockstep oracle mode requires the memory transport")
+            if self.config.sampling_mode is not SamplingMode.UNIFORM:
+                raise SimulationError("lockstep oracle mode requires UNIFORM sampling")
+            if delivery not in (None, "lockstep"):
+                raise SimulationError(
+                    "lockstep oracle mode fixes the delivery order; "
+                    f"got delivery={delivery!r}"
+                )
+        self.transport_kind = transport
+        self.delivery = delivery or ("lockstep" if self.lockstep else "fifo")
+        self.codec_name = codec
+        self.nodes: list[NetNode] = []
+        self.directory: Directory | None = None
+        self.stats = LinkAcquisitionStats()
+        self._runner = asyncio.Runner()
+        self._transport: MemoryTransport | None = None
+        self._seed_ep = None
+        self._tasks: list[asyncio.Task] = []
+        self._epoch = 0
+        self._probe_id = 0
+        self._routes = (0, 0, 0)  # attempted, delivered, total hops
+        self._closed = False
+
+    # -- sync facade ---------------------------------------------------
+
+    def __enter__(self) -> "NetHarness":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def build(
+        self,
+        n: int,
+        keys: KeyDistribution,
+        degrees: DegreeDistribution,
+        paired_caps: bool = True,
+    ) -> LinkAcquisitionStats:
+        """Draw a population and build the overlay to quiescence.
+
+        The population draw consumes ``split(seed, "join")`` exactly as
+        :meth:`BatchConstructionEngine.grow` growing a fresh overlay
+        does (caps first, then positions with in-batch collision
+        rejection) — in lockstep mode the same generator then feeds the
+        coordinator, completing the engine's stream layout.
+        """
+        if n < 2:
+            raise SimulationError("a network needs at least 2 peers")
+        rng = split(self.seed, "join")
+        caps_in, caps_out = assign_caps(degrees, rng, n, paired=paired_caps)
+        positions = self._draw_positions(rng, keys, n)
+        self.stats = self._runner.run(
+            self._build_async(n, positions, caps_in, caps_out, rng)
+        )
+        return self.stats
+
+    def rewire(self) -> LinkAcquisitionStats:
+        """One global rewiring epoch over the booted network.
+
+        Lockstep mode consumes a fresh ``split(seed, "rewire")`` stream
+        in the engine's :meth:`~BatchConstructionEngine.rewire` layout;
+        free mode bumps the epoch label of every peer's own stream.
+        """
+        if self.directory is None:
+            raise SimulationError("build() the network before rewiring it")
+        self._epoch += 1
+        self.stats = self._runner.run(self._rewire_async())
+        return self.stats
+
+    def route_check(self, n_probes: int, budget: int | None = None) -> tuple[float, float]:
+        """Probe ``n_probes`` random keys from random peers via real
+        ``RouteProbe`` hops; returns ``(success rate, mean hops)``.
+
+        A probe only counts as delivered when it terminates ``ok`` at
+        exactly the peer :meth:`Directory.successor_of_key` names.
+        """
+        if self.directory is None:
+            raise SimulationError("build() the network before routing on it")
+        return self._runner.run(self._route_async(n_probes, budget))
+
+    def out_links(self) -> dict[int, list[int]]:
+        """``node id -> out-link ids`` in placement order."""
+        return {node.node_id: list(node.out_links) for node in self.nodes}
+
+    def in_degrees(self) -> dict[int, int]:
+        """``node id -> live in-degree``."""
+        return {node.node_id: node.in_degree for node in self.nodes}
+
+    def summary(self) -> TopologySummary:
+        """Snapshot the run (topology + probe + transport counters)."""
+        attempted, delivered, hops = self._routes
+        transport = self._transport
+        return TopologySummary(
+            n=len(self.nodes),
+            links=sum(len(node.out_links) for node in self.nodes),
+            gave_up=self.stats.slots_given_up,
+            cap_violations=sum(
+                1 for node in self.nodes if node.in_degree > node.cap_in
+            ),
+            routes_attempted=attempted,
+            routes_delivered=delivered,
+            mean_hops=hops / delivered if delivered else 0.0,
+            messages=transport.messages_delivered if transport else 0,
+            generations=transport.generations if transport else 0,
+        )
+
+    def close(self) -> None:
+        """Tear down tasks, transports and the private event loop."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._runner.run(self._close_async())
+        finally:
+            self._runner.close()
+
+    # -- population draw (engine grow layout) --------------------------
+
+    def _draw_positions(
+        self, rng: np.random.Generator, keys: KeyDistribution, count: int
+    ) -> np.ndarray:
+        """Engine ``_draw_positions`` over an empty ring: bulk draws with
+        in-batch dedup keeping first occurrences."""
+        accepted: list[float] = []
+        seen: set[float] = set()
+        need = count
+        while need > 0:
+            draw = np.asarray(keys.sample(rng, need), dtype=float)
+            for value in draw:
+                position = float(value)
+                if position in seen:
+                    continue
+                seen.add(position)
+                accepted.append(position)
+            need = count - len(accepted)
+        return np.asarray(accepted, dtype=float)
+
+    # -- async internals -----------------------------------------------
+
+    async def _build_async(
+        self,
+        n: int,
+        positions: np.ndarray,
+        caps_in: np.ndarray,
+        caps_out: np.ndarray,
+        rng: np.random.Generator,
+    ) -> LinkAcquisitionStats:
+        if self.transport_kind == "tcp":
+            return await self._build_tcp(n, positions, caps_in, caps_out)
+        transport = MemoryTransport(mode=self.delivery, seed=self.seed)
+        self._transport = transport
+        self._seed_ep = transport.endpoint(SEED_ID)
+        self.directory = Directory(range(n), positions)
+        transport.start()
+        loop = asyncio.get_running_loop()
+        for i in range(n):
+            node = NetNode(
+                transport.endpoint(i),
+                positions[i],
+                int(caps_in[i]),
+                int(caps_out[i]),
+                SEED_ID,
+                config=self.config,
+                net_seed=self.seed,
+                lockstep=self.lockstep,
+                directory=self.directory,  # one shared object at scale
+            )
+            self.nodes.append(node)
+            self._tasks.append(loop.create_task(node.run()))
+        await self._collect(n, Hello)
+        pairs = self.directory.to_pairs()
+        for node in self.nodes:
+            self._seed_ep.send(node.node_id, Welcome(node_id=node.node_id, peers=[]))
+        for node in self.nodes:
+            self._seed_ep.send(node.node_id, DirectoryUpdate(peers=pairs, addrs=[]))
+        if self.lockstep:
+            return await self._coordinate(rng, list(range(n)))
+        await self._collect(n, JoinDone)
+        return self._aggregate_free()
+
+    async def _build_tcp(
+        self, n: int, positions: np.ndarray, caps_in: np.ndarray, caps_out: np.ndarray
+    ) -> LinkAcquisitionStats:
+        codec = get_codec(self.codec_name)
+        self._seed_ep = TcpEndpoint(SEED_ID, codec=codec)
+        await self._seed_ep.start()
+        seed_addr = self._seed_ep.address
+        loop = asyncio.get_running_loop()
+        for i in range(n):
+            endpoint = TcpEndpoint(-2 - i, codec=get_codec(self.codec_name))
+            endpoint.learn_addresses([(SEED_ID, *seed_addr)])
+            node = NetNode(
+                endpoint,
+                positions[i],
+                int(caps_in[i]),
+                int(caps_out[i]),
+                SEED_ID,
+                config=self.config,
+                net_seed=self.seed,
+            )
+            self.nodes.append(node)
+            self._tasks.append(loop.create_task(node.run()))
+        # Ids go out in Hello arrival order — construction order under a
+        # deterministic transport, socket order here.
+        hellos = await self._collect(n, Hello)
+        pairs: list[list[object]] = []
+        addrs: list[list[object]] = []
+        for node_id, (src, hello) in enumerate(hellos):
+            self._seed_ep.learn_addresses([(src, hello.host, hello.port)])
+            self._seed_ep.learn_addresses([(node_id, hello.host, hello.port)])
+            pairs.append([node_id, float(hello.position)])
+            addrs.append([node_id, hello.host, hello.port])
+            self._seed_ep.send(src, Welcome(node_id=node_id, peers=[]))
+        self.directory = Directory.from_pairs(pairs)
+        for node_id in range(n):
+            self._seed_ep.send(node_id, DirectoryUpdate(peers=pairs, addrs=addrs))
+        await self._collect(n, JoinDone)
+        return self._aggregate_free()
+
+    async def _rewire_async(self) -> LinkAcquisitionStats:
+        assert self.directory is not None
+        if self.lockstep:
+            for node in self.nodes:
+                self._seed_ep.send(node.node_id, ResetLinks(epoch=self._epoch))
+            rng = split(self.seed, "rewire")
+            return await self._coordinate(rng, list(range(self.directory.m)))
+        for node in self.nodes:
+            self._seed_ep.send(node.node_id, Rewire(epoch=self._epoch))
+        await self._collect(len(self.nodes), JoinDone)
+        return self._aggregate_free()
+
+    async def _route_async(self, n_probes: int, budget: int | None) -> tuple[float, float]:
+        directory = self.directory
+        assert directory is not None
+        m = directory.m
+        if budget is None:
+            budget = 4 * max(1, math.ceil(math.log2(max(2, m)))) + 8
+        rng = split(self.seed, "net", "routes", self._probe_id)
+        attempted, delivered, hops_total = self._routes
+        for __ in range(int(n_probes)):
+            probe_id = self._probe_id
+            self._probe_id += 1
+            target = float(rng.random())
+            start = directory.id_at(int(rng.integers(0, m)))
+            expected = directory.successor_of_key(target)
+            self._seed_ep.send(
+                start,
+                RouteProbe(
+                    probe_id=probe_id, target=target, origin=SEED_ID, hops=0, budget=budget
+                ),
+            )
+            while True:
+                __, message = await self._seed_ep.recv()
+                self._seed_ep.done()
+                if isinstance(message, RouteDone) and message.probe_id == probe_id:
+                    break
+            attempted += 1
+            if message.ok and message.delivered == expected:
+                delivered += 1
+                hops_total += message.hops
+        self._routes = (attempted, delivered, hops_total)
+        success = delivered / attempted if attempted else 1.0
+        return success, (hops_total / delivered if delivered else 0.0)
+
+    async def _close_async(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        if self._transport is not None:
+            self._transport.stop()
+        if self._seed_ep is not None:
+            await self._seed_ep.close()
+        for node in self.nodes:
+            await node.endpoint.close()
+
+    # -- the lockstep coordinator (engine-exact draw layout) -----------
+
+    async def _coordinate(
+        self, rng: np.random.Generator, rows: list[int]
+    ) -> LinkAcquisitionStats:
+        """Deal RNG tickets in :class:`BatchConstructionEngine`'s layout.
+
+        ``rows`` are the requesting directory rows in ascending order —
+        the same index space as the engine's ``LiveView`` rows, so every
+        uniform lands on the peer the engine would have spent it on.
+        """
+        config = self.config
+        directory = self.directory
+        assert directory is not None
+        stats = LinkAcquisitionStats()
+        m = directory.m
+        n = len(rows)
+        ids = [directory.id_at(r) for r in rows]
+
+        # Estimation: one (active, sample_size) matrix per level, rows
+        # dealt in ascending row order; peers report level survival.
+        k = config.partitions_for(max(1, m))
+        active = [True] * n
+        for level in range(max(0, k - 1)):
+            act = [i for i in range(n) if active[i]]
+            if not act:
+                break
+            u = rng.random((len(act), config.sample_size))
+            for j, i in enumerate(act):
+                self._seed_ep.send(
+                    ids[i],
+                    EstimateLevel(level=level, u_row=[float(x) for x in u[j]]),
+                )
+            reports = await self._collect(len(act), EstimateReport)
+            cont = {src: msg.cont for src, msg in reports}
+            for i in act:
+                active[i] = cont[ids[i]]
+
+        # One priority shuffle over the requesting rows.
+        order = np.asarray(rows, dtype=np.int64).copy()
+        rng.shuffle(order)
+        priority_of = np.full(m, -1, dtype=np.int64)
+        priority_of[order] = np.arange(order.size, dtype=np.int64)
+        for i in range(n):
+            self._seed_ep.send(ids[i], BeginAcquire(priority=int(priority_of[rows[i]])))
+
+        # Acquisition rounds: one partition + candidate draw per active
+        # requester per round; the same retry/fill bookkeeping as
+        # BatchConstructionEngine._acquire over the peers' reports.
+        target = np.asarray([self.nodes[i].cap_out for i in ids], dtype=np.int64)
+        if not config.respect_out_caps:
+            target = np.maximum(target, 1)
+        n_cand = 2 if config.power_of_two else 1
+        out_count = np.zeros(n, dtype=np.int64)
+        slot_attempts = np.zeros(n, dtype=np.int64)
+        acquiring = out_count < target
+        round_no = 0
+        while True:
+            act_idx = np.nonzero(acquiring)[0]
+            if act_idx.size == 0:
+                break
+            u_part = rng.random(act_idx.size)
+            u_cand = rng.random((act_idx.size, n_cand))
+            stats.draws += int(act_idx.size)
+            for j, i in enumerate(act_idx):
+                self._seed_ep.send(
+                    ids[int(i)],
+                    AcquireTicket(
+                        round_no=round_no,
+                        u_part=float(u_part[j]),
+                        u_cand=[float(x) for x in u_cand[j]],
+                    ),
+                )
+            reports = await self._collect(int(act_idx.size), AcquireReport)
+            report_of = {src: msg for src, msg in reports}
+            success = np.zeros(act_idx.size, dtype=bool)
+            for j, i in enumerate(act_idx):
+                report = report_of[ids[int(i)]]
+                success[j] = report.success
+                stats.links_placed += int(report.success)
+                stats.refusals += int(report.refusals)
+                stats.empty_partition_draws += int(report.empty_draw)
+                stats.conflicts += int(report.conflict)
+            fail = ~success
+            slot_attempts[act_idx[success]] = 0
+            slot_attempts[act_idx[fail]] += 1
+            gave = fail & (slot_attempts[act_idx] > config.link_retries)
+            stats.slots_given_up += int(gave.sum())
+            acquiring[act_idx[gave]] = False
+            out_count[act_idx[success]] += 1
+            filled = success & (out_count[act_idx] >= target[act_idx])
+            acquiring[act_idx[filled]] = False
+            round_no += 1
+        return stats
+
+    # -- plumbing ------------------------------------------------------
+
+    async def _collect(
+        self, count: int, kind: type[Message]
+    ) -> list[tuple[int, Message]]:
+        """Await ``count`` seed-bound messages of ``kind``."""
+        out: list[tuple[int, Message]] = []
+        while len(out) < count:
+            src, message = await self._seed_ep.recv()
+            self._seed_ep.done()
+            if isinstance(message, kind):
+                out.append((src, message))
+        return out
+
+    def _aggregate_free(self) -> LinkAcquisitionStats:
+        """Sum the per-peer join counters into engine-shaped stats."""
+        stats = LinkAcquisitionStats()
+        for node in self.nodes:
+            join = node.join
+            if join is None:
+                continue
+            stats.links_placed += join.links_placed
+            stats.slots_given_up += join.slots_given_up
+            stats.draws += join.draws
+            stats.refusals += join.refusals
+            stats.empty_partition_draws += join.empty_partition_draws
+            stats.conflicts += join.conflicts
+        return stats

@@ -1,0 +1,488 @@
+"""The per-peer driver: one asyncio task animating the protocol machines.
+
+:class:`NetNode` owns a peer's *state* (position, caps, in-degree, the
+long links it holds) and its *I/O* (an endpoint), and drives the pure
+:mod:`repro.protocol` machines over them. Two operating modes:
+
+* **free** — the peer runs :class:`~repro.protocol.join.JoinProtocol`
+  with its own labelled RNG stream: it estimates partitions against the
+  seed-fed directory (or by real message walks in ``WALK`` mode) and
+  negotiates links concurrently with everyone else. Delivery order is
+  whatever the transport provides; equivalence with the engines is at
+  the invariant level. TCP always runs free mode.
+* **lockstep** — the peer holds no construction RNG at all: the
+  coordinator (the harness behind the seed id) deals
+  ``EstimateLevel`` / ``AcquireTicket`` messages whose uniforms follow
+  the batched engine's exact draw layout, and the peer resolves every
+  *decision* locally from its directory snapshot with the same shared
+  protocol kernels the engine's sequential reference calls. Combined
+  with the memory transport's superstep barrier (replies precede
+  commits; commits replay in priority order), the built topology is
+  bit-identical to :meth:`BatchConstructionEngine.grow
+  <repro.engine.construct.BatchConstructionEngine.grow>`.
+
+In both modes the *resident* duties are identical and message-driven:
+acknowledge link requests below the in-cap, grant commits against the
+live in-degree, advance sampling walks, and route probes greedily.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..config import OscarConfig, SamplingMode
+from ..protocol.decisions import accepts_link, link_winner_key
+from ..protocol.directory import Directory
+from ..protocol.effects import Effect, JoinOutcome, LinkEstablished, Send
+from ..protocol.estimation import cw_arc_slice, select_border
+from ..protocol.join import JoinProtocol
+from ..protocol.messages import (
+    AcquireReport,
+    AcquireTicket,
+    BeginAcquire,
+    DirectoryUpdate,
+    EstimateLevel,
+    EstimateReport,
+    Hello,
+    JoinDone,
+    LinkCommit,
+    LinkReply,
+    LinkRequest,
+    LinkResult,
+    Message,
+    ResetLinks,
+    Rewire,
+    RouteDone,
+    RouteProbe,
+    WalkDone,
+    WalkStep,
+    Welcome,
+)
+from ..protocol.negotiation import LinkNegotiation
+from ..protocol.routing import Deliver, GreedyRouter
+from ..protocol.sampling import SamplingWalk
+from ..ring.identifiers import in_cw_interval
+from ..rng import split
+
+__all__ = ["NetNode"]
+
+
+class NetNode:
+    """One peer: state + endpoint + the machines that animate them.
+
+    Args:
+        endpoint: Transport endpoint (memory or TCP).
+        position: Ring position in ``[0, 1)``.
+        cap_in / cap_out: Volunteered capacities (``rho_max_in/out``).
+        seed_id: The seed node's transport id.
+        config: Overlay parameters (sample size, retries, ...).
+        net_seed: Root seed for this peer's own labelled streams.
+        lockstep: Run the coordinator-dealt oracle mode.
+        directory: Pre-shared :class:`Directory` (in-memory scale runs
+            share one object across all peers; wire bootstrap builds a
+            private copy from the seed's broadcast when absent).
+    """
+
+    def __init__(
+        self,
+        endpoint: Any,
+        position: float,
+        cap_in: int,
+        cap_out: int,
+        seed_id: int,
+        config: OscarConfig | None = None,
+        net_seed: int = 0,
+        lockstep: bool = False,
+        directory: Directory | None = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.position = float(position)
+        self.cap_in = int(cap_in)
+        self.cap_out = int(cap_out)
+        self.seed_id = int(seed_id)
+        self.config = config or OscarConfig()
+        self.net_seed = int(net_seed)
+        self.lockstep = bool(lockstep)
+        self.node_id: int = getattr(endpoint, "node_id", -1)
+        self.directory = directory
+        self._shared_directory = directory is not None
+        self.in_degree = 0
+        self.out_links: list[int] = []
+        self.join: JoinProtocol | None = None
+        self.epoch = 0
+        self.rng: np.random.Generator | None = None
+        # lockstep member state
+        self._member: _LockstepMember | None = None
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def run(self) -> None:
+        """Bootstrap, then serve messages until cancelled."""
+        await self.endpoint.start()
+        host, port = self.endpoint.address
+        self.endpoint.send(
+            self.seed_id,
+            Hello(
+                position=self.position,
+                cap_in=self.cap_in,
+                cap_out=self.cap_out,
+                host=host,
+                port=port,
+            ),
+        )
+        while not self._stopped:
+            src, message = await self.endpoint.recv()
+            try:
+                self.dispatch(src, message)
+            finally:
+                self.endpoint.done()
+
+    # -- message dispatch ----------------------------------------------
+
+    def dispatch(self, src: int, message: Message) -> None:
+        """Handle one message synchronously; effects go to the endpoint."""
+        if isinstance(message, Welcome):
+            self.node_id = int(message.node_id)
+            if hasattr(self.endpoint, "set_node_id"):
+                self.endpoint.set_node_id(self.node_id)
+            return
+        if isinstance(message, DirectoryUpdate):
+            self._on_directory(message)
+            return
+        if isinstance(message, LinkRequest):
+            self.endpoint.send(
+                src,
+                LinkReply(
+                    token=message.token,
+                    accept=accepts_link(self.in_degree, self.cap_in),
+                    in_degree=self.in_degree,
+                    rho_in=self.cap_in,
+                ),
+            )
+            return
+        if isinstance(message, LinkCommit):
+            granted = accepts_link(self.in_degree, self.cap_in)
+            if granted:
+                self.in_degree += 1
+            self.endpoint.send(src, LinkResult(token=message.token, granted=granted))
+            return
+        if isinstance(message, WalkStep):
+            self._run_effects(
+                SamplingWalk.on_step(
+                    message,
+                    me=self.node_id,
+                    my_position=self.position,
+                    neighbors=self._arc_neighbors(message.start, message.end),
+                    rng=self._walk_rng(),
+                )
+            )
+            return
+        if isinstance(message, RouteProbe):
+            self._on_probe(message)
+            return
+        if isinstance(message, Rewire):
+            self._on_rewire(message)
+            return
+        if isinstance(message, ResetLinks):
+            self.out_links.clear()
+            self.in_degree = 0
+            self.epoch = int(message.epoch)
+            if self.lockstep and self.directory is not None:
+                self._member = _LockstepMember(self)
+            return
+        if self.lockstep and self._member is not None:
+            self._run_effects(self._member.dispatch(src, message))
+            return
+        if self.join is not None:
+            if isinstance(message, LinkReply):
+                self._run_effects(self.join.on_reply(src, message))
+            elif isinstance(message, LinkResult):
+                self._run_effects(self.join.on_result(message))
+            elif isinstance(message, WalkDone):
+                self._run_effects(self.join.on_walk_done(message))
+
+    def _run_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.endpoint.send(effect.to, effect.message)
+            elif isinstance(effect, LinkEstablished):
+                self.out_links.append(int(effect.peer))
+            elif isinstance(effect, JoinOutcome):
+                pass  # terminal marker; JoinDone rides as a Send effect
+            # Timers never fire on these transports: every directory
+            # member is live and replies, so StartTimer/CancelTimer are
+            # deliberately inert here (exercised in protocol unit tests).
+
+    # -- bootstrap and rewiring ----------------------------------------
+
+    def _on_directory(self, message: DirectoryUpdate) -> None:
+        if not self._shared_directory:
+            self.directory = Directory.from_pairs(message.peers)
+        if message.addrs:
+            self.endpoint.learn_addresses(
+                [(int(a[0]), str(a[1]), int(a[2])) for a in message.addrs]
+            )
+        if self.lockstep:
+            assert self.directory is not None
+            self._member = _LockstepMember(self)
+            return
+        self._run_effects(self._start_join())
+
+    def _start_join(self) -> list[Effect]:
+        assert self.directory is not None
+        self.rng = split(self.net_seed, "net", self.epoch, self.node_id)
+        self.join = JoinProtocol(
+            self.node_id,
+            self.position,
+            self.seed_id,
+            self.directory,
+            self.rng,
+            k=self.config.partitions_for(max(1, self.directory.m)),
+            sample_size=self.config.sample_size,
+            rho_max_out=self.cap_out,
+            link_retries=self.config.link_retries,
+            power_of_two=self.config.power_of_two,
+            respect_out_caps=self.config.respect_out_caps,
+            walk_mode=self.config.sampling_mode is SamplingMode.WALK,
+            walk_hops=self.config.walk_hops,
+        )
+        return self.join.start()
+
+    def _on_rewire(self, message: Rewire) -> None:
+        """Free-mode rewiring epoch: local teardown, then re-join.
+
+        Teardown is purely local (own links dropped, own in-degree
+        zeroed), and the memory transport's superstep barrier guarantees
+        every peer resets before any re-acquisition request lands.
+        """
+        self.out_links.clear()
+        self.in_degree = 0
+        self.epoch = int(message.epoch)
+        self._run_effects(self._start_join())
+
+    # -- walking and routing -------------------------------------------
+
+    def _walk_rng(self) -> np.random.Generator:
+        if self.rng is None:
+            self.rng = split(self.net_seed, "net", self.epoch, self.node_id)
+        return self.rng
+
+    def _arc_neighbors(self, start: float, end: float) -> list[int]:
+        """My restricted neighborhood for a walk over ``(start, end]``."""
+        assert self.directory is not None
+        d = self.directory
+        row = d.row_of(self.node_id)
+        out: list[int] = []
+        for peer in (d.id_at(row + 1), d.id_at(row - 1), *self.out_links):
+            if peer == self.node_id or peer in out:
+                continue
+            if in_cw_interval(d.position_at(d.row_of(peer)), start, end):
+                out.append(int(peer))
+        return out
+
+    def _on_probe(self, message: RouteProbe) -> None:
+        assert self.directory is not None
+        d = self.directory
+        row = d.row_of(self.node_id)
+        decision = GreedyRouter.decide(
+            message.target,
+            me=self.node_id,
+            my_position=self.position,
+            predecessor_position=d.position_at(row - 1),
+            successor=d.id_at(row + 1),
+            successor_position=d.position_at(row + 1),
+            neighbors=[
+                (peer, d.position_at(d.row_of(peer)))
+                for peer in (d.id_at(row + 1), d.id_at(row - 1), *self.out_links)
+            ],
+        )
+        if isinstance(decision, Deliver):
+            self.endpoint.send(
+                message.origin,
+                RouteDone(
+                    probe_id=message.probe_id,
+                    delivered=self.node_id,
+                    hops=message.hops,
+                    ok=True,
+                ),
+            )
+            return
+        if message.hops >= message.budget:
+            self.endpoint.send(
+                message.origin,
+                RouteDone(
+                    probe_id=message.probe_id,
+                    delivered=self.node_id,
+                    hops=message.hops,
+                    ok=False,
+                ),
+            )
+            return
+        self.endpoint.send(
+            decision.to,
+            RouteProbe(
+                probe_id=message.probe_id,
+                target=message.target,
+                origin=message.origin,
+                hops=message.hops + 1,
+                budget=message.budget,
+            ),
+        )
+
+
+class _LockstepMember:
+    """The ticket-replay half of a lockstep peer.
+
+    Holds the estimation descent state and the per-round negotiation,
+    computing every decision from the owner's directory snapshot with
+    the exact protocol kernels — no local randomness whatsoever.
+    """
+
+    def __init__(self, node: NetNode) -> None:
+        self.node = node
+        d = node.directory
+        assert d is not None
+        self.row = d.row_of(node.node_id)
+        self.origin = node.position
+        self.prev = d.position_at(self.row - 1)
+        self.far_end = self.prev
+        self.anchor = d.key_at(self.row)
+        self.medians: list[float] = []
+        self.est_active = True
+        self.priority = 0
+        self.linked_rows: set[int] = set()
+        self._nego: LinkNegotiation | None = None
+        self._round = -1
+
+    def dispatch(self, src: int, message: Message) -> list[Effect]:
+        if isinstance(message, EstimateLevel):
+            return self._on_level(message)
+        if isinstance(message, BeginAcquire):
+            self.priority = int(message.priority)
+            return []
+        if isinstance(message, AcquireTicket):
+            return self._on_ticket(message)
+        if isinstance(message, LinkReply) and self._nego is not None:
+            return self._after(self._nego.on_reply(src, message))
+        if isinstance(message, LinkResult) and self._nego is not None:
+            return self._after(self._nego.on_result(message))
+        return []
+
+    # -- estimation (engine draw layout, local decisions) --------------
+
+    def _on_level(self, message: EstimateLevel) -> list[Effect]:
+        d = self.node.directory
+        assert d is not None
+        report = EstimateReport(level=message.level, cont=False)
+        if not self.est_active:
+            return [Send(to=self.node.seed_id, message=report)]
+        lo, __, count = cw_arc_slice(d.positions, self.origin, self.prev)
+        if count == 0:
+            self.est_active = False
+            return [Send(to=self.node.seed_id, message=report)]
+        m = d.m
+        rows = [(lo + int(float(u) * count)) % m for u in message.u_row]
+        border, stop = select_border(
+            self.anchor,
+            self.origin,
+            self.prev,
+            [d.key_at(r) for r in rows],
+            [d.position_at(r) for r in rows],
+        )
+        if stop:
+            self.est_active = False
+            return [Send(to=self.node.seed_id, message=report)]
+        self.medians.append(border)
+        self.prev = border
+        return [Send(to=self.node.seed_id, message=EstimateReport(level=message.level, cont=True))]
+
+    # -- acquisition (engine round semantics over real messages) -------
+
+    def _table_arc(self, p: int) -> tuple[float, float] | None:
+        """Partition ``p`` (0-indexed) of my estimated table, engine layout."""
+        end = self.far_end if p == 0 else self.medians[p - 1]
+        start = self.medians[p] if len(self.medians) > p else self.origin
+        if start == end and p > 0:
+            return None
+        return (start, end)
+
+    def _on_ticket(self, message: AcquireTicket) -> list[Effect]:
+        d = self.node.directory
+        assert d is not None
+        self._round = int(message.round_no)
+        k_count = len(self.medians) + 1
+        arc = self._table_arc(int(float(message.u_part) * k_count))
+        if arc is None:
+            return [self._report(empty_draw=True)]
+        lo, __, count = cw_arc_slice(d.positions, arc[0], arc[1])
+        if count == 0:
+            return [self._report(empty_draw=True)]
+        m = d.m
+        candidates: list[int] = []
+        for u in message.u_cand:
+            c = (lo + int(float(u) * count)) % m
+            if c not in candidates:
+                candidates.append(c)
+        eligible = [c for c in candidates if c != self.row and c not in self.linked_rows]
+        if not eligible:
+            return [self._report()]
+        self._nego = LinkNegotiation(
+            token=self._round, candidates=[d.id_at(c) for c in eligible], priority=self.priority
+        )
+        return self._nego.start()
+
+    def _after(self, effects: list[Effect]) -> list[Effect]:
+        nego = self._nego
+        if nego is None or not nego.done:
+            return effects
+        self._nego = None
+        # The member does its own link bookkeeping below; keep only the
+        # Send effects so the node driver doesn't double-append.
+        effects = [e for e in effects if isinstance(e, Send)]
+        if nego.placed:
+            assert nego.linked_to is not None
+            d = self.node.directory
+            assert d is not None
+            self.node.out_links.append(int(nego.linked_to))
+            self.linked_rows.add(d.row_of(nego.linked_to))
+            filled = len(self.node.out_links) >= self.node.cap_out
+            return effects + [
+                self._report(success=True, refusals=nego.refusals, filled=filled)
+            ]
+        return effects + [
+            self._report(refusals=nego.refusals, conflict=nego.conflict)
+        ]
+
+    def _report(
+        self,
+        success: bool = False,
+        refusals: int = 0,
+        empty_draw: bool = False,
+        conflict: bool = False,
+        filled: bool = False,
+    ) -> Effect:
+        return Send(
+            to=self.node.seed_id,
+            message=AcquireReport(
+                round_no=self._round,
+                success=success,
+                filled=filled,
+                empty_draw=empty_draw,
+                refusals=refusals,
+                conflict=conflict,
+            ),
+        )
+
+
+# Engine parity notes, for the reader auditing bit-exactness:
+#   * replies carry the round-start in-degree because the superstep
+#     barrier processes every LinkReply before any LinkCommit;
+#   * the winner scan is LinkNegotiation's link_winner_key minimum —
+#     the same key min() the engine's sequential reference evaluates;
+#   * a commit's grant re-checks the live in-degree at the candidate,
+#     and lockstep delivery replays commits in ascending priority —
+#     the engine round's conflict rule, message-shaped.
+_ = (JoinDone, link_winner_key)  # names referenced by the notes above

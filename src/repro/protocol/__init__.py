@@ -1,0 +1,84 @@
+"""Sans-I/O protocol core: Oscar's per-peer decisions as pure machines.
+
+Every Oscar behaviour — joining with partition estimation, restricted
+sampling walks, link negotiation with refusals, greedy routing — is a
+sequence of *local decisions* a peer takes over information it received
+in messages. This package states those decisions once, transport-free:
+
+* :mod:`~repro.protocol.decisions` — the atomic decision rules (link
+  acceptance, the power-of-two winner key, the Metropolis–Hastings
+  acceptance step, the border clamp, the closest-preceding-hop rule).
+  The simulation paths (:mod:`repro.core.construction`,
+  :mod:`repro.core.estimators`, :mod:`repro.sampling.random_walk`,
+  :mod:`repro.routing.greedy` and the scalar reference paths of
+  :mod:`repro.engine.construct`) call these *exact same functions*, so
+  the sim is pinned bit-identical to the protocol by construction;
+* :mod:`~repro.protocol.messages` / :mod:`~repro.protocol.effects` —
+  the typed message grammar and the typed effects machines emit
+  (``Send``, ``StartTimer``, ``LinkEstablished``, ...);
+* the four state machines: :class:`~repro.protocol.join.JoinProtocol`,
+  :class:`~repro.protocol.sampling.SamplingWalk`,
+  :class:`~repro.protocol.negotiation.LinkNegotiation`,
+  :class:`~repro.protocol.routing.GreedyRouter` — pure objects that
+  consume typed messages/events and emit typed effects, never touching
+  sockets, clocks, or another peer's state.
+
+Drivers provide the I/O: the synchronous engines deliver omnisciently
+in-process, while :mod:`repro.net` runs one asyncio task per peer over
+a pluggable transport. RNG generators may be *passed in* (labelled
+streams from :mod:`repro.rng`); nothing here creates entropy, reads a
+clock, or blocks.
+"""
+
+from .decisions import (
+    accepts_link,
+    border_is_terminal,
+    closest_preceding,
+    cw_closer,
+    link_winner_key,
+    mh_accepts,
+    propose_neighbor,
+)
+from .directory import Directory
+from .effects import (
+    CancelTimer,
+    Effect,
+    JoinOutcome,
+    LinkEstablished,
+    Send,
+    StartTimer,
+)
+from .estimation import PartitionEstimator, cw_arc_slice, select_border
+from .join import JoinProtocol
+from .messages import Message, message_from_wire
+from .negotiation import LinkNegotiation
+from .routing import Deliver, Forward, GreedyRouter
+from .sampling import SamplingWalk
+
+__all__ = [
+    "CancelTimer",
+    "Deliver",
+    "Directory",
+    "Effect",
+    "Forward",
+    "GreedyRouter",
+    "JoinOutcome",
+    "JoinProtocol",
+    "LinkEstablished",
+    "LinkNegotiation",
+    "Message",
+    "PartitionEstimator",
+    "SamplingWalk",
+    "Send",
+    "StartTimer",
+    "accepts_link",
+    "border_is_terminal",
+    "closest_preceding",
+    "cw_arc_slice",
+    "cw_closer",
+    "link_winner_key",
+    "message_from_wire",
+    "mh_accepts",
+    "propose_neighbor",
+    "select_border",
+]

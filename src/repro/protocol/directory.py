@@ -1,0 +1,107 @@
+"""A peer's membership knowledge: the seed-fed directory snapshot.
+
+Oscar's simulation grants every estimator the ring's order statistics;
+a real peer instead learns membership from the seed node at bootstrap
+(the tracker pattern of the related P2P repos). :class:`Directory` is
+that knowledge as a value: ``(id, position)`` pairs sorted clockwise,
+with the same ``searchsorted`` arc arithmetic and exact ``uint64`` key
+twins the engine uses — so a peer resolving "the j-th member of arc
+``(a, b]``" from its directory answers exactly what the engine answers
+from the ring. The directory is deliberately *data*: machines that hold
+one never see the ring, other peers' state, or a socket.
+
+The default ``UNIFORM`` sampling mode draws i.i.d. members of an arc —
+already the idealization of a long well-mixed walk — so directory-local
+sampling introduces no fidelity loss over the sim; ``WALK`` mode keeps
+the directory only for geometry and samples via real hop messages
+(:class:`~repro.protocol.sampling.SamplingWalk`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import UnknownNodeError
+from ..ring.keyspace import from_units
+from ..types import NodeId
+from .estimation import cw_arc_slice
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """Immutable sorted membership snapshot ``(ids, positions, keys)``.
+
+    Rows are clockwise position order — the same row space as the
+    engine's :class:`~repro.engine.construct.LiveView`, which is what
+    makes directory-local arc arithmetic engine-exact.
+    """
+
+    __slots__ = ("ids", "positions", "keys", "_row_of")
+
+    def __init__(self, ids: Iterable[NodeId], positions: Iterable[float]) -> None:
+        pos = np.asarray(list(positions), dtype=float)
+        idarr = np.asarray(list(ids), dtype=np.int64)
+        order = np.argsort(pos, kind="stable")
+        self.positions = pos[order]
+        self.ids = idarr[order]
+        self.keys = from_units(self.positions)
+        self._row_of = {int(n): int(r) for r, n in enumerate(self.ids)}
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Sequence[object]]) -> "Directory":
+        """Rebuild from wire form ``[[id, position], ...]``."""
+        return cls((int(p[0]) for p in pairs), (float(p[1]) for p in pairs))
+
+    def to_pairs(self) -> list[list[object]]:
+        """Wire form ``[[id, position], ...]`` in row order."""
+        return [[int(n), float(p)] for n, p in zip(self.ids, self.positions)]
+
+    @property
+    def m(self) -> int:
+        """Member count."""
+        return int(self.ids.size)
+
+    def row_of(self, node_id: NodeId) -> int:
+        """Row of ``node_id``; raises :class:`UnknownNodeError` if absent."""
+        try:
+            return self._row_of[int(node_id)]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def id_at(self, row: int) -> NodeId:
+        """Node id of ``row`` (wrapping)."""
+        return int(self.ids[row % self.m])
+
+    def position_at(self, row: int) -> float:
+        """Position of ``row`` (wrapping)."""
+        return float(self.positions[row % self.m])
+
+    def key_at(self, row: int) -> int:
+        """Exact ``uint64`` key of ``row`` (wrapping)."""
+        return int(self.keys[row % self.m])
+
+    def successor_row(self, row: int) -> int:
+        """Clockwise next row."""
+        return (row + 1) % self.m
+
+    def predecessor_row(self, row: int) -> int:
+        """Clockwise previous row."""
+        return (row - 1) % self.m
+
+    def arc_slice(self, start: float, end: float) -> tuple[int, int]:
+        """``(lo, count)`` of clockwise arc ``(start, end]`` members."""
+        lo, __, count = cw_arc_slice(self.positions, start, end)
+        return lo, count
+
+    def arc_member(self, lo: int, offset: int) -> int:
+        """Row of the ``offset``-th member of an arc starting at ``lo``."""
+        return (lo + offset) % self.m
+
+    def successor_of_key(self, key: float) -> NodeId:
+        """The member responsible for ``key`` — first at or after it
+        clockwise (Chord's ``successor(key)``, the data-placement rule)."""
+        idx = int(np.searchsorted(self.positions, key, side="left"))
+        return int(self.ids[idx % self.m])

@@ -1,0 +1,71 @@
+"""Typed effects the protocol machines emit instead of doing I/O.
+
+A machine never sends, sleeps, or mutates another peer: it *returns*
+a list of effects and the driver interprets them — the synchronous
+engines apply them in-process, the :mod:`repro.net` runtime turns them
+into transport writes and asyncio timers. Effects are plain frozen
+dataclasses so tests can assert on them structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..types import NodeId
+from .messages import Message
+
+__all__ = [
+    "CancelTimer",
+    "Effect",
+    "JoinOutcome",
+    "LinkEstablished",
+    "Send",
+    "StartTimer",
+]
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Marker base for everything a machine asks its driver to do."""
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Deliver ``message`` to peer ``to``."""
+
+    to: NodeId
+    message: Message
+
+
+@dataclass(frozen=True)
+class StartTimer(Effect):
+    """Arm (or re-arm) the named timer; the driver owns the clock and
+    calls the machine's ``on_timer(name)`` when it fires."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CancelTimer(Effect):
+    """Disarm the named timer if still pending."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LinkEstablished(Effect):
+    """A long link to ``peer`` was granted and is now held."""
+
+    peer: NodeId
+
+
+@dataclass(frozen=True)
+class JoinOutcome(Effect):
+    """Terminal join effect: the slot-filling phase finished.
+
+    ``links`` are the peers now linked (acquisition order);
+    ``gave_up`` counts slots abandoned after exhausting retries.
+    """
+
+    links: tuple = field(default_factory=tuple)
+    gave_up: int = 0

@@ -30,32 +30,15 @@ from __future__ import annotations
 
 from ..config import RoutingConfig
 from ..errors import RoutingError
+from ..protocol.decisions import closest_preceding, cw_closer
 from ..ring import Ring, RingPointers, in_cw_interval
 from ..types import Key, NodeId
 from .base import NeighborProvider
 from .result import RouteResult
 
-__all__ = ["route_greedy", "cw_closer"]
+__all__ = ["route_greedy", "cw_closer"]  # cw_closer: canonical home repro.protocol.decisions
 
 _DEFAULT = RoutingConfig()
-
-
-def cw_closer(origin: float, a: float, b: float) -> bool:
-    """Exact "is ``a`` strictly closer clockwise from ``origin`` than
-    ``b``" — pure comparisons, no subtraction, no rounding.
-
-    Clockwise from ``origin``, positions at or after it (``>= origin``)
-    come first in plain float order, then the wrapped positions
-    (``< origin``) in plain float order; ``origin`` itself is distance
-    zero.
-    """
-    if a == b:
-        return False
-    after_a = a >= origin
-    after_b = b >= origin
-    if after_a != after_b:
-        return after_a
-    return a < b
 
 
 def route_greedy(
@@ -136,25 +119,18 @@ def _closest_preceding(
 
     The ring successor is always a valid fallback (it cannot pass the key —
     the caller already handled the final interval), so in a consistent
-    topology this never fails. First-listed wins ties (exact comparisons
-    can only tie on equal positions, which the ring forbids).
+    topology this never fails. The selection rule itself lives in
+    :func:`repro.protocol.decisions.closest_preceding`, shared with the
+    message-passing runtime's per-hop router.
     """
-    best: NodeId = ring_successor
-    best_pos = ring.position(ring_successor)
-    if target_key != current_pos:  # zero span: only the fallback is legal
-        for candidate in neighbors.neighbors_of(current):
-            if candidate == current:
-                continue
-            candidate_pos = ring.position(candidate)
-            # "(current, key]" guard: skip neighbors past the key. The
-            # interval predicate is comparison-based, so "past" cannot be
-            # blurred by rounding (``(current, current]`` would read as
-            # the whole circle, hence the zero-span guard above).
-            if not in_cw_interval(candidate_pos, current_pos, target_key):
-                continue
-            if cw_closer(current_pos, best_pos, candidate_pos):
-                best = candidate
-                best_pos = candidate_pos
+    best, best_pos = closest_preceding(
+        current,
+        current_pos,
+        target_key,
+        ring_successor,
+        ring.position(ring_successor),
+        ((candidate, ring.position(candidate)) for candidate in neighbors.neighbors_of(current)),
+    )
     if best == current or best_pos == current_pos:
         raise RoutingError(f"node {current} has no progressing neighbor toward {target_key!r}")
     return best

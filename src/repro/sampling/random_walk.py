@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import SamplingError
+from ..protocol.decisions import mh_accepts, propose_neighbor
 from ..ring import Ring, in_cw_interval
 from ..types import NodeId
 
@@ -142,11 +143,11 @@ class RestrictedWalker:
         for __ in range(max_steps):
             here = self._arc_neighbors(current)
             if here:
-                proposal = here[int(rng.integers(0, len(here)))]
+                proposal = propose_neighbor(here, rng)
                 there = self._arc_neighbors(proposal)
                 deg_here = len(here)
                 deg_there = max(1, len(there))
-                if deg_there <= deg_here or rng.random() < deg_here / deg_there:
+                if mh_accepts(deg_here, deg_there, rng):
                     current = proposal
             steps_until_sample -= 1
             if steps_until_sample == 0:

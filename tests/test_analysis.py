@@ -404,6 +404,16 @@ class TestWallClockEnv:
         assert lint(source, path="src/repro/cli.py") == []
         assert codes_of(lint(source)) == ["CLK001"]
 
+    def test_net_transport_package_is_exempt(self):
+        # The asyncio runtime owns timeouts and loop clocks; its
+        # determinism is gated behaviorally (lockstep oracle tests),
+        # not by banning the clock.
+        source = "import time\n\n\ndef f():\n    return time.monotonic()\n"
+        assert lint(source, path="src/repro/net/transport.py") == []
+        assert lint(source, path="src/repro/net/harness.py") == []
+        # The sans-I/O machines the runtime drives stay in scope.
+        assert codes_of(lint(source, path="src/repro/protocol/join.py")) == ["CLK001"]
+
     def test_from_time_import_fires(self):
         findings = lint("from time import perf_counter\n")
         assert codes_of(findings) == ["CLK001"]

@@ -1,0 +1,207 @@
+"""Tier-1 tests of the asyncio message-passing runtime (``repro.net``).
+
+The load-bearing contract is **oracle equivalence**: under the lockstep
+coordinator the live runtime — real peer tasks, real envelopes, the
+deterministic in-memory transport — must rebuild bit-for-bit the
+topology :class:`~repro.engine.construct.BatchConstructionEngine`
+derives from the same seed, including every
+:class:`~repro.core.construction.LinkAcquisitionStats` counter. Around
+that sit invariant-level checks for the free (concurrent, adversarially
+ordered) mode, the wire codec, TCP transport end to end, and the
+walk-based sampling mode.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro import OscarConfig
+from repro.config import SamplingMode
+from repro.core.overlay import OscarOverlay
+from repro.degree import ConstantDegrees, SpikyDegreeDistribution
+from repro.engine.construct import BatchConstructionEngine, LiveView
+from repro.net import NetHarness, get_codec, have_msgpack
+from repro.errors import SimulationError
+from repro.net.codec import MAX_FRAME, FrameError
+from repro.rng import split
+from repro.workloads import GnutellaLikeDistribution, UniformKeys
+
+LOCKSTEP_PEERS = 500
+REWIRE_PEERS = 256
+FREE_PEERS = 150
+
+
+def engine_topology(size, seed, keys, degrees, *, rewire=False):
+    """Oracle topology + stats from the batched engine, keyed by node id."""
+    overlay = OscarOverlay(OscarConfig(), seed=seed)
+    engine = BatchConstructionEngine(overlay)
+    stats = engine.grow(size, keys, degrees)
+    if rewire:
+        # The harness draws its lockstep rewire stream from the same
+        # label, so the oracle and the runtime consume identical bits.
+        stats = engine.rewire(split(seed, "rewire"))
+    view = LiveView.capture(overlay)
+    state = view.state
+    links, in_deg = {}, {}
+    for row in range(view.m):
+        slot = int(view.slots[row])
+        count = int(state.out_count[slot])
+        node_id = int(view.ids[row])
+        links[node_id] = [int(x) for x in state.out_links[slot][:count]]
+        in_deg[node_id] = int(state.in_deg[slot])
+    return links, in_deg, [getattr(stats, f) for f in stats.__slots__]
+
+
+class TestCodec:
+    ENVELOPE = {
+        "src": 3,
+        "msg": {"kind": "hello", "position": 0.123456789, "cap_in": 4},
+    }
+
+    def test_json_frame_round_trip(self):
+        codec = get_codec("json")
+        frame = codec.encode(self.ENVELOPE)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert codec.decode_body(frame[4:]) == self.ENVELOPE
+
+    def test_msgpack_request_resolves_or_falls_back(self):
+        codec = get_codec("msgpack")
+        assert codec.requested == "msgpack"
+        if have_msgpack():
+            assert codec.name == "msgpack"
+        else:
+            assert codec.name == "json"  # silent-but-inspectable fallback
+        frame = codec.encode(self.ENVELOPE)
+        assert codec.decode_body(frame[4:]) == self.ENVELOPE
+
+    def test_floats_survive_exactly(self):
+        codec = get_codec("json")
+        for value in (0.1 + 0.2, 1e-300, 0.9999999999999999):
+            frame = codec.encode({"x": value})
+            assert codec.decode_body(frame[4:])["x"] == value
+
+    def test_oversized_frame_rejected(self):
+        codec = get_codec("json")
+        with pytest.raises(FrameError):
+            codec.encode({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_non_dict_body_rejected(self):
+        codec = get_codec("json")
+        with pytest.raises(FrameError):
+            codec.decode_body(b"[1,2,3]")
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            get_codec("pickle")
+
+
+class TestLockstepOracle:
+    """The runtime must equal the engine bit-for-bit under lockstep."""
+
+    def test_grow_matches_engine_exactly(self):
+        keys, degrees = UniformKeys(), ConstantDegrees(4)
+        oracle_links, oracle_in, oracle_stats = engine_topology(
+            LOCKSTEP_PEERS, 42, UniformKeys(), ConstantDegrees(4)
+        )
+        with NetHarness(OscarConfig(), seed=42, lockstep=True) as harness:
+            stats = harness.build(LOCKSTEP_PEERS, keys, degrees)
+            assert harness.out_links() == oracle_links
+            assert harness.in_degrees() == oracle_in
+            assert [getattr(stats, f) for f in stats.__slots__] == oracle_stats
+
+    def test_rewire_matches_engine_exactly(self):
+        keys, degrees = GnutellaLikeDistribution(), SpikyDegreeDistribution()
+        oracle_links, oracle_in, oracle_stats = engine_topology(
+            REWIRE_PEERS,
+            7,
+            GnutellaLikeDistribution(),
+            SpikyDegreeDistribution(),
+            rewire=True,
+        )
+        with NetHarness(OscarConfig(), seed=7, lockstep=True) as harness:
+            harness.build(REWIRE_PEERS, keys, degrees)
+            stats = harness.rewire()
+            assert harness.out_links() == oracle_links
+            assert harness.in_degrees() == oracle_in
+            assert [getattr(stats, f) for f in stats.__slots__] == oracle_stats
+
+    def test_lockstep_requires_memory_uniform(self):
+        with pytest.raises(SimulationError):
+            NetHarness(OscarConfig(), seed=0, lockstep=True, transport="tcp")
+        with pytest.raises(SimulationError):
+            NetHarness(OscarConfig(), seed=0, lockstep=True, delivery="random")
+
+
+class TestFreeMode:
+    """Concurrent joins under adversarial delivery: invariants, not bits."""
+
+    def test_random_delivery_respects_caps_and_routes(self):
+        with NetHarness(OscarConfig(), seed=11, delivery="random") as harness:
+            stats = harness.build(FREE_PEERS, UniformKeys(), ConstantDegrees(4))
+            assert stats.links_placed > 0
+            summary = harness.summary()
+            assert summary.n == FREE_PEERS
+            assert summary.cap_violations == 0
+            success, mean_hops = harness.route_check(100)
+            assert success == 1.0
+            assert mean_hops > 0.0
+
+    def test_same_seed_same_topology(self):
+        def build_links(seed):
+            with NetHarness(OscarConfig(), seed=seed, delivery="random") as h:
+                h.build(80, UniformKeys(), ConstantDegrees(4))
+                return h.out_links()
+
+        assert build_links(5) == build_links(5)
+        assert build_links(5) != build_links(6)
+
+    def test_rewire_resets_then_reacquires(self):
+        with NetHarness(OscarConfig(), seed=3, delivery="random") as harness:
+            harness.build(80, UniformKeys(), ConstantDegrees(4))
+            before = harness.out_links()
+            stats = harness.rewire()
+            assert stats.links_placed > 0
+            after = harness.out_links()
+            assert set(after) == set(before)  # same membership
+            assert harness.summary().cap_violations == 0
+            success, __ = harness.route_check(50)
+            assert success == 1.0
+            assert after != before  # fresh epoch RNG, different long links
+
+    def test_walk_mode_build_routes(self):
+        config = OscarConfig(sampling_mode=SamplingMode.WALK)
+        with NetHarness(config, seed=9) as harness:
+            harness.build(60, UniformKeys(), ConstantDegrees(4))
+            assert harness.summary().cap_violations == 0
+            success, __ = harness.route_check(50)
+            assert success == 1.0
+
+
+class TestTcpTransport:
+    def test_small_overlay_over_real_sockets(self):
+        with NetHarness(OscarConfig(), seed=21, transport="tcp") as harness:
+            stats = harness.build(8, UniformKeys(), ConstantDegrees(3))
+            assert stats.links_placed > 0
+            summary = harness.summary()
+            assert summary.n == 8
+            assert summary.cap_violations == 0
+            success, __ = harness.route_check(20)
+            assert success == 1.0
+
+
+class TestSummary:
+    def test_summary_accounting(self):
+        with NetHarness(OscarConfig(), seed=13) as harness:
+            harness.build(50, UniformKeys(), ConstantDegrees(4))
+            harness.route_check(25)
+            summary = harness.summary()
+            assert summary.n == 50
+            assert summary.links == sum(len(v) for v in harness.out_links().values())
+            assert summary.routes_attempted == 25
+            assert summary.routes_delivered == 25
+            assert summary.route_success == 1.0
+            assert summary.messages > 0
+            assert summary.generations > 0

@@ -1,0 +1,341 @@
+"""Unit tests of the sans-I/O protocol core (``repro.protocol``).
+
+The simulators exercise these kernels end to end (the engines now call
+them directly); this module pins the *local* contracts a transport
+driver leans on — decision functions, message wire round-trips, the
+link-negotiation state machine, the estimator descent, and the per-hop
+router's equivalence with the omniscient simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import PartitionTable
+from repro.errors import SamplingError
+from repro.protocol import (
+    Deliver,
+    Directory,
+    GreedyRouter,
+    JoinOutcome,
+    LinkEstablished,
+    LinkNegotiation,
+    PartitionEstimator,
+    Send,
+    accepts_link,
+    border_is_terminal,
+    closest_preceding,
+    cw_arc_slice,
+    cw_closer,
+    link_winner_key,
+    message_from_wire,
+    mh_accepts,
+    propose_neighbor,
+)
+from repro.protocol.messages import (
+    AcquireReport,
+    AcquireTicket,
+    BeginAcquire,
+    DirectoryUpdate,
+    EstimateLevel,
+    Hello,
+    JoinDone,
+    LinkCommit,
+    LinkReply,
+    LinkRequest,
+    LinkResult,
+    Message,
+    RouteDone,
+    RouteProbe,
+    WalkDone,
+    WalkStep,
+    Welcome,
+)
+from repro.ring.identifiers import in_cw_interval
+from repro.rng import split
+from repro.routing.greedy import route_greedy
+from tests.conftest import build_overlay
+
+
+class TestDecisions:
+    def test_accepts_link_is_strict_cap_comparison(self):
+        assert accepts_link(0, 1)
+        assert accepts_link(3, 4)
+        assert not accepts_link(4, 4)
+        assert not accepts_link(5, 4)
+
+    def test_link_winner_key_matches_scalar_tuple(self):
+        # The scalar construction path ranked accepting candidates by
+        # (in_degree, -spare, id); spare = rho - in_degree, so the
+        # middle term is in_degree - rho.
+        cases = [(0, 4, 7), (3, 4, 1), (2, 8, 5), (2, 3, 5)]
+        for in_degree, rho, node_id in cases:
+            assert link_winner_key(in_degree, rho, node_id) == (
+                in_degree,
+                in_degree - rho,
+                node_id,
+            )
+        ranked = sorted(cases, key=lambda c: link_winner_key(*c))
+        assert ranked[0] == (0, 4, 7)  # least loaded wins
+        # Equal load: more spare capacity wins.
+        assert link_winner_key(2, 8, 5) < link_winner_key(2, 3, 5)
+
+    def test_mh_accepts_consumes_rng_only_on_uphill_moves(self):
+        rng = split(0, "mh")
+        state0 = rng.bit_generator.state
+        # Downhill or equal: accepted without a draw.
+        assert mh_accepts(5, 5, rng)
+        assert mh_accepts(5, 3, rng)
+        assert rng.bit_generator.state == state0
+        # Uphill: exactly one uniform consumed.
+        twin = split(0, "mh")
+        expected = twin.random() < 2 / 4
+        assert mh_accepts(2, 4, rng) == expected
+        assert rng.bit_generator.state == twin.bit_generator.state
+
+    def test_propose_neighbor_uniform_index_draw(self):
+        neighbors = [10, 20, 30, 40]
+        rng = split(1, "prop")
+        twin = split(1, "prop")
+        assert propose_neighbor(neighbors, rng) == neighbors[int(twin.integers(0, 4))]
+
+    def test_border_is_terminal(self):
+        # Border equal to the previous end: arc failed to shrink.
+        assert border_is_terminal(0.5, 0.2, 0.5)
+        # Border outside (origin, prev]: clamp fires.
+        assert border_is_terminal(0.9, 0.2, 0.5)
+        # A strictly shrinking border continues the descent.
+        assert not border_is_terminal(0.3, 0.2, 0.5)
+
+    def test_cw_closer(self):
+        assert cw_closer(0.1, 0.2, 0.5)  # 0.2 is cw-closer to 0.1 than 0.5
+        assert not cw_closer(0.1, 0.5, 0.2)
+        assert cw_closer(0.9, 0.05, 0.3)  # wrapping
+
+    def test_closest_preceding_picks_max_progress_without_overshoot(self):
+        # Target at 0.8; candidates at 0.3, 0.7, 0.85 — 0.7 precedes the
+        # target most closely, 0.85 overshoots.
+        best, best_pos = closest_preceding(
+            1,
+            0.1,
+            0.8,
+            2,
+            0.3,
+            [(2, 0.3), (3, 0.7), (4, 0.85)],
+        )
+        assert (best, best_pos) == (3, 0.7)
+
+    def test_cw_arc_slice_counts_match_bruteforce(self):
+        positions = np.sort(split(3, "arc").random(64))
+        for start, end in [(0.2, 0.7), (0.7, 0.2), (0.5, 0.5), (0.0, 0.999)]:
+            lo, __, count = cw_arc_slice(positions, start, end)
+            expected = int(sum(in_cw_interval(p, start, end) for p in positions))
+            assert count == expected
+            if count:
+                first = positions[lo % positions.size]
+                assert in_cw_interval(float(first), start, end)
+
+
+class TestMessages:
+    def _samples(self) -> list[Message]:
+        return [
+            Hello(position=0.25, cap_in=4, cap_out=4, host="127.0.0.1", port=4100),
+            Welcome(node_id=7, peers=[[0, 0.1], [1, 0.9]]),
+            DirectoryUpdate(peers=[[0, 0.1]], addrs=[[0, "127.0.0.1", 4100]]),
+            LinkRequest(token=3),
+            LinkReply(token=3, accept=True, in_degree=2, rho_in=4),
+            LinkCommit(token=3, priority=11),
+            LinkResult(token=3, granted=False),
+            WalkStep(
+                walk_id=5,
+                origin=1,
+                start=0.1,
+                end=0.9,
+                n_samples=4,
+                hops_per_sample=2,
+                until_sample=2,
+                steps_left=9,
+                collected=[0.5],
+                current=3,
+                current_pos=0.5,
+                proposer_deg=2,
+            ),
+            WalkDone(walk_id=5, positions=[0.5, 0.7]),
+            RouteProbe(probe_id=1, target=0.42, origin=-1, hops=3, budget=40),
+            RouteDone(probe_id=1, delivered=9, hops=3, ok=True),
+            JoinDone(node_id=2, links=4, gave_up=0),
+            EstimateLevel(level=2, u_row=[0.1, 0.9]),
+            BeginAcquire(priority=5),
+            AcquireTicket(round_no=1, u_part=0.3, u_cand=[0.2, 0.8]),
+            AcquireReport(round_no=1, success=True, refusals=1),
+        ]
+
+    def test_wire_round_trip_every_kind(self):
+        for message in self._samples():
+            restored = message_from_wire(message.to_wire())
+            assert restored == message
+            assert type(restored) is type(message)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown message kind"):
+            message_from_wire({"kind": "nope"})
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(TypeError, match="duplicate message kind"):
+
+            @dataclasses.dataclass(frozen=True)
+            class Rogue(Message):  # noqa: F841 - definition itself must raise
+                kind = "hello"
+
+
+class TestLinkNegotiation:
+    def test_happy_path_commits_to_least_loaded(self):
+        nego = LinkNegotiation(token=1, candidates=[10, 20], priority=3)
+        effects = nego.start()
+        requests = [e for e in effects if isinstance(e, Send)]
+        assert {e.to for e in requests} == {10, 20}
+        assert nego.on_reply(10, LinkReply(token=1, accept=True, in_degree=2, rho_in=4)) == []
+        effects = nego.on_reply(20, LinkReply(token=1, accept=True, in_degree=1, rho_in=4))
+        commit = [e for e in effects if isinstance(e, Send)]
+        assert len(commit) == 1 and commit[0].to == 20
+        assert commit[0].message == LinkCommit(token=1, priority=3)
+        done = nego.on_result(LinkResult(token=1, granted=True))
+        assert LinkEstablished(peer=20) in done
+        assert nego.placed and nego.linked_to == 20 and not nego.conflict
+
+    def test_all_refuse_fails_with_refusal_count(self):
+        nego = LinkNegotiation(token=1, candidates=[10, 20])
+        nego.start()
+        nego.on_reply(10, LinkReply(token=1, accept=False, in_degree=4, rho_in=4))
+        nego.on_reply(20, LinkReply(token=1, accept=False, in_degree=5, rho_in=4))
+        assert nego.done and not nego.placed
+        assert nego.refusals == 2
+
+    def test_timeout_decides_with_missing_counted_refused(self):
+        nego = LinkNegotiation(token=1, candidates=[10, 20])
+        nego.start()
+        nego.on_reply(10, LinkReply(token=1, accept=True, in_degree=0, rho_in=4))
+        effects = nego.on_timer()
+        commit = [e for e in effects if isinstance(e, Send)]
+        assert len(commit) == 1 and commit[0].to == 10
+        assert nego.refusals == 1  # the silent candidate
+
+    def test_denied_commit_is_a_conflict(self):
+        nego = LinkNegotiation(token=1, candidates=[10])
+        nego.start()
+        nego.on_reply(10, LinkReply(token=1, accept=True, in_degree=0, rho_in=4))
+        nego.on_result(LinkResult(token=1, granted=False))
+        assert nego.done and not nego.placed and nego.conflict
+
+    def test_stale_and_duplicate_replies_ignored(self):
+        nego = LinkNegotiation(token=1, candidates=[10, 20])
+        nego.start()
+        assert nego.on_reply(10, LinkReply(token=9, accept=True)) == []  # wrong token
+        assert nego.on_reply(99, LinkReply(token=1, accept=True)) == []  # unknown peer
+        nego.on_reply(10, LinkReply(token=1, accept=True, in_degree=0, rho_in=4))
+        assert nego.on_reply(10, LinkReply(token=1, accept=True, in_degree=0, rho_in=4)) == []
+
+
+class TestPartitionEstimator:
+    def test_descends_and_builds_a_table(self):
+        estimator = PartitionEstimator(origin=0.0, far_end=0.99, k=4)
+        rng = split(7, "est")
+        while (arc := estimator.pending_arc()) is not None:
+            start, end = arc
+            span = (end - start) % 1.0 or 1.0
+            estimator.add_samples(
+                [float((start + u * span) % 1.0) for u in rng.random(8)]
+            )
+        table = estimator.table()
+        assert isinstance(table, PartitionTable)
+        assert 1 <= table.n_partitions <= 4
+        assert table.origin == 0.0
+
+    def test_empty_sample_terminates_the_descent(self):
+        estimator = PartitionEstimator(origin=0.1, far_end=0.9, k=5)
+        assert estimator.pending_arc() is not None
+        estimator.add_samples([])
+        assert estimator.pending_arc() is None
+        assert estimator.medians == ()
+
+    def test_degenerate_arc_needs_no_samples(self):
+        estimator = PartitionEstimator(origin=0.3, far_end=0.3, k=4)
+        assert estimator.pending_arc() is None
+        assert estimator.table().n_partitions == 1
+
+    def test_feeding_a_finished_estimator_raises(self):
+        estimator = PartitionEstimator(origin=0.3, far_end=0.3, k=4)
+        with pytest.raises(SamplingError):
+            estimator.add_samples([0.5])
+
+
+class TestGreedyRouterEquivalence:
+    def _hop(self, overlay, node_id, target):
+        ring = overlay.ring
+        successor = ring.successor(node_id)
+        return GreedyRouter.decide(
+            target,
+            me=node_id,
+            my_position=ring.position(node_id),
+            predecessor_position=ring.position(ring.predecessor(node_id)),
+            successor=successor,
+            successor_position=ring.position(successor),
+            neighbors=[
+                (peer, ring.position(peer)) for peer in overlay.neighbors_of(node_id)
+            ],
+        )
+
+    def test_probe_hops_replay_route_greedy_paths(self):
+        overlay = build_overlay(n=80, seed=5, cap=6)
+        ring = overlay.ring
+        rng = split(5, "probe-targets")
+        for __ in range(40):
+            target = float(rng.random())
+            source = int(ring.ids_array(live_only=True)[int(rng.integers(0, 80))])
+            reference = route_greedy(
+                ring, overlay.pointers, overlay, source, target, record_path=True
+            )
+            current, hops, path = source, 0, [source]
+            while True:
+                decision = self._hop(overlay, current, target)
+                if isinstance(decision, Deliver):
+                    break
+                current = decision.to
+                hops += 1
+                path.append(current)
+                assert hops <= 200, "per-hop router failed to converge"
+            assert current == reference.delivered_to
+            assert hops == reference.cost
+            assert path == list(reference.path)
+
+    def test_sole_member_delivers_everything(self):
+        # predecessor == self: the peer owns the whole circle.
+        decision = GreedyRouter.decide(
+            0.6,
+            me=1,
+            my_position=0.1,
+            predecessor_position=0.1,
+            successor=1,
+            successor_position=0.1,
+            neighbors=[],
+        )
+        assert isinstance(decision, Deliver)
+
+
+class TestEffects:
+    def test_effect_values_are_frozen(self):
+        outcome = JoinOutcome(links=(3, 5), gave_up=1)
+        assert outcome.links == (3, 5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            outcome.gave_up = 2
+
+    def test_directory_round_trip_and_lookup(self):
+        directory = Directory([5, 2, 9], [0.7, 0.1, 0.4])
+        assert list(directory.ids) == [2, 9, 5]  # sorted by position
+        assert directory.row_of(9) == 1
+        assert directory.successor_of_key(0.45) == 5
+        assert directory.successor_of_key(0.95) == 2  # wraps
+        assert Directory.from_pairs(directory.to_pairs()).to_pairs() == directory.to_pairs()

@@ -1,11 +1,11 @@
-"""Million-peer smoke test of the struct-of-arrays substrate.
+"""Scale smoke tests: 10k live asyncio peers, then a million-peer SoA build.
 
 Marked ``slow`` and therefore excluded from the tier-1 run (see
 ``pytest.ini``); the bench-trajectory CI job runs it with ``-m slow``. The
 gates are deliberately generous multiples of the measured CI-runner
-numbers (~60 s build, ~1.5 GiB peak RSS) — they catch order-of-magnitude
-regressions (per-peer Python objects creeping back in, accidental O(N²)
-loops), not scheduler jitter.
+numbers (~60 s build, ~1.5 GiB peak RSS for the million-peer half) —
+they catch order-of-magnitude regressions (per-peer Python objects
+creeping back in, accidental O(N²) loops), not scheduler jitter.
 """
 
 from __future__ import annotations
@@ -28,6 +28,41 @@ from repro.workloads import GnutellaLikeDistribution
 MILLION = 1_000_000
 BUILD_WALL_SECONDS = 300.0
 RSS_CEILING_MB = 8192.0
+
+NET_PEERS = 10_000
+NET_BUILD_WALL_SECONDS = 120.0
+NET_RSS_CEILING_MB = 2048.0
+
+
+@pytest.mark.slow
+def test_ten_thousand_live_asyncio_peers_boot_and_route():
+    """10k live asyncio peer tasks on the in-memory transport.
+
+    Ordered before the million-peer test on purpose:
+    :func:`check_rss_ceiling` reads the whole-process high-water mark,
+    so this gate is only meaningful while the process is still small.
+    The measured numbers are ~12 s and ~130 MiB; the gates are
+    order-of-magnitude guards (per-peer state bloat, a directory copy
+    per peer), not scheduler jitter.
+    """
+    from repro.net import NetHarness
+    from repro.workloads import UniformKeys
+
+    started = time.perf_counter()
+    with NetHarness(OscarConfig(), seed=42) as harness:
+        stats = harness.build(NET_PEERS, UniformKeys(), ConstantDegrees(4))
+        build_seconds = time.perf_counter() - started
+        assert build_seconds < NET_BUILD_WALL_SECONDS, (
+            f"10k-peer net build took {build_seconds:.0f}s "
+            f"(gate {NET_BUILD_WALL_SECONDS:.0f}s)"
+        )
+        assert stats.links_placed > NET_PEERS  # several long links per peer
+        success, __ = harness.route_check(100)
+        assert success == 1.0
+        summary = harness.summary()
+        assert summary.n == NET_PEERS
+        assert summary.cap_violations == 0
+    check_rss_ceiling(NET_RSS_CEILING_MB)
 
 
 @pytest.mark.slow
