@@ -12,7 +12,11 @@ schema-versioned JSON documents:
   in peers/second and the batched-vs-scalar rewire speedup at 10k;
 * ``BENCH_churn.json`` — the steady-state hot path: a ``steady-churn``
   run on a mid-size overlay, recording epoch throughput, probe success
-  and the stale-link ceiling.
+  and the stale-link ceiling;
+* ``BENCH_detector.json`` — the probe-membership hot path: a
+  ``detector-churn`` run (failure detector + gossip instead of the
+  oracle view), recording detection-lag p50/p99 in epochs, the
+  false-eviction rate and epoch throughput.
 
 CI uploads the files as artifacts on every run — the durable
 performance trajectory — and this script *fails* the job when
@@ -145,6 +149,36 @@ def bench_churn(seed: int, size: int, epochs: int) -> dict:
     )
 
 
+def bench_detector(seed: int, size: int, epochs: int) -> dict:
+    """Detector-phase benchmark: probe-derived membership under churn."""
+    runner = Runner(store=None, defaults={"scale": 1.0, "seed": seed})
+    started = time.perf_counter()
+    record = runner.run(
+        "detector-churn", {"size": size, "epochs": epochs, "n_queries": 256}
+    )
+    wall = time.perf_counter() - started
+    result = record.result
+    metrics = {
+        "wall_seconds": round(wall, 3),
+        "epochs_per_second": round(result.scalars["epochs_per_second"], 3),
+        "detection_lag_p50": round(result.scalars["detection_lag_p50"], 2),
+        "detection_lag_p99": round(result.scalars["detection_lag_p99"], 2),
+        "detection_lag_mean": round(result.scalars["detection_lag_mean"], 3),
+        "false_eviction_rate": round(result.scalars["false_eviction_rate"], 4),
+        "evictions": int(result.scalars["evictions"]),
+        "mean_success_rate": round(result.scalars["mean_success_rate"], 4),
+        "max_undetected_dead": int(result.scalars["max_undetected_dead"]),
+        "final_live": int(result.scalars["final_live"]),
+        "churn_seconds": round(result.scalars["churn_seconds"], 3),
+    }
+    return _document(
+        "detector",
+        {"seed": seed, "size": size, "epochs": epochs, "scale": 1.0},
+        metrics,
+        {name: points for name, points in result.series.items()},
+    )
+
+
 def compare(document: dict, baseline_path: Path, max_regression: float) -> list[str]:
     """Regression findings of ``document`` vs its committed baseline."""
     if not baseline_path.exists():
@@ -203,6 +237,19 @@ def main(argv: list[str] | None = None) -> int:
         "--churn-epochs", type=int, default=10, help="steady-churn benchmark epochs"
     )
     parser.add_argument(
+        "--detector-size",
+        type=int,
+        default=2000,
+        help="detector-churn benchmark population",
+    )
+    parser.add_argument(
+        "--detector-epochs",
+        type=int,
+        default=12,
+        help="detector-churn benchmark epochs (long enough for evictions "
+        "to flow: detection + gossip completion takes several epochs)",
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="record the measured numbers as the new committed baselines",
@@ -213,6 +260,9 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_fig1c.json": bench_fig1c(args.scale, args.seed),
         "BENCH_build.json": bench_build(args.seed, args.sizes),
         "BENCH_churn.json": bench_churn(args.seed, args.churn_size, args.churn_epochs),
+        "BENCH_detector.json": bench_detector(
+            args.seed, args.detector_size, args.detector_epochs
+        ),
     }
     args.out_dir.mkdir(parents=True, exist_ok=True)
     for name, document in documents.items():

@@ -5,8 +5,9 @@ Boots a seed endpoint plus ``--peers`` peer tasks, each an asyncio
 sockets (msgpack when the ``net`` extra is installed, JSON otherwise),
 runs the join protocol to quiescence, prints a topology summary, and
 routes ``--probes`` greedy lookups. Exit status is the health check:
-nonzero when any probe misses the responsible peer or any in-cap is
-violated — the CI ``net-smoke`` job gates on it.
+nonzero when any probe misses the responsible peer, any in-cap is
+violated, or any peer's directory disagrees with the seed's membership
+view — the CI ``net-smoke`` job gates on it.
 
 Usage::
 
@@ -69,7 +70,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"[launch-network] routed {summary.routes_delivered}/"
         f"{summary.routes_attempted} probes to the responsible peer "
-        f"(mean {mean_hops:.2f} hops); {summary.cap_violations} cap violations"
+        f"(mean {mean_hops:.2f} hops); {summary.cap_violations} cap violations; "
+        f"{summary.directory_mismatches} directory mismatches"
     )
 
     if success < 1.0:
@@ -77,6 +79,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if summary.cap_violations:
         print("[launch-network] FAIL: in-degree cap violated", file=sys.stderr)
+        return 1
+    if summary.directory_mismatches:
+        print(
+            "[launch-network] FAIL: peer directories disagree with the seed's",
+            file=sys.stderr,
+        )
         return 1
     print("[launch-network] OK")
     return 0

@@ -1,9 +1,12 @@
 """Failure models: crash waves, session times, and continuous churn.
 
-* :func:`crash_fraction` / :func:`apply_churn` — static kill of 10%/33%
-  of the population with optional ring repair (Figure 2);
-* :func:`crash_many` / :func:`revive_many` — the bulk liveness
-  primitives every failure process is built on;
+* :func:`apply_churn` — static kill of 10%/33% of the population with
+  optional ring repair (Figure 2), routed through the unified
+  :class:`~repro.membership.views.MembershipView` liveness API;
+* :func:`crash_fraction` / :func:`crash_many` / :func:`revive_many` —
+  **deprecated** one-release shims over :class:`~repro.membership.views
+  .OracleView`'s ``crash_fraction`` / ``crash`` / ``revive`` (they warn;
+  see ``docs/architecture.md`` for the migration table);
 * :mod:`repro.churn.sessions` — pluggable session-time distributions
   (exponential, Pareto heavy-tail, Gnutella-trace-driven) for
   steady-state churn;

@@ -6,24 +6,32 @@ repairs successor/predecessor pointers among survivors, leaves
 long-range links dangling, and then measures query cost with the
 fault-aware router.
 
-:func:`crash_fraction` implements the kill step; :func:`apply_churn`
-bundles kill + optional ring repair into the exact procedure the
-experiments call. The bulk primitives :func:`crash_many` /
-:func:`revive_many` are the shared mechanics underneath: both the
-one-shot waves here and the steady-state churn engine
-(:class:`repro.engine.churn.SteadyStateChurnEngine`) flip liveness
-through them, so there is exactly one implementation of "peers die"
-whatever the failure process looks like.
+.. deprecated:: next release
+    The free-floating helpers :func:`crash_many`, :func:`revive_many`
+    and :func:`crash_fraction` are superseded by the unified liveness
+    API — :meth:`MembershipView.crash
+    <repro.membership.views.MembershipView.crash>` /
+    :meth:`~repro.membership.views.MembershipView.revive` /
+    :meth:`~repro.membership.views.MembershipView.crash_fraction` on an
+    :class:`~repro.membership.views.OracleView` (or
+    :class:`~repro.membership.probe.ProbeView`). They survive one
+    release as thin delegating shims that raise
+    :class:`DeprecationWarning`; see ``docs/architecture.md`` for the
+    migration table. :func:`apply_churn` and :func:`revive_all` remain
+    supported — they are *procedures* (the paper's exact experiment
+    steps), not liveness surface, and now route through the view
+    themselves.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 import numpy as np
 
 from ..config import ChurnConfig
-from ..errors import EmptyPopulationError
+from ..membership import OracleView
 from ..ring import Ring, RingPointers, repair
 from ..rng import split
 from ..types import NodeId
@@ -31,66 +39,56 @@ from ..types import NodeId
 __all__ = ["crash_fraction", "crash_many", "revive_all", "revive_many", "apply_churn"]
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated and will be removed next release; "
+        f"use repro.membership.{new} instead (see docs/architecture.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def crash_many(ring: Ring, node_ids: "Iterable[NodeId]") -> list[NodeId]:
     """Crash the given peers in bulk (idempotent per peer).
 
-    The bulk counterpart of repeated :meth:`Ring.mark_dead
-    <repro.ring.ring.Ring.mark_dead>` calls — already-dead peers are
-    tolerated (a second crash of the same peer is a no-op, exactly like
-    the scalar method). Returns the ids that actually changed state,
-    in input order.
+    .. deprecated:: next release
+        Use ``OracleView(ring).crash(node_ids)`` — this shim delegates
+        to it verbatim (already-dead peers tolerated, changed ids
+        returned in input order) and warns.
     """
-    crashed: list[NodeId] = []
-    for node_id in node_ids:
-        node_id = int(node_id)
-        if ring.is_alive(node_id):
-            ring.mark_dead(node_id)
-            crashed.append(node_id)
-    return crashed
+    _deprecated("crash_many()", "OracleView.crash()")
+    return OracleView(ring).crash(node_ids)
 
 
 def revive_many(ring: Ring, node_ids: "Iterable[NodeId]") -> list[NodeId]:
     """Revive the given peers in bulk (idempotent per peer).
 
-    Mirror of :func:`crash_many`; returns the ids that actually changed
-    state, in input order.
+    .. deprecated:: next release
+        Use ``OracleView(ring).revive(node_ids)`` — this shim delegates
+        to it verbatim and warns.
     """
-    revived: list[NodeId] = []
-    for node_id in node_ids:
-        node_id = int(node_id)
-        if not ring.is_alive(node_id):
-            ring.mark_alive(node_id)
-            revived.append(node_id)
-    return revived
+    _deprecated("revive_many()", "OracleView.revive()")
+    return OracleView(ring).revive(node_ids)
 
 
 def crash_fraction(ring: Ring, rng: np.random.Generator, fraction: float) -> list[NodeId]:
     """Crash ``fraction`` of the live population, chosen uniformly.
 
-    The victim count is ``floor(fraction * live_count)``, but never the
-    entire population (at least one peer survives — a fully dead network
-    has no behaviour to measure), so ``fraction=1.0`` on ``n`` live
-    peers kills ``n - 1`` and a single-peer ring loses nobody. Victims
-    are drawn from the *live* view only: already-dead peers are never
-    re-selected and never count toward the base population. Returns the
-    victims' ids.
+    .. deprecated:: next release
+        Use ``OracleView(ring).crash_fraction(rng, fraction)`` — this
+        shim delegates to it verbatim (identical draw layout, identical
+        guards: never kills the whole population, ``ValueError`` on a
+        bad fraction, :class:`~repro.errors.EmptyPopulationError` on an
+        empty ring) and warns.
     """
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    live = ring.ids_array(live_only=True)
-    if live.size == 0:
-        raise EmptyPopulationError("no live peers to crash")
-    n_victims = min(int(fraction * live.size), live.size - 1)
-    if n_victims <= 0:
-        return []
-    victims = rng.choice(live, size=n_victims, replace=False)
-    return crash_many(ring, victims)
+    _deprecated("crash_fraction()", "OracleView.crash_fraction()")
+    return OracleView(ring).crash_fraction(rng, fraction)
 
 
 def revive_all(ring: Ring, victims: "list[NodeId]") -> None:
-    """Undo :func:`crash_fraction` (lets one built network serve several
-    churn cases without rebuilding)."""
-    revive_many(ring, victims)
+    """Undo a crash wave (lets one built network serve several churn
+    cases without rebuilding). Supported API — not deprecated."""
+    OracleView(ring).revive(victims)
 
 
 def apply_churn(ring: Ring, pointers: RingPointers, config: ChurnConfig) -> list[NodeId]:
@@ -98,14 +96,17 @@ def apply_churn(ring: Ring, pointers: RingPointers, config: ChurnConfig) -> list
 
     Victim selection uses a stream derived from ``config.seed`` so the
     same network can be measured under different kill fractions with
-    non-overlapping victim randomness.
+    non-overlapping victim randomness. The kill itself goes through the
+    membership API (:meth:`OracleView.crash_fraction
+    <repro.membership.views.OracleView.crash_fraction>`) — identical
+    draws and semantics to the historical helper.
 
     Returns the victims so the caller can :func:`revive_all` afterwards.
     """
     if not config.is_faulty:
         return []
     rng = split(config.seed, "churn-victims", int(config.kill_fraction * 1_000_000))
-    victims = crash_fraction(ring, rng, config.kill_fraction)
+    victims = OracleView(ring).crash_fraction(rng, config.kill_fraction)
     if config.repair_ring:
         repair(ring, pointers)
     return victims

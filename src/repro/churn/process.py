@@ -31,9 +31,9 @@ import numpy as np
 
 from ..engine import Environment, Event
 from ..errors import ConfigError
+from ..membership import OracleView
 from ..ring import Ring, RingPointers, repair_all
 from ..types import NodeId
-from .failures import crash_fraction
 
 __all__ = ["ContinuousChurn"]
 
@@ -72,16 +72,18 @@ class ContinuousChurn:
         """Kernel process: crash one random live peer per exponential gap.
 
         Victim selection and the kill go through
-        :func:`~repro.churn.failures.crash_fraction` — the same bulk
-        crash mechanics the steady-state engine uses, at wave size 1.
+        :meth:`OracleView.crash_fraction
+        <repro.membership.views.OracleView.crash_fraction>` — the
+        unified liveness API's bulk crash mechanics, at wave size 1.
         Stops (returns) when only one live peer would remain.
         """
+        view = OracleView(self.ring)
         while True:
             yield env.timeout(float(self.rng.exponential(1.0 / self.crash_rate)))
             live = self.ring.ids_array(live_only=True)
             if live.size <= 1:
                 return
-            dead = crash_fraction(self.ring, self.rng, 1.0 / live.size)
+            dead = view.crash_fraction(self.rng, 1.0 / live.size)
             self.victims.extend(dead)
 
     def maintainer(self, env: Environment) -> Generator[Event, None, None]:

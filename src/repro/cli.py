@@ -8,8 +8,9 @@ Subcommands::
     list    the spec registry — the single source of truth
     report  regenerate EXPERIMENTS.md from stored artifacts
     bench   throughput of one substrate: --phase route (batched query
-            engine), --phase build (batched construction), or
-            --phase churn (steady-state churn epochs)
+            engine), --phase build (batched construction), --phase churn
+            (steady-state churn epochs), --phase detector (churn on
+            probe-derived liveness), or --phase net (asyncio runtime)
     lint    static analysis of the determinism / SoA contracts
             (rule codes, suppressions and baseline: docs/determinism.md)
 
@@ -204,7 +205,9 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "and times BatchQueryEngine batches against the scalar route() loop; "
         "--phase build times bulk construction (grow_batch) and batched vs "
         "scalar rewiring rounds; --phase churn sustains steady-state churn "
-        "epochs (arrivals, departures, repair, probes) and times each.",
+        "epochs (arrivals, departures, repair, probes) and times each; "
+        "--phase detector runs the same churn on probe-derived liveness "
+        "(failure detectors + gossip) and reports detection lag.",
     )
     parser.add_argument(
         "--substrate",
@@ -214,11 +217,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--phase",
-        choices=("route", "build", "churn", "net"),
+        choices=("route", "build", "churn", "detector", "net"),
         default="route",
         help="what to measure: query routing (default), construction, "
-        "steady-state churn throughput, or the asyncio message-passing "
-        "runtime (net)",
+        "steady-state churn throughput, churn on probe-derived liveness "
+        "(detector), or the asyncio message-passing runtime (net)",
     )
     parser.add_argument(
         "--batch",
@@ -264,6 +267,20 @@ def build_bench_parser() -> argparse.ArgumentParser:
         dest="repair_every",
         help="epochs between full link repairs (1 = every epoch)",
     )
+    detector = parser.add_argument_group("detector phase")
+    detector.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-probe loss probability in [0, 1)",
+    )
+    detector.add_argument(
+        "--detector-rounds",
+        type=int,
+        default=2,
+        dest="detector_rounds",
+        help="probe rounds per churn epoch (detector aggressiveness)",
+    )
     return parser
 
 
@@ -297,6 +314,10 @@ def _validate_bench(args: argparse.Namespace) -> None:
             f"--phase net drives the Oscar message-passing runtime only, "
             f"got --substrate {args.substrate}"
         )
+    if not 0.0 <= args.loss < 1.0:
+        raise ConfigError(f"--loss must be in [0, 1), got {args.loss}")
+    if args.detector_rounds < 1:
+        raise ConfigError(f"--detector-rounds must be >= 1, got {args.detector_rounds}")
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -310,6 +331,8 @@ def run_bench(args: argparse.Namespace) -> int:
         return _run_bench_build(args)
     if args.phase == "churn":
         return _run_bench_churn(args)
+    if args.phase == "detector":
+        return _run_bench_detector(args)
     if args.phase == "net":
         return _run_bench_net(args)
     return _run_bench_route(args)
@@ -567,6 +590,81 @@ def _run_bench_churn(args: argparse.Namespace) -> int:
         f"mean_success={mean_success:.3f} "
         f"max_stale={max(s.stale_links for s in history)} "
         f"final_live={history[-1].live}"
+    )
+    return 0
+
+
+def _run_bench_detector(args: argparse.Namespace) -> int:
+    """The detector phase: steady-state churn on probe-derived liveness.
+
+    Identical shape to ``--phase churn`` except the engine reads
+    membership through a :class:`~repro.membership.probe.ProbeView`
+    instead of the omniscient oracle — the per-epoch lines additionally
+    show how far belief trails truth, and the tail line reports the
+    detection-lag distribution and the false-eviction count.
+    """
+    from .churn import make_sessions
+    from .degree import ConstantDegrees
+    from .engine import SteadyStateChurnEngine
+    from .experiments import make_overlay
+    from .membership import DetectorConfig, ProbeView
+    from .workloads import GnutellaLikeDistribution
+
+    probes = args.batch
+    print(
+        f"[bench] phase=detector substrate={args.substrate} nodes={args.nodes} "
+        f"epochs={args.epochs} half_life={args.half_life} loss={args.loss} "
+        f"rounds={args.detector_rounds} probes={probes or 'N'} seed={args.seed}"
+    )
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(args.cap)
+    overlay = make_overlay(args.substrate, seed=args.seed)
+    started = time.perf_counter()
+    overlay.grow_batch(args.nodes, keys, degrees)
+    overlay.rewire_batch()
+    print(f"[bench] build (grow_batch + rewire_batch): {time.perf_counter() - started:.2f}s")
+
+    sessions = make_sessions(args.sessions, args.half_life)
+    membership = ProbeView(
+        overlay.ring,
+        DetectorConfig(loss=args.loss, rounds_per_epoch=args.detector_rounds),
+        seed=args.seed,
+    )
+    engine = SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        sessions,
+        arrival_rate=args.nodes / sessions.mean,
+        repair_every=args.repair_every,
+        n_probes=probes,
+        seed=args.seed,
+        membership=membership,
+    )
+    churn_started = time.perf_counter()
+    for __ in range(args.epochs):
+        t0 = time.perf_counter()
+        stats = engine.run_epoch()
+        elapsed = time.perf_counter() - t0
+        undetected = membership.live_count - overlay.ring.live_count
+        print(
+            f"[bench] epoch {stats.epoch:>3}: {elapsed * 1e3:7.1f} ms  "
+            f"live={stats.live} believed={membership.live_count} "
+            f"(+{undetected} undetected) +{stats.arrivals}/-{stats.departures} "
+            f"evicted={membership.evictions} "
+            f"success={stats.probes.success_rate:.3f}"
+        )
+    churn_elapsed = time.perf_counter() - churn_started
+    history = engine.history
+    mean_success = sum(s.probes.success_rate for s in history) / len(history)
+    lags = sorted(membership.detection_lags)
+    lag_p50 = lags[len(lags) // 2] if lags else 0
+    print(
+        f"[bench] {args.epochs} epochs in {churn_elapsed:.2f}s "
+        f"({args.epochs / max(churn_elapsed, 1e-9):.2f} epochs/s) "
+        f"mean_success={mean_success:.3f} evictions={membership.evictions} "
+        f"false_evictions={membership.false_evictions} "
+        f"lag_p50={lag_p50} lag_max={lags[-1] if lags else 0}"
     )
     return 0
 

@@ -180,15 +180,16 @@ class OscarOverlay:
         <repro.core.substrate.Substrate.leave_batch>`).
 
         All departures are marked dead through
-        :func:`~repro.churn.failures.crash_many`, then the ring is
+        :meth:`OracleView.crash
+        <repro.membership.views.OracleView.crash>`, then the ring is
         re-stabilized once via the bulk
         :func:`~repro.ring.maintenance.repair_all` rebuild — identical
         resulting pointers to per-peer :meth:`leave` calls, one repair
         pass instead of K. Returns the pointer entries fixed.
         """
-        from ..churn.failures import crash_many  # lazy: import cycle
+        from ..membership import OracleView  # lazy: import cycle
 
-        crash_many(self.ring, node_ids)
+        OracleView(self.ring).crash(node_ids)
         if not repair:
             return 0
         self._links_epoch += 1

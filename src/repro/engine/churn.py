@@ -60,6 +60,7 @@ import numpy as np
 from ..churn.sessions import SessionTimes
 from ..degree import DegreeDistribution
 from ..errors import ConfigError
+from ..membership import MembershipView, OracleView
 from ..routing import RouteStats
 from ..rng import split
 from ..workloads import KeyDistribution, QueryWorkload
@@ -157,9 +158,20 @@ class SteadyStateChurnEngine:
             bit-identical pure-Python reference (see module docstring).
         workload: Probe target selection policy (default: uniform over
             live peers).
+        membership: The :class:`~repro.membership.views.MembershipView`
+            the engine reads liveness through. Default
+            :class:`~repro.membership.views.OracleView` — omniscient,
+            zero-lag, byte-for-byte the pre-redesign behavior. Install a
+            :class:`~repro.membership.probe.ProbeView` and the engine
+            instead *believes* its failure detectors: truth-dead peers
+            keep their links counted, dodge compaction and poison
+            routes until a probe quorum evicts them. The view must wrap
+            this substrate's ring.
 
     Attributes:
         history: Every :class:`ChurnEpochStats` recorded so far.
+        membership: The installed view (read detector metrics —
+            ``detection_lags``, ``false_evictions`` — off it).
     """
 
     def __init__(
@@ -174,6 +186,7 @@ class SteadyStateChurnEngine:
         seed: int = 42,
         vectorized: bool = True,
         workload: QueryWorkload | None = None,
+        membership: MembershipView | None = None,
     ) -> None:
         if not (arrival_rate >= 0.0 and np.isfinite(arrival_rate)):
             raise ConfigError(f"arrival_rate must be a finite float >= 0, got {arrival_rate}")
@@ -200,6 +213,14 @@ class SteadyStateChurnEngine:
                 "substrate has no '_next_id' join counter; the churn engine "
                 "cannot identify arrival cohorts"
             )
+        if membership is None:
+            membership = OracleView(substrate.ring)
+        elif membership.ring is not substrate.ring:
+            raise ConfigError(
+                "membership view wraps a different ring than the substrate; "
+                "construct it over substrate.ring"
+            )
+        self.membership = membership
         self.substrate = substrate
         self.keys = keys
         self.degrees = degrees
@@ -251,6 +272,10 @@ class SteadyStateChurnEngine:
           size;
         * ``("steady-sessions", e)`` — one bulk session-length draw for
           the cohort;
+        * ``("steady-detect", e)`` — the membership view's probe and
+          gossip rounds (:class:`~repro.membership.probe.ProbeView`
+          only; derived from the *view's* seed, and the oracle consumes
+          nothing — installing a view never shifts the engine streams);
         * ``("steady-repair", e)`` — rewiring randomness of a periodic
           repair landing on this epoch;
         * ``("steady-probes", e)`` — the probe workload;
@@ -266,6 +291,13 @@ class SteadyStateChurnEngine:
         e = self._epoch
         arrivals = self._arrive(e)
         departures, pointer_fixes = self._depart(e)
+        evicted = self.membership.advance(e)
+        if evicted:
+            # A false eviction ground-truth kills a session holder; its
+            # session must not expire a second time later.
+            gone = np.isin(self._session_ids, np.asarray(evicted, dtype=np.int64))
+            self._session_ids = self._session_ids[~gone]
+            self._departs = self._departs[~gone]
         stale = self._count_stale_links()
         repair_due = (e % self.repair_every) == 0
         compacted = self._repair_links(e) if repair_due else 0
@@ -353,6 +385,7 @@ class SteadyStateChurnEngine:
         gone = np.isin(self._session_ids, expired)
         self._session_ids = self._session_ids[~gone]
         self._departs = self._departs[~gone]
+        self.membership.record_deaths([int(i) for i in expired], e)
         return int(expired.size), fixes
 
     def _longest_lived(self, expired: np.ndarray) -> int:
@@ -375,9 +408,15 @@ class SteadyStateChurnEngine:
         """
         ring = self.substrate.ring
         all_ids = ring.ids_array(live_only=False)
-        live_ids = ring.ids_array(live_only=True)
+        live_ids = self.membership.live_ids()
         dead = np.setdiff1d(all_ids, live_ids, assume_unique=True)
         if dead.size:
+            # Only *believed*-dead peers are compacted: under a probe
+            # view a crashed-but-undetected peer keeps its ring slot
+            # (and keeps poisoning routes) until evicted. The view
+            # drops its per-peer detector state first — ring slots get
+            # recycled, and a recycled slot must not inherit counters.
+            self.membership.forget([int(i) for i in dead])
             self._drop_state(dead)
             ring.remove_many([int(i) for i in dead])
         if ring.live_count >= 2:
@@ -444,21 +483,26 @@ class SteadyStateChurnEngine:
     # ------------------------------------------------------------------
 
     def _count_stale_links(self) -> int:
-        """Live-to-dead long links outstanding right now.
+        """Believed-live-to-believed-dead long links outstanding now.
 
         Long links are the substrate's sampled links (Oscar / Mercury
         ``out_links``) or deterministic fingers (Chord); ring pointers
-        never count (they are re-stabilized every epoch). The vectorized
-        kernel batches liveness membership over one concatenated target
-        array; the reference twin walks a set — identical counts.
+        never count (they are re-stabilized every epoch). Liveness is
+        whatever :attr:`membership` believes: under the oracle this is
+        exactly the old truth-based count, under a probe view a link to
+        a crashed-but-undetected peer is *not* yet stale — the gap
+        between this number and the probe failures in :meth:`_probe` is
+        the detection lag made visible. The vectorized kernel batches
+        membership over one concatenated target array; the reference
+        twin walks a set — identical counts.
         """
         ring = self.substrate.ring
-        live_ids = ring.ids_array(live_only=True)
+        live_ids = self.membership.live_ids()
         state = getattr(self.substrate, "state", None)
         if self.vectorized and state is not None and getattr(ring, "state", None) is state:
             # Struct-of-arrays fast path: every live peer's link row at
             # once, no per-node list materialization.
-            slots = ring.slots_array(live_only=True)
+            slots = self.membership.live_slots()
             width = state.link_width
             if width == 0 or slots.size == 0:
                 return 0

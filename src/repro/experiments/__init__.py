@@ -22,6 +22,7 @@ from typing import Callable
 # Importing the experiment modules populates the spec registry.
 from . import (  # noqa: F401
     ablations,
+    detector_churn,
     ext_keydist,
     ext_latency,
     ext_mercury,
@@ -30,6 +31,7 @@ from . import (  # noqa: F401
     fig1b,
     fig1c,
     fig2,
+    net_churn,
     net_smoke,
     scale_build,
     scenario,

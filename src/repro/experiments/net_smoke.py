@@ -12,8 +12,9 @@ oracle-equivalence contract in ``docs/net.md``:
   builds from the same seed — every link list, in-degree and stats
   counter compared, any mismatch counted in ``lockstep_mismatches``;
 * **free**: peers joining concurrently under adversarial (seeded
-  random) delivery must still respect every in-cap and route all
-  probes to the responsible peer.
+  random) delivery must still respect every in-cap, route all probes
+  to the responsible peer, and end with every peer's directory in
+  agreement with the seed's membership view.
 
 Scalars report both, so a single ``repro run net-smoke`` is the
 runtime's end-to-end health check (the CI ``net-smoke`` job runs the
@@ -139,6 +140,7 @@ def run(
             "free_route_success": free_success,
             "free_mean_hops": free_hops,
             "free_cap_violations": float(free_summary.cap_violations),
+            "free_directory_mismatches": float(free_summary.directory_mismatches),
             "free_messages": float(free_summary.messages),
             "free_seconds": free_seconds,
         },

@@ -1,0 +1,109 @@
+"""Detector/gossip tuning knobs, validated once at construction.
+
+:class:`DetectorConfig` is the single configuration surface shared by
+the simulation-side :class:`~repro.membership.probe.ProbeView` and the
+:mod:`repro.net` runtime's per-peer failure detectors — one frozen
+dataclass, validated eagerly with :class:`~repro.errors.ConfigError`
+(the CLI-boundary convention), so a bad knob fails at construction
+rather than twenty epochs into a run.
+
+Two groups of knobs:
+
+* **round-clocked** (the sim): ``rounds_per_epoch`` probe rounds per
+  churn epoch, ``failure_threshold`` consecutive failures before
+  suspicion, ``quorum`` distinct suspecting monitors before a dead
+  report starts, ``n_monitors`` clockwise successors probing each
+  peer, ``loss`` per-probe loss probability, ``gossip_fanout`` /
+  ``staleness_rounds`` for the epidemic spread;
+* **wall-clocked** (the net runtime): ``ping_interval_s`` between probe
+  rounds and ``timeout_s`` for a correlated PONG. The boundary is
+  *closed on the alive side*: a PONG whose round trip equals
+  ``timeout_s`` exactly still counts as on time, and a poll at exactly
+  the deadline does **not** count the probe as failed — only strictly
+  later events do (see :class:`~repro.membership.detector.FailureDetector`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["DetectorConfig"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Failure-detector + gossip-membership knobs (one frozen bundle).
+
+    Attributes:
+        failure_threshold: Consecutive probe failures (``K``) before a
+            monitor suspects its target — the SNIPPETS stage-4
+            ``consecutive_ping_failures >= K`` rule.
+        quorum: Distinct suspecting monitors required before a dead
+            report is issued (1 = any single monitor evicts).
+        n_monitors: Clockwise believed-live successors probing each
+            peer. Effective panel size is capped at ``population - 1``.
+        loss: Per-probe loss probability in ``[0, 1)`` — one draw
+            covers the PING/PONG round trip.
+        rounds_per_epoch: Probe rounds the sim detector runs per churn
+            epoch (aggressiveness: more rounds, faster detection).
+        gossip_fanout: Peers each informed member pushes a dead report
+            to per gossip round.
+        staleness_rounds: Hard bound on a report's spread age; ``0``
+            derives ``ceil(log_{1+fanout}(n)) + 3`` from the population
+            (the epidemic's with-high-probability completion time).
+        ping_interval_s: Net runtime: seconds between probe rounds.
+        timeout_s: Net runtime: correlated-PONG deadline (closed
+            boundary — arrival at exactly ``timeout_s`` is on time).
+    """
+
+    failure_threshold: int = 3
+    quorum: int = 2
+    n_monitors: int = 3
+    loss: float = 0.0
+    rounds_per_epoch: int = 2
+    gossip_fanout: int = 2
+    staleness_rounds: int = 0
+    ping_interval_s: float = 0.05
+    timeout_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.n_monitors < 1:
+            raise ConfigError(f"n_monitors must be >= 1, got {self.n_monitors}")
+        if not 1 <= self.quorum <= self.n_monitors:
+            raise ConfigError(
+                f"quorum must be in [1, n_monitors={self.n_monitors}], got {self.quorum}"
+            )
+        if not (0.0 <= self.loss < 1.0):
+            raise ConfigError(f"loss must be in [0, 1), got {self.loss}")
+        if self.rounds_per_epoch < 1:
+            raise ConfigError(
+                f"rounds_per_epoch must be >= 1, got {self.rounds_per_epoch}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigError(f"gossip_fanout must be >= 1, got {self.gossip_fanout}")
+        if self.staleness_rounds < 0:
+            raise ConfigError(
+                f"staleness_rounds must be >= 0 (0 = derive), got {self.staleness_rounds}"
+            )
+        if not (self.ping_interval_s > 0.0):
+            raise ConfigError(
+                f"ping_interval_s must be > 0, got {self.ping_interval_s}"
+            )
+        if not (self.timeout_s > 0.0):
+            raise ConfigError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    def staleness_bound(self, population: int) -> int:
+        """The forced-completion age for a dead report over ``population``
+        believed-live peers: ``staleness_rounds`` when set, else the
+        epidemic's whp completion time ``ceil(log_{1+fanout}(n)) + 3``."""
+        if self.staleness_rounds:
+            return self.staleness_rounds
+        n = max(2, int(population))
+        return math.ceil(math.log(n) / math.log(1 + self.gossip_fanout)) + 3

@@ -1,0 +1,171 @@
+"""The per-monitor failure detector as one sans-I/O state machine.
+
+:class:`FailureDetector` is the monitor side of the SNIPPETS stage-4
+liveness design: it keeps one probe schedule per watched target —
+correlated ``Ping``/``Pong`` sequence numbers, a consecutive-failure
+counter, and a ``consecutive_failures >= K`` suspicion rule — and, like
+every machine in :mod:`repro.protocol`, never touches a socket or a
+clock. The driver supplies ``now`` (``loop.time()`` on the asyncio
+runtime, the synthetic round clock in the sim) and interprets the
+returned effects:
+
+* ``Send(Ping)`` — probe a target;
+* ``StartTimer("fd-poll", delay=ping_interval_s)`` — re-arm the probe
+  schedule (the driver calls :meth:`poll` when it fires);
+* ``SuspectPeer(target, failures)`` — the threshold was crossed; the
+  driver forwards the suspicion to its membership authority.
+
+Timing contract (the boundary the tests pin): a probe sent at ``t`` is
+**overdue** only strictly after ``t + timeout_s`` — a :meth:`poll` at
+exactly the deadline leaves it pending, and a correlated ``Pong``
+arriving at exactly the deadline (round trip ``== timeout_s``) counts
+**on time** and resets the failure counter. The alive side owns the
+closed boundary. A correlated ``Pong`` that arrives *later* than the
+deadline still clears the pending probe (the answer is proof of life
+for correlation purposes) but counts one failure — the probe window it
+was supposed to satisfy had already expired.
+
+The same machine runs at every scale: :class:`~repro.net.node.NetNode`
+drives one per peer over real transports, and the sim's scalar
+detector bank (:mod:`repro.membership.probe`) drives one per monitor
+against synthesized probe outcomes — the twin the vectorized kernel is
+pinned bit-identical to.
+"""
+
+from __future__ import annotations
+
+from ..protocol.effects import Effect, Send, StartTimer, SuspectPeer
+from ..protocol.messages import Ping, Pong
+from ..types import NodeId
+from .config import DetectorConfig
+
+__all__ = ["FailureDetector", "POLL_TIMER"]
+
+POLL_TIMER = "fd-poll"
+"""The probe-schedule timer name drivers route back to :meth:`poll`."""
+
+
+class _Watch:
+    """Per-target probe state (one entry in the monitor's schedule)."""
+
+    __slots__ = ("failures", "pending_seq", "sent_at", "suspected")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.pending_seq: int | None = None
+        self.sent_at = 0.0
+        self.suspected = False
+
+
+class FailureDetector:
+    """One monitor's probe schedules over its watched targets.
+
+    Args:
+        me: The monitoring peer's id (stamped on nothing — kept for
+            debugging and symmetry with the other machines).
+        config: Detector knobs; ``timeout_s`` / ``ping_interval_s``
+            are interpreted in the driver's ``now`` unit.
+    """
+
+    __slots__ = ("me", "config", "_watches", "_seq")
+
+    def __init__(self, me: NodeId, config: DetectorConfig | None = None) -> None:
+        self.me = int(me)
+        self.config = config or DetectorConfig()
+        self._watches: dict[int, _Watch] = {}
+        self._seq = 0
+
+    # -- schedule management -------------------------------------------
+
+    @property
+    def targets(self) -> list[int]:
+        """Watched target ids, ascending."""
+        return sorted(self._watches)
+
+    def watch(self, target: NodeId) -> None:
+        """Start probing ``target`` (fresh counter — new-peer grace)."""
+        target = int(target)
+        if target != self.me:
+            self._watches.setdefault(target, _Watch())
+
+    def unwatch(self, target: NodeId) -> None:
+        """Stop probing ``target`` and drop its state (idempotent)."""
+        self._watches.pop(int(target), None)
+
+    def failures_of(self, target: NodeId) -> int:
+        """Current consecutive-failure count for ``target`` (0 if not
+        watched)."""
+        watch = self._watches.get(int(target))
+        return watch.failures if watch is not None else 0
+
+    def pending_seq_of(self, target: NodeId) -> int | None:
+        """The in-flight probe's sequence number for ``target`` (None
+        when no probe is pending) — what a well-formed ``Pong`` must
+        echo to correlate."""
+        watch = self._watches.get(int(target))
+        return watch.pending_seq if watch is not None else None
+
+    def clear_pending(self) -> None:
+        """Driver hook: forget every in-flight probe without counting
+        it — used when the *monitor itself* goes down (an unconscious
+        monitor never times anything out), so its counters freeze
+        instead of accruing phantom failures."""
+        for watch in self._watches.values():
+            watch.pending_seq = None
+
+    @property
+    def suspected(self) -> list[int]:
+        """Targets currently past the suspicion threshold, ascending."""
+        return sorted(t for t, w in self._watches.items() if w.suspected)
+
+    # -- the probe schedule --------------------------------------------
+
+    def poll(self, now: float) -> list[Effect]:
+        """One probe round: expire overdue probes, ping idle targets.
+
+        Overdue means strictly past ``sent_at + timeout_s``; each
+        expiry adds one consecutive failure, and crossing
+        ``failure_threshold`` emits ``SuspectPeer`` exactly once per
+        suspicion episode (a later on-time ``Pong`` clears the episode
+        and re-arms the edge). Always re-arms the ``fd-poll`` timer.
+        """
+        cfg = self.config
+        effects: list[Effect] = []
+        for target in sorted(self._watches):
+            watch = self._watches[target]
+            if watch.pending_seq is not None and now - watch.sent_at > cfg.timeout_s:
+                watch.pending_seq = None
+                watch.failures += 1
+                if watch.failures >= cfg.failure_threshold and not watch.suspected:
+                    watch.suspected = True
+                    effects.append(SuspectPeer(peer=target, failures=watch.failures))
+            if watch.pending_seq is None:
+                self._seq += 1
+                watch.pending_seq = self._seq
+                watch.sent_at = now
+                effects.append(Send(to=target, message=Ping(seq=self._seq)))
+        effects.append(StartTimer(name=POLL_TIMER, delay=cfg.ping_interval_s))
+        return effects
+
+    def on_pong(self, src: NodeId, pong: Pong, now: float) -> list[Effect]:
+        """A ``Pong`` arrived from ``src``; resolve the pending probe.
+
+        Correlated and within the deadline (round trip ``<= timeout_s``
+        — closed boundary) resets the failure counter and clears any
+        suspicion. Correlated but late clears the pending probe and
+        counts one failure (emitting ``SuspectPeer`` if that crosses
+        the threshold). Uncorrelated pongs are ignored.
+        """
+        watch = self._watches.get(int(src))
+        if watch is None or watch.pending_seq != pong.seq:
+            return []
+        watch.pending_seq = None
+        if now - watch.sent_at <= self.config.timeout_s:
+            watch.failures = 0
+            watch.suspected = False
+            return []
+        watch.failures += 1
+        if watch.failures >= self.config.failure_threshold and not watch.suspected:
+            watch.suspected = True
+            return [SuspectPeer(peer=int(src), failures=watch.failures)]
+        return []

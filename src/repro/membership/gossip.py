@@ -1,0 +1,123 @@
+"""Epidemic dissemination of dead reports with a bounded staleness age.
+
+Once a quorum of monitors agrees a peer is dead, the report does not
+teleport into every membership view — it *spreads*: each round, every
+informed peer pushes the report to ``gossip_fanout`` uniformly drawn
+peers, the classic push epidemic whose informed set grows by roughly
+``(1 + fanout)`` per round and covers ``n`` peers in
+``O(log_{1+fanout} n)`` rounds with high probability. A report is
+**complete** — and only then acted on by repair/compaction — when its
+informed set covers the believed-live population, or when its age
+reaches the staleness bound (:meth:`DetectorConfig.staleness_bound
+<repro.membership.config.DetectorConfig.staleness_bound>`), whichever
+comes first. The bound is the contract that keeps membership knowledge
+*boundedly* stale: no report older than ``staleness_bound(n)`` rounds
+can still be spreading.
+
+Determinism: :class:`GossipMembership` holds no generator of its own —
+the caller passes the round's ``rng`` (the sim derives it from the
+``("steady-detect", epoch)`` stream), reports advance in ascending
+target order, and each report consumes exactly one
+``integers(0, n, (informed, fanout))`` draw per round, so two runs
+with equal state consume equal streams. Both detector execution paths
+(scalar bank and vectorized kernel) share this one implementation —
+gossip is set arithmetic, not a kernel worth twinning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import NodeId
+from .config import DetectorConfig
+
+__all__ = ["GossipMembership"]
+
+
+class _Report:
+    """One spreading dead report."""
+
+    __slots__ = ("target", "origin", "informed", "age")
+
+    def __init__(self, target: int, origin: int) -> None:
+        self.target = target
+        self.origin = origin
+        self.informed: set[int] = {origin}
+        self.age = 0
+
+
+class GossipMembership:
+    """The spreading state of every in-flight dead report.
+
+    Attributes:
+        completed: Targets whose reports already finished (never
+            restarted — a dead peer is reported dead exactly once).
+    """
+
+    __slots__ = ("config", "_reports", "completed")
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config or DetectorConfig()
+        self._reports: dict[int, _Report] = {}
+        self.completed: set[int] = set()
+
+    @property
+    def active(self) -> list[int]:
+        """Targets with an in-flight report, ascending."""
+        return sorted(self._reports)
+
+    def informed_count(self, target: NodeId) -> int:
+        """Size of the informed set for ``target``'s report (0 if no
+        report is in flight)."""
+        report = self._reports.get(int(target))
+        return len(report.informed) if report is not None else 0
+
+    def start(self, target: NodeId, origin: NodeId) -> bool:
+        """Begin spreading "``target`` is dead" from ``origin``.
+
+        Returns whether a new report actually started (duplicates of
+        in-flight or completed reports are ignored).
+        """
+        target = int(target)
+        if target in self._reports or target in self.completed:
+            return False
+        self._reports[target] = _Report(target, int(origin))
+        return True
+
+    def cancel(self, target: NodeId) -> None:
+        """Abort an in-flight report (the target was revived, or is
+        being forgotten entirely). Completed reports are untouched —
+        use :attr:`completed` directly for that."""
+        self._reports.pop(int(target), None)
+
+    def spread(self, live_ids: np.ndarray, rng: np.random.Generator) -> list[int]:
+        """Advance every in-flight report one push round.
+
+        ``live_ids`` is the believed-live population the epidemic runs
+        over (push targets are drawn uniformly from it — including,
+        wastefully but faithfully, the dying peer itself until its
+        report completes). Returns the targets whose reports completed
+        this round, ascending — the eviction wave the membership view
+        applies.
+        """
+        n = int(live_ids.size)
+        fanout = self.config.gossip_fanout
+        done: list[int] = []
+        for target in sorted(self._reports):
+            report = self._reports[target]
+            report.age += 1
+            if n > 0:
+                members = sorted(report.informed)
+                draws = rng.integers(0, n, size=(len(members), fanout))
+                report.informed.update(int(x) for x in live_ids[draws.ravel()])
+            if n == 0:
+                covered = True
+            else:
+                informed_arr = np.fromiter(report.informed, dtype=np.int64, count=len(report.informed))
+                covered = bool(np.isin(live_ids, informed_arr).all())
+            if covered or report.age >= self.config.staleness_bound(max(n, 2)):
+                done.append(target)
+        for target in done:
+            del self._reports[target]
+            self.completed.add(target)
+        return done

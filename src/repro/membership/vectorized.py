@@ -1,0 +1,152 @@
+"""The numpy twin of the scalar detector bank — one round, no loops.
+
+The sim probes every believed-live peer every round: at 50k+ peers the
+scalar machines would burn hundreds of thousands of Python dict
+operations per round, so the hot path runs over struct-of-arrays
+state instead — persistent ``(capacity, n_monitors)`` failure-count /
+pending / monitor-id matrices indexed by the ring's physical slots
+(the same slot space as :class:`~repro.core.soa.SubstrateState`), one
+boolean-mask update per round.
+
+Pinned semantics (the hypothesis differential in
+``tests/test_membership.py`` holds the two banks bit-identical on
+every observable):
+
+* the probe **panel** is rank-keyed: target at believed-ring row ``i``
+  is watched by the believed peers at rows ``i+1 .. i+J`` (clockwise
+  successors), and a pair's failure counter resets whenever the
+  monitor occupying that rank changes — a panel reshuffle restarts the
+  probe schedule, exactly like the scalar bank's unwatch/rewatch;
+* failures increment one round late (a probe sent in round ``r`` times
+  out at the start of round ``r+1``), mirroring the scalar machine's
+  poll-then-answer cadence;
+* a truth-dead monitor probes nothing, counts nothing and votes
+  nothing (dead peers don't run detectors), but keeps *being* probed
+  until its own eviction completes;
+* a vote is a pair with ``failures >= K`` after this round's on-time
+  answers reset their counters — quorum is counted over distinct
+  monitors, which rank-keying guarantees structurally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import DetectorConfig
+
+__all__ = ["VectorizedDetectorBank"]
+
+
+class VectorizedDetectorBank:
+    """Slot-indexed failure-count matrices advancing one round at a time."""
+
+    def __init__(self, config: DetectorConfig) -> None:
+        self.config = config
+        j = config.n_monitors
+        self._counts = np.zeros((0, j), dtype=np.int64)
+        self._pending = np.zeros((0, j), dtype=bool)
+        self._monitors = np.full((0, j), -1, dtype=np.int64)
+
+    def _ensure_capacity(self, capacity: int) -> None:
+        have = self._counts.shape[0]
+        if capacity <= have:
+            return
+        j = self.config.n_monitors
+        grow = capacity - have
+        self._counts = np.concatenate([self._counts, np.zeros((grow, j), dtype=np.int64)])
+        self._pending = np.concatenate([self._pending, np.zeros((grow, j), dtype=bool)])
+        self._monitors = np.concatenate(
+            [self._monitors, np.full((grow, j), -1, dtype=np.int64)]
+        )
+
+    def forget(self, node_ids, slots: np.ndarray) -> None:
+        """Reset every pair state stored at ``slots`` (pre-compaction,
+        so a recycled slot starts with a clean schedule). ``node_ids``
+        is the scalar twin's half of the shared signature — slots key
+        this bank."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0 or self._counts.shape[0] == 0:
+            return
+        slots = slots[slots < self._counts.shape[0]]
+        self._counts[slots] = 0
+        self._pending[slots] = False
+        self._monitors[slots] = -1
+
+    def round(
+        self,
+        believed_ids: np.ndarray,
+        believed_slots: np.ndarray,
+        alive: np.ndarray,
+        u: np.ndarray,
+    ) -> list[tuple[int, int]]:
+        """Advance one probe round over the believed-live population.
+
+        Args:
+            believed_ids: Believed-live ids, ring order (``T``).
+            believed_slots: Their physical slots, aligned.
+            alive: The full ground-truth liveness column (indexed by
+                slot) — who actually answers probes.
+            u: The round's ``(T, J_eff)`` uniform matrix (shared with
+                the scalar bank — one draw, two consumers).
+
+        Returns ``(target_id, origin_monitor_id)`` pairs that reached
+        the suspicion quorum this round, in believed-ring order, origin
+        being the lowest-rank voting monitor.
+        """
+        cfg = self.config
+        t = int(believed_ids.size)
+        j_eff = int(u.shape[1]) if u.ndim == 2 else 0
+        if t == 0 or j_eff == 0:
+            return []
+        max_slot = int(believed_slots.max()) + 1
+        self._ensure_capacity(max_slot)
+        b = believed_ids.astype(np.int64, copy=False)
+        s = believed_slots.astype(np.int64, copy=False)
+        # Rank-keyed panels: rows i+1..i+J_eff (mod T) monitor row i.
+        offsets = np.arange(1, j_eff + 1, dtype=np.int64)
+        panel_rows = (np.arange(t, dtype=np.int64)[:, None] + offsets[None, :]) % t
+        monitor_ids = b[panel_rows]
+        monitor_slots = s[panel_rows]
+
+        snap = self._counts[s]
+        counts = snap[:, :j_eff]
+        pend_snap = self._pending[s]
+        pending = pend_snap[:, :j_eff]
+        mon_snap = self._monitors[s]
+        prev_monitors = mon_snap[:, :j_eff]
+
+        changed = prev_monitors != monitor_ids
+        counts[changed] = 0
+        pending[changed] = False
+
+        monitor_alive = alive[monitor_slots]
+        target_alive = alive[s][:, None]
+        # Last round's unanswered probes time out now — but only where
+        # the monitor still runs (dead peers poll nothing).
+        counts += (pending & monitor_alive).astype(np.int64)
+        ok = monitor_alive & target_alive & (u >= cfg.loss)
+        counts[ok] = 0
+        votes = monitor_alive & (counts >= cfg.failure_threshold)
+        fail = monitor_alive & ~ok
+
+        reports: list[tuple[int, int]] = []
+        tallies = votes.sum(axis=1)
+        for i in np.nonzero(tallies >= cfg.quorum)[0]:
+            j0 = int(np.nonzero(votes[int(i)])[0][0])
+            reports.append((int(b[int(i)]), int(monitor_ids[int(i), j0])))
+
+        snap[:, :j_eff] = counts
+        snap[:, j_eff:] = 0
+        pend_snap[:, :j_eff] = fail
+        pend_snap[:, j_eff:] = False
+        mon_snap[:, :j_eff] = monitor_ids
+        mon_snap[:, j_eff:] = -1
+        self._counts[s] = snap
+        self._pending[s] = pend_snap
+        self._monitors[s] = mon_snap
+        return reports
+
+    def failures_matrix(self, believed_slots: np.ndarray, j_eff: int) -> np.ndarray:
+        """The current failure counters for the given slots (test hook
+        for the scalar differential)."""
+        return self._counts[np.asarray(believed_slots, dtype=np.int64)][:, :j_eff].copy()

@@ -5,6 +5,9 @@ omniscient in-process rounds, this package runs it as an actual
 distributed system: one asyncio task per peer, each driving the same
 :mod:`repro.protocol` state machines over a pluggable transport —
 
+* :mod:`~repro.net.config` — :class:`~repro.net.config.NetConfig`, the
+  frozen, eagerly-validated configuration surface (transport, delivery,
+  lockstep, failure-detector knobs, probe-plane loss);
 * :mod:`~repro.net.codec` — length-prefixed JSON frames (msgpack when
   installed, automatic JSON fallback);
 * :mod:`~repro.net.transport` — the in-memory queue transport with
@@ -16,7 +19,12 @@ distributed system: one asyncio task per peer, each driving the same
 * :mod:`~repro.net.harness` — :class:`~repro.net.harness.NetHarness`:
   boots a seed plus N peers, runs join/rewire to quiescence, extracts
   the final topology, and validates it against the deterministic
-  engines (the oracle-equivalence contract of ``docs/net.md``).
+  engines (the oracle-equivalence contract of ``docs/net.md``). With
+  :attr:`NetConfig.detector` set it also runs the probe-derived
+  membership pipeline: ``kill()`` crashes peers silently and the
+  per-peer failure detectors turn probe timeouts into ``Suspect``
+  reports, quorum evictions and ``Dead`` broadcasts (see
+  ``docs/membership.md``).
 
 Determinism: the runtime never reads wall clocks or OS entropy — every
 draw comes from :func:`repro.rng.split` streams and the in-memory
@@ -27,6 +35,7 @@ rule only for the *TCP* event loop's internals — see
 """
 
 from .codec import Codec, get_codec, have_msgpack
+from .config import NetConfig
 from .harness import SEED_ID, NetHarness, TopologySummary
 from .node import NetNode
 from .transport import MemoryTransport, TcpEndpoint
@@ -34,6 +43,7 @@ from .transport import MemoryTransport, TcpEndpoint
 __all__ = [
     "Codec",
     "MemoryTransport",
+    "NetConfig",
     "NetHarness",
     "NetNode",
     "SEED_ID",

@@ -23,13 +23,27 @@ quiescence. Two build disciplines:
   :meth:`rewire <repro.engine.construct.BatchConstructionEngine.rewire>`
   on the same seed — the oracle-equivalence contract of ``docs/net.md``.
 
+A third discipline rides on top of free mode when
+:attr:`NetConfig.detector` is set: the harness is the **membership
+authority**. ``start_detector()`` arms per-peer probe schedules; peers
+whose probes time out send ``Suspect`` reports to the seed, which
+tallies distinct reporters and — at quorum — evicts the target,
+rebuilds its directory and broadcasts ``Dead`` so every live peer
+rebuilds its own. ``kill()`` crashes peers silently (they detach from
+the transport, so everyone else must *detect* the death), and
+``await_evictions()`` / ``membership_agreement()`` observe the
+detection pipeline end to end.
+
 The facade is synchronous (one private :class:`asyncio.Runner` carries
 the loop across calls) so the test suite needs no asyncio plugin::
 
-    harness = NetHarness(OscarConfig(), seed=7, lockstep=True)
+    harness = NetHarness(NetConfig(lockstep=True, seed=7))
     stats = harness.build(500, UniformKeys(), ConstantDegrees(4))
     success, hops = harness.route_check(200)
     harness.close()
+
+(The legacy keyword spelling ``NetHarness(OscarConfig(), seed=7,
+lockstep=True)`` still works — it assembles the same ``NetConfig``.)
 """
 
 from __future__ import annotations
@@ -40,30 +54,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import OscarConfig, SamplingMode
+from ..config import OscarConfig
 from ..core.construction import LinkAcquisitionStats
 from ..degree import DegreeDistribution, assign_caps
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
 from ..protocol.directory import Directory
 from ..protocol.messages import (
     AcquireReport,
     AcquireTicket,
     BeginAcquire,
+    Dead,
     DirectoryUpdate,
     EstimateLevel,
     EstimateReport,
     Hello,
     JoinDone,
+    Kill,
     Message,
     ResetLinks,
     Rewire,
     RouteDone,
     RouteProbe,
+    StartDetector,
+    Suspect,
     Welcome,
 )
 from ..rng import split
 from ..workloads import KeyDistribution
 from .codec import get_codec
+from .config import NetConfig
 from .node import NetNode
 from .transport import MemoryTransport, TcpEndpoint
 
@@ -86,6 +105,7 @@ class TopologySummary:
     mean_hops: float
     messages: int
     generations: int
+    directory_mismatches: int = 0
 
     @property
     def route_success(self) -> float:
@@ -99,21 +119,28 @@ class NetHarness:
     """Seed-side driver: boot peers, build, rewire, probe, extract.
 
     Args:
-        config: Overlay parameters shared by every peer.
-        seed: Root seed — population draws, free-mode peer streams, the
-            ``random`` delivery shuffle and route probes all derive from
-            it by label.
-        lockstep: Coordinator-dealt oracle mode (memory transport,
-            ``UNIFORM`` sampling only).
-        delivery: Memory-transport delivery order override (defaults to
-            ``"lockstep"`` when ``lockstep`` else ``"fifo"``).
-        transport: ``"memory"`` or ``"tcp"``.
-        codec: Wire codec name for TCP (``"json"`` / ``"msgpack"``).
+        config: A :class:`~repro.net.config.NetConfig` carrying every
+            knob (the redesigned surface), or — legacy spelling — the
+            bare :class:`~repro.config.OscarConfig`, with the remaining
+            knobs as keywords. Both forms are validated by
+            ``NetConfig`` with :class:`~repro.errors.ConfigError`.
+        seed / lockstep / delivery / transport / codec: Legacy keyword
+            knobs; forbidden when ``config`` is already a ``NetConfig``
+            (one source of truth — see :class:`NetConfig` for their
+            meaning).
     """
+
+    _KW_DEFAULTS = {
+        "seed": 0,
+        "lockstep": False,
+        "delivery": None,
+        "transport": "memory",
+        "codec": "json",
+    }
 
     def __init__(
         self,
-        config: OscarConfig | None = None,
+        config: NetConfig | OscarConfig | None = None,
         *,
         seed: int = 0,
         lockstep: bool = False,
@@ -121,24 +148,38 @@ class NetHarness:
         transport: str = "memory",
         codec: str = "json",
     ) -> None:
-        self.config = config or OscarConfig()
-        self.seed = int(seed)
-        self.lockstep = bool(lockstep)
-        if transport not in ("memory", "tcp"):
-            raise SimulationError(f"unknown transport {transport!r}")
-        if self.lockstep:
-            if transport != "memory":
-                raise SimulationError("lockstep oracle mode requires the memory transport")
-            if self.config.sampling_mode is not SamplingMode.UNIFORM:
-                raise SimulationError("lockstep oracle mode requires UNIFORM sampling")
-            if delivery not in (None, "lockstep"):
-                raise SimulationError(
-                    "lockstep oracle mode fixes the delivery order; "
-                    f"got delivery={delivery!r}"
+        if isinstance(config, NetConfig):
+            passed = {
+                "seed": seed,
+                "lockstep": lockstep,
+                "delivery": delivery,
+                "transport": transport,
+                "codec": codec,
+            }
+            overrides = [k for k, v in passed.items() if v != self._KW_DEFAULTS[k]]
+            if overrides:
+                raise ConfigError(
+                    "knobs must live inside the NetConfig, not ride along as "
+                    f"keywords; got both a NetConfig and {overrides}"
                 )
-        self.transport_kind = transport
-        self.delivery = delivery or ("lockstep" if self.lockstep else "fifo")
-        self.codec_name = codec
+            net_config = config
+        else:
+            net_config = NetConfig(
+                overlay=config or OscarConfig(),
+                seed=int(seed),
+                lockstep=bool(lockstep),
+                delivery=delivery,
+                transport=transport,
+                codec=codec,
+            )
+        self.net_config = net_config
+        self.config = net_config.overlay
+        self.seed = net_config.seed
+        self.lockstep = net_config.lockstep
+        self.transport_kind = net_config.transport
+        self.delivery = net_config.resolved_delivery
+        self.codec_name = net_config.codec
+        self.detector_config = net_config.detector
         self.nodes: list[NetNode] = []
         self.directory: Directory | None = None
         self.stats = LinkAcquisitionStats()
@@ -150,6 +191,11 @@ class NetHarness:
         self._probe_id = 0
         self._routes = (0, 0, 0)  # attempted, delivered, total hops
         self._closed = False
+        # membership-authority state (used only when detector is set)
+        self._detector_on = False
+        self._killed: set[int] = set()
+        self._evicted: set[int] = set()
+        self._suspects: dict[int, set[int]] = {}
 
     # -- sync facade ---------------------------------------------------
 
@@ -165,6 +211,7 @@ class NetHarness:
         keys: KeyDistribution,
         degrees: DegreeDistribution,
         paired_caps: bool = True,
+        kill_mid_join: tuple[int, ...] = (),
     ) -> LinkAcquisitionStats:
         """Draw a population and build the overlay to quiescence.
 
@@ -173,14 +220,33 @@ class NetHarness:
         does (caps first, then positions with in-batch collision
         rejection) — in lockstep mode the same generator then feeds the
         coordinator, completing the engine's stream layout.
+
+        ``kill_mid_join`` crashes those peer ids right after the
+        directory broadcast, i.e. *while everyone is still joining*:
+        negotiations with the victims run into probe silence and are
+        resolved by the (detector-armed) reply timers, so the build
+        still quiesces. Requires ``NetConfig.detector`` — without
+        timers a request to a dead candidate would hang forever.
         """
         if n < 2:
             raise SimulationError("a network needs at least 2 peers")
+        kill_mid_join = tuple(int(i) for i in kill_mid_join)
+        if kill_mid_join:
+            if self.detector_config is None:
+                raise ConfigError(
+                    "kill_mid_join needs NetConfig.detector set: dead-peer "
+                    "negotiations only resolve via the reply timers"
+                )
+            bad = [i for i in kill_mid_join if not 0 <= i < n]
+            if bad:
+                raise ConfigError(f"kill_mid_join ids out of range [0, {n}): {bad}")
+            if len(set(kill_mid_join)) >= n - 1:
+                raise ConfigError("kill_mid_join must leave at least 2 peers alive")
         rng = split(self.seed, "join")
         caps_in, caps_out = assign_caps(degrees, rng, n, paired=paired_caps)
         positions = self._draw_positions(rng, keys, n)
         self.stats = self._runner.run(
-            self._build_async(n, positions, caps_in, caps_out, rng)
+            self._build_async(n, positions, caps_in, caps_out, rng, kill_mid_join)
         )
         return self.stats
 
@@ -197,16 +263,30 @@ class NetHarness:
         self.stats = self._runner.run(self._rewire_async())
         return self.stats
 
-    def route_check(self, n_probes: int, budget: int | None = None) -> tuple[float, float]:
+    def route_check(
+        self,
+        n_probes: int,
+        budget: int | None = None,
+        timeout_s: float | None = None,
+    ) -> tuple[float, float]:
         """Probe ``n_probes`` random keys from random peers via real
         ``RouteProbe`` hops; returns ``(success rate, mean hops)``.
 
         A probe only counts as delivered when it terminates ``ok`` at
-        exactly the peer :meth:`Directory.successor_of_key` names.
+        exactly the peer :meth:`Directory.successor_of_key` names —
+        judged against the harness's *current* directory, so after an
+        eviction the responsibility of the dead peer's arc has moved to
+        its successor. ``timeout_s`` bounds each probe's round trip
+        (defaulting to 2 s once the detector is running — a probe that
+        lands on a dead-but-undetected peer is silently dropped and
+        must not hang the check); timed-out probes count attempted but
+        undelivered.
         """
         if self.directory is None:
             raise SimulationError("build() the network before routing on it")
-        return self._runner.run(self._route_async(n_probes, budget))
+        if timeout_s is None and self._detector_on:
+            timeout_s = 2.0
+        return self._runner.run(self._route_async(n_probes, budget, timeout_s))
 
     def out_links(self) -> dict[int, list[int]]:
         """``node id -> out-link ids`` in placement order."""
@@ -217,22 +297,38 @@ class NetHarness:
         return {node.node_id: node.in_degree for node in self.nodes}
 
     def summary(self) -> TopologySummary:
-        """Snapshot the run (topology + probe + transport counters)."""
+        """Snapshot the run (topology + probe + transport counters).
+
+        Topology counters cover the *live* population (killed and
+        evicted peers' links no longer exist); without kills that is
+        every peer, exactly as before the membership redesign.
+        """
         attempted, delivered, hops = self._routes
         transport = self._transport
+        live = [
+            node
+            for node in self.nodes
+            if node.node_id not in self._killed and node.node_id not in self._evicted
+        ]
         return TopologySummary(
-            n=len(self.nodes),
-            links=sum(len(node.out_links) for node in self.nodes),
+            n=len(live),
+            links=sum(len(node.out_links) for node in live),
             gave_up=self.stats.slots_given_up,
-            cap_violations=sum(
-                1 for node in self.nodes if node.in_degree > node.cap_in
-            ),
+            cap_violations=sum(1 for node in live if node.in_degree > node.cap_in),
             routes_attempted=attempted,
             routes_delivered=delivered,
             mean_hops=hops / delivered if delivered else 0.0,
             messages=transport.messages_delivered if transport else 0,
             generations=transport.generations if transport else 0,
+            directory_mismatches=self.membership_agreement(),
         )
+
+    @property
+    def probes_dropped(self) -> int:
+        """Ping/Pong frames the lossy probe plane has eaten so far (0
+        without a memory transport or with ``NetConfig.loss == 0``)."""
+        transport = self._transport
+        return transport.probes_dropped if transport is not None else 0
 
     def close(self) -> None:
         """Tear down tasks, transports and the private event loop."""
@@ -274,10 +370,13 @@ class NetHarness:
         caps_in: np.ndarray,
         caps_out: np.ndarray,
         rng: np.random.Generator,
+        kill_mid_join: tuple[int, ...] = (),
     ) -> LinkAcquisitionStats:
         if self.transport_kind == "tcp":
             return await self._build_tcp(n, positions, caps_in, caps_out)
-        transport = MemoryTransport(mode=self.delivery, seed=self.seed)
+        transport = MemoryTransport(
+            mode=self.delivery, seed=self.seed, loss=self.net_config.loss
+        )
         self._transport = transport
         self._seed_ep = transport.endpoint(SEED_ID)
         self.directory = Directory(range(n), positions)
@@ -294,6 +393,7 @@ class NetHarness:
                 net_seed=self.seed,
                 lockstep=self.lockstep,
                 directory=self.directory,  # one shared object at scale
+                detector=self.detector_config,
             )
             self.nodes.append(node)
             self._tasks.append(loop.create_task(node.run()))
@@ -305,7 +405,13 @@ class NetHarness:
             self._seed_ep.send(node.node_id, DirectoryUpdate(peers=pairs, addrs=[]))
         if self.lockstep:
             return await self._coordinate(rng, list(range(n)))
-        await self._collect(n, JoinDone)
+        if kill_mid_join:
+            # Buffered after the directory broadcast: every peer starts
+            # joining, then the victims die in the following generation.
+            for victim in kill_mid_join:
+                self._killed.add(victim)
+                self._seed_ep.send(victim, Kill())
+        await self._collect_join({i for i in range(n) if i not in self._killed})
         return self._aggregate_free()
 
     async def _build_tcp(
@@ -354,12 +460,15 @@ class NetHarness:
                 self._seed_ep.send(node.node_id, ResetLinks(epoch=self._epoch))
             rng = split(self.seed, "rewire")
             return await self._coordinate(rng, list(range(self.directory.m)))
-        for node in self.nodes:
-            self._seed_ep.send(node.node_id, Rewire(epoch=self._epoch))
-        await self._collect(len(self.nodes), JoinDone)
+        live = self._live_ids()
+        for node_id in live:
+            self._seed_ep.send(node_id, Rewire(epoch=self._epoch))
+        await self._collect_join(set(live))
         return self._aggregate_free()
 
-    async def _route_async(self, n_probes: int, budget: int | None) -> tuple[float, float]:
+    async def _route_async(
+        self, n_probes: int, budget: int | None, timeout_s: float | None
+    ) -> tuple[float, float]:
         directory = self.directory
         assert directory is not None
         m = directory.m
@@ -379,13 +488,19 @@ class NetHarness:
                     probe_id=probe_id, target=target, origin=SEED_ID, hops=0, budget=budget
                 ),
             )
+            message: Message | None = None
             while True:
-                __, message = await self._seed_ep.recv()
-                self._seed_ep.done()
+                try:
+                    __, message = await self._recv_seed(timeout_s)
+                except asyncio.TimeoutError:
+                    # The probe reached a dead-but-not-yet-evicted peer
+                    # and was silently dropped: attempted, undelivered.
+                    message = None
+                    break
                 if isinstance(message, RouteDone) and message.probe_id == probe_id:
                     break
             attempted += 1
-            if message.ok and message.delivered == expected:
+            if message is not None and message.ok and message.delivered == expected:
                 delivered += 1
                 hops_total += message.hops
         self._routes = (attempted, delivered, hops_total)
@@ -500,7 +615,157 @@ class NetHarness:
             round_no += 1
         return stats
 
+    # -- membership authority (detector mode) --------------------------
+
+    def kill(self, node_ids: tuple[int, ...] | list[int]) -> None:
+        """Crash peers silently: they detach from the transport and
+        stop serving — no goodbye, no error; the rest of the network
+        only learns of the deaths through probe timeouts. Requires a
+        built memory-transport network."""
+        if self.directory is None:
+            raise SimulationError("build() the network before killing peers")
+        if self.transport_kind != "memory":
+            raise SimulationError("kill() requires the memory transport")
+        ids = [int(i) for i in node_ids]
+        known = {node.node_id for node in self.nodes}
+        bad = [i for i in ids if i not in known]
+        if bad:
+            raise SimulationError(f"cannot kill unknown peers {bad}")
+        self._runner.run(self._kill_async(ids))
+
+    async def _kill_async(self, ids: list[int]) -> None:
+        by_id = {node.node_id: task for node, task in zip(self.nodes, self._tasks)}
+        tasks = []
+        for node_id in ids:
+            if node_id in self._killed:
+                continue
+            self._killed.add(node_id)
+            self._seed_ep.send(node_id, Kill())
+            tasks.append(by_id[node_id])
+        if not tasks:
+            return
+        __, pending = await asyncio.wait(tasks, timeout=10.0)
+        if pending:
+            raise SimulationError(f"{len(pending)} victims did not stop within 10s")
+
+    def start_detector(self) -> None:
+        """Arm every live peer's probe schedule (broadcast
+        ``StartDetector``). From here on the network is never quiescent
+        — probes fly forever — and the seed acts as the membership
+        authority, tallying ``Suspect`` reports into quorum evictions."""
+        if self.directory is None:
+            raise SimulationError("build() the network before starting detectors")
+        if self.detector_config is None:
+            raise ConfigError("start_detector() requires NetConfig.detector to be set")
+        self._detector_on = True
+        self._runner.run(self._start_detector_async())
+
+    async def _start_detector_async(self) -> None:
+        for node_id in self._live_ids():
+            self._seed_ep.send(node_id, StartDetector())
+        await asyncio.sleep(0)
+
+    def await_evictions(self, node_ids: tuple[int, ...] | list[int], timeout_s: float = 30.0) -> list[int]:
+        """Block until every id in ``node_ids`` has been quorum-evicted
+        (raising :class:`SimulationError` at ``timeout_s``), then let
+        the ``Dead`` broadcasts settle so live peers converge. Returns
+        the evicted ids sorted."""
+        if not self._detector_on:
+            raise SimulationError("start_detector() before awaiting evictions")
+        want = {int(i) for i in node_ids}
+        return self._runner.run(self._await_evictions_async(want, float(timeout_s)))
+
+    async def _await_evictions_async(self, want: set[int], timeout_s: float) -> list[int]:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while not want <= self._evicted:
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
+                missing = sorted(want - self._evicted)
+                raise SimulationError(
+                    f"evictions timed out after {timeout_s}s; still live: {missing}"
+                )
+            try:
+                await self._recv_seed(remaining)  # Suspects tallied inside
+            except asyncio.TimeoutError:
+                continue
+        # Settle: drain stray suspects while the pump delivers the Dead
+        # broadcasts, so membership_agreement() sees the converged view.
+        settle_until = loop.time() + 0.25
+        while loop.time() < settle_until:
+            try:
+                await self._recv_seed(max(0.01, settle_until - loop.time()))
+            except asyncio.TimeoutError:
+                break
+        return sorted(want)
+
+    def membership_agreement(self) -> int:
+        """How many live peers' directories disagree with the seed's.
+
+        The invariant the free-mode gate checks: after evictions settle
+        (``await_evictions``), every live peer must have rebuilt its
+        private directory to exactly the authority's member set — 0
+        mismatches. During the detection lag the count is positive,
+        which is the bounded staleness the detector grid measures.
+        """
+        if self.directory is None:
+            raise SimulationError("build() the network before comparing directories")
+        truth = {int(i) for i in self.directory.ids}
+        mismatches = 0
+        for node in self.nodes:
+            if node.node_id in self._killed or node.node_id in self._evicted:
+                continue
+            view = node.directory
+            if view is None or {int(i) for i in view.ids} != truth:
+                mismatches += 1
+        return mismatches
+
+    def _live_ids(self) -> list[int]:
+        return [
+            node.node_id
+            for node in self.nodes
+            if node.node_id not in self._killed and node.node_id not in self._evicted
+        ]
+
+    def _on_suspect(self, src: int, message: Suspect) -> None:
+        """Tally one monitor's report; evict at quorum."""
+        target = int(message.target)
+        if target in self._evicted or target == SEED_ID:
+            return
+        reporters = self._suspects.setdefault(target, set())
+        reporters.add(int(src))
+        quorum = self.detector_config.quorum if self.detector_config else 1
+        if len(reporters) >= quorum:
+            self._evict(target)
+
+    def _evict(self, target: int) -> None:
+        """Quorum reached: drop ``target`` and broadcast ``Dead``."""
+        assert self.directory is not None
+        self._evicted.add(target)
+        self._suspects.pop(target, None)
+        keep = [pair for pair in self.directory.to_pairs() if int(pair[0]) != target]
+        self.directory = Directory.from_pairs(keep)
+        for node_id in self._live_ids():
+            self._seed_ep.send(node_id, Dead(targets=[target]))
+
     # -- plumbing ------------------------------------------------------
+
+    async def _recv_seed(self, timeout_s: float | None = None) -> tuple[int, Message]:
+        """One seed-bound message, with ``Suspect`` tallied in passing.
+
+        Every seed receive funnels through here so the membership
+        authority keeps working no matter which wait is active —
+        ``Suspect`` reports arriving during a route check or a rewire
+        still count toward quorum instead of being dropped.
+        """
+        if timeout_s is None:
+            src, message = await self._seed_ep.recv()
+        else:
+            src, message = await asyncio.wait_for(self._seed_ep.recv(), timeout_s)
+        self._seed_ep.done()
+        if isinstance(message, Suspect):
+            self._on_suspect(src, message)
+        return src, message
 
     async def _collect(
         self, count: int, kind: type[Message]
@@ -508,18 +773,36 @@ class NetHarness:
         """Await ``count`` seed-bound messages of ``kind``."""
         out: list[tuple[int, Message]] = []
         while len(out) < count:
-            src, message = await self._seed_ep.recv()
-            self._seed_ep.done()
+            src, message = await self._recv_seed()
             if isinstance(message, kind):
                 out.append((src, message))
         return out
+
+    async def _collect_join(self, expected: set[int]) -> None:
+        """Await one ``JoinDone`` from every id in ``expected``.
+
+        Dead peers never report, so membership (not a bare count) is
+        what quiesces a build with mid-join kills; the generous guard
+        converts a hung build into a diagnosable failure instead of a
+        silent test timeout.
+        """
+        pending = set(expected)
+        while pending:
+            try:
+                src, message = await self._recv_seed(120.0)
+            except asyncio.TimeoutError:
+                raise SimulationError(
+                    f"build did not quiesce: no JoinDone from {sorted(pending)}"
+                ) from None
+            if isinstance(message, JoinDone):
+                pending.discard(int(src))
 
     def _aggregate_free(self) -> LinkAcquisitionStats:
         """Sum the per-peer join counters into engine-shaped stats."""
         stats = LinkAcquisitionStats()
         for node in self.nodes:
             join = node.join
-            if join is None:
+            if join is None or node.node_id in self._killed:
                 continue
             stats.links_placed += join.links_placed
             stats.slots_given_up += join.slots_given_up

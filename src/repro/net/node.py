@@ -28,34 +28,50 @@ live in-degree, advance sampling walks, and route probes greedily.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Any
 
 import numpy as np
 
 from ..config import OscarConfig, SamplingMode
+from ..membership import POLL_TIMER, DetectorConfig, FailureDetector
 from ..protocol.decisions import accepts_link, link_winner_key
 from ..protocol.directory import Directory
-from ..protocol.effects import Effect, JoinOutcome, LinkEstablished, Send
+from ..protocol.effects import (
+    CancelTimer,
+    Effect,
+    JoinOutcome,
+    LinkEstablished,
+    Send,
+    StartTimer,
+    SuspectPeer,
+)
 from ..protocol.estimation import cw_arc_slice, select_border
 from ..protocol.join import JoinProtocol
 from ..protocol.messages import (
     AcquireReport,
     AcquireTicket,
     BeginAcquire,
+    Dead,
     DirectoryUpdate,
     EstimateLevel,
     EstimateReport,
     Hello,
     JoinDone,
+    Kill,
     LinkCommit,
     LinkReply,
     LinkRequest,
     LinkResult,
     Message,
+    Ping,
+    Pong,
     ResetLinks,
     Rewire,
     RouteDone,
     RouteProbe,
+    StartDetector,
+    Suspect,
     WalkDone,
     WalkStep,
     Welcome,
@@ -83,6 +99,15 @@ class NetNode:
         directory: Pre-shared :class:`Directory` (in-memory scale runs
             share one object across all peers; wire bootstrap builds a
             private copy from the seed's broadcast when absent).
+        detector: Failure-detector knobs. ``None`` (the default) keeps
+            the oracle contract: protocol timers stay inert and the
+            peer never probes liveness. When set, ``StartTimer`` /
+            ``CancelTimer`` effects are wired to real loop timers —
+            so probe schedules fire, reply timeouts count dead
+            candidates as refusals, lost walks relaunch — and a
+            ``StartDetector`` message arms a
+            :class:`~repro.membership.detector.FailureDetector` over
+            this peer's directory predecessors.
     """
 
     def __init__(
@@ -96,6 +121,7 @@ class NetNode:
         net_seed: int = 0,
         lockstep: bool = False,
         directory: Directory | None = None,
+        detector: DetectorConfig | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.position = float(position)
@@ -113,6 +139,10 @@ class NetNode:
         self.join: JoinProtocol | None = None
         self.epoch = 0
         self.rng: np.random.Generator | None = None
+        # failure-detector state (None/empty unless `detector` is set)
+        self.detector_config = detector
+        self._fd: FailureDetector | None = None
+        self._timers: dict[str, asyncio.TimerHandle] = {}
         # lockstep member state
         self._member: _LockstepMember | None = None
         self._stopped = False
@@ -144,6 +174,22 @@ class NetNode:
 
     def dispatch(self, src: int, message: Message) -> None:
         """Handle one message synchronously; effects go to the endpoint."""
+        if isinstance(message, Kill):
+            self._crash()
+            return
+        if isinstance(message, Ping):
+            self.endpoint.send(src, Pong(seq=message.seq))
+            return
+        if isinstance(message, Pong):
+            if self._fd is not None:
+                self._run_effects(self._fd.on_pong(src, message, now=self._now()))
+            return
+        if isinstance(message, StartDetector):
+            self._arm_detector()
+            return
+        if isinstance(message, Dead):
+            self._on_dead(message)
+            return
         if isinstance(message, Welcome):
             self.node_id = int(message.node_id)
             if hasattr(self.endpoint, "set_node_id"):
@@ -210,11 +256,123 @@ class NetNode:
                 self.endpoint.send(effect.to, effect.message)
             elif isinstance(effect, LinkEstablished):
                 self.out_links.append(int(effect.peer))
+            elif isinstance(effect, SuspectPeer):
+                self.endpoint.send(
+                    self.seed_id,
+                    Suspect(target=int(effect.peer), failures=int(effect.failures)),
+                )
+            elif isinstance(effect, StartTimer):
+                if self.detector_config is not None:
+                    self._start_timer(effect.name, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                if self.detector_config is not None:
+                    self._cancel_timer(effect.name)
             elif isinstance(effect, JoinOutcome):
                 pass  # terminal marker; JoinDone rides as a Send effect
-            # Timers never fire on these transports: every directory
-            # member is live and replies, so StartTimer/CancelTimer are
-            # deliberately inert here (exercised in protocol unit tests).
+            # Without a detector config, timers stay deliberately inert:
+            # every directory member is live and replies, so the oracle
+            # modes never need them and stay exactly as deterministic as
+            # before the detector existed (exercised in protocol tests).
+
+    # -- failure detection ----------------------------------------------
+
+    def _now(self) -> float:
+        # The loop's monotonic clock, not a wall clock: timer math only.
+        return asyncio.get_running_loop().time()
+
+    def _start_timer(self, name: str, delay: float) -> None:
+        """(Re-)arm ``name``; a zero delay means one reply-timeout."""
+        self._cancel_timer(name)
+        assert self.detector_config is not None
+        seconds = delay if delay > 0.0 else self.detector_config.timeout_s
+        loop = asyncio.get_running_loop()
+        self._timers[name] = loop.call_later(seconds, self._on_timer, name)
+
+    def _cancel_timer(self, name: str) -> None:
+        handle = self._timers.pop(name, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _on_timer(self, name: str) -> None:
+        """A loop timer fired; route it to the owning machine."""
+        self._timers.pop(name, None)
+        if self._stopped:
+            return
+        if name == POLL_TIMER:
+            if self._fd is not None:
+                self._run_effects(self._fd.poll(self._now()))
+            return
+        if self.join is not None:
+            self._run_effects(self.join.on_timer(name))
+
+    def _crash(self) -> None:
+        """``Kill`` semantics: stop serving, silently, mid-everything.
+
+        Cancels every armed timer, detaches from the transport (later
+        sends to this id vanish — nobody gets connection errors, their
+        probes just never come back) and lets the run loop exit. The
+        superstep ack for the ``Kill`` itself still happens in the run
+        loop's ``finally``, keeping the pump's accounting intact.
+        """
+        self._stopped = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self._fd = None
+        if hasattr(self.endpoint, "detach"):
+            self.endpoint.detach()
+
+    def _arm_detector(self) -> None:
+        """``StartDetector``: probe my directory predecessors forever."""
+        if self.detector_config is None or self.directory is None or self._stopped:
+            return
+        self._fd = FailureDetector(self.node_id, self.detector_config)
+        self._rewatch()
+        self._run_effects(self._fd.poll(self._now()))
+
+    def _rewatch(self) -> None:
+        """Point the detector at the current directory neighborhood.
+
+        Each peer is probed by its ``n_monitors`` clockwise successors,
+        so this monitor watches its clockwise *predecessors*. Targets
+        that left the neighborhood (eviction shifted the rows) are
+        unwatched first so their counters don't leak across targets.
+        """
+        assert self._fd is not None and self.directory is not None
+        d = self.directory
+        config = self.detector_config
+        assert config is not None
+        row = d.row_of(self.node_id)
+        panel = min(config.n_monitors, d.m - 1)
+        want = {int(d.id_at(row - j)) for j in range(1, panel + 1)}
+        for target in self._fd.targets:
+            if target not in want:
+                self._fd.unwatch(target)
+        for target in sorted(want):
+            self._fd.watch(target)
+
+    def _on_dead(self, message: Dead) -> None:
+        """Quorum-confirmed evictions: rebuild my membership knowledge.
+
+        The rebuilt directory is always a *private* copy — peers that
+        bootstrapped on the shared at-scale object fork it here, since
+        from this point on membership knowledge is per-peer state that
+        gossip/broadcast keeps in (bounded-staleness) agreement.
+        """
+        if self.directory is None or self._stopped:
+            return
+        targets = {int(t) for t in message.targets}
+        targets.discard(self.node_id)  # an eviction of me I outlived
+        if not targets:
+            return
+        keep = [pair for pair in self.directory.to_pairs() if int(pair[0]) not in targets]
+        self.directory = Directory.from_pairs(keep)
+        self._shared_directory = False
+        self.out_links = [link for link in self.out_links if link not in targets]
+        if self._fd is not None:
+            for target in sorted(targets):
+                self._fd.unwatch(target)
+            self._rewatch()
 
     # -- bootstrap and rewiring ----------------------------------------
 

@@ -38,7 +38,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..protocol.messages import LinkCommit, Message, message_from_wire
+from ..protocol.messages import LinkCommit, Message, Ping, Pong, message_from_wire
 from ..rng import split
 from .codec import Codec, get_codec
 
@@ -51,15 +51,27 @@ class MemoryTransport:
     Args:
         mode: ``"fifo"``, ``"random"`` or ``"lockstep"`` (see module
             docstring).
-        seed: Seeds the ``random`` mode's delivery shuffle (ignored by
-            the other modes — they are deterministic by construction).
+        seed: Seeds the ``random`` mode's delivery shuffle and the
+            probe-plane loss stream (ignored by the deterministic
+            delivery modes when ``loss`` is zero).
+        loss: Probe-plane loss probability in ``[0, 1)``: each ``Ping``
+            or ``Pong`` frame is independently dropped with this
+            probability, drawn from the dedicated
+            ``split(seed, "net", "loss")`` stream. Construction,
+            routing and membership traffic is never dropped, and a
+            zero ``loss`` consumes no draws at all — default runs stay
+            bit-identical to the pre-loss transport.
     """
 
-    def __init__(self, mode: str = "fifo", seed: int = 0) -> None:
+    def __init__(self, mode: str = "fifo", seed: int = 0, loss: float = 0.0) -> None:
         if mode not in ("fifo", "random", "lockstep"):
             raise ValueError(f"unknown delivery mode {mode!r}")
+        if not (0.0 <= loss < 1.0):
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
         self.mode = mode
+        self.loss = float(loss)
         self._rng = split(seed, "net", "delivery")
+        self._loss_rng = split(seed, "net", "loss") if loss > 0.0 else None
         self._queues: dict[int, asyncio.Queue] = {}
         self._buffer: list[tuple[int, int, Message]] = []
         self._outstanding = 0
@@ -68,6 +80,7 @@ class MemoryTransport:
         self._work = asyncio.Event()
         self._pump_task: asyncio.Task | None = None
         self.messages_delivered = 0
+        self.probes_dropped = 0
         self.generations = 0
 
     # -- endpoint surface ---------------------------------------------
@@ -79,6 +92,16 @@ class MemoryTransport:
         queue: asyncio.Queue = asyncio.Queue()
         self._queues[node_id] = queue
         return MemoryEndpoint(self, node_id, queue)
+
+    def detach(self, node_id: int) -> None:
+        """Deregister ``node_id``: later sends to it silently vanish.
+
+        This is the crashed-peer failure model — from every other
+        peer's perspective the victim just stops answering, which is
+        exactly the signal the failure detectors must turn into an
+        eviction. Idempotent.
+        """
+        self._queues.pop(node_id, None)
 
     def send(self, src: int, dst: int, message: Message) -> None:
         """Buffer one message for the next delivery generation."""
@@ -141,6 +164,13 @@ class MemoryTransport:
                 queue = self._queues.get(dst)
                 if queue is None:
                     continue
+                if (
+                    self._loss_rng is not None
+                    and isinstance(message, (Ping, Pong))
+                    and float(self._loss_rng.random()) < self.loss
+                ):
+                    self.probes_dropped += 1
+                    continue
                 self._outstanding += 1
                 self._drained.clear()
                 self.messages_delivered += 1
@@ -165,6 +195,11 @@ class MemoryEndpoint:
 
     async def close(self) -> None:
         """Nothing to tear down."""
+
+    def detach(self) -> None:
+        """Crash hook: deregister from the transport (see
+        :meth:`MemoryTransport.detach`)."""
+        self._transport.detach(self.node_id)
 
     @property
     def address(self) -> tuple[str, int]:

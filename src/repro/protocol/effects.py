@@ -21,6 +21,7 @@ __all__ = [
     "LinkEstablished",
     "Send",
     "StartTimer",
+    "SuspectPeer",
 ]
 
 
@@ -40,9 +41,15 @@ class Send(Effect):
 @dataclass(frozen=True)
 class StartTimer(Effect):
     """Arm (or re-arm) the named timer; the driver owns the clock and
-    calls the machine's ``on_timer(name)`` when it fires."""
+    calls the machine's ``on_timer(name)`` when it fires.
+
+    ``delay`` is a *hint* in the driver's time unit (seconds on the
+    asyncio runtime); ``0.0`` means "use the driver's default for this
+    timer name" — the pre-existing machines emit it and keep working
+    unchanged on drivers that ignore timers entirely."""
 
     name: str
+    delay: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,18 @@ class CancelTimer(Effect):
     """Disarm the named timer if still pending."""
 
     name: str
+
+
+@dataclass(frozen=True)
+class SuspectPeer(Effect):
+    """A failure detector crossed ``consecutive_failures >= K`` for
+    ``peer``: the driver forwards the suspicion to whatever membership
+    authority it answers to (the seed on the net runtime, the
+    quorum tally inside :class:`~repro.membership.probe.ProbeView` in
+    the sim)."""
+
+    peer: NodeId
+    failures: int = 0
 
 
 @dataclass(frozen=True)

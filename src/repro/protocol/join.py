@@ -32,7 +32,7 @@ import numpy as np
 from ..ring.identifiers import in_cw_interval
 from ..types import NodeId
 from .directory import Directory
-from .effects import Effect, JoinOutcome, Send
+from .effects import CancelTimer, Effect, JoinOutcome, Send, StartTimer
 from .estimation import PartitionEstimator
 from .messages import JoinDone, LinkReply, LinkResult, WalkDone
 from .negotiation import LinkNegotiation
@@ -41,7 +41,13 @@ from .sampling import SamplingWalk
 if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a core cycle)
     from ..core.partitions import PartitionTable
 
-__all__ = ["JoinProtocol"]
+__all__ = ["JoinProtocol", "WALK_TIMER"]
+
+#: Timer guarding one sampling walk's round trip. Inert under the
+#: lockstep drivers; under the failure-detector runtime it relaunches
+#: the walk (fresh ``walk_id``, so a zombie ``WalkDone`` from the dead
+#: walk is discarded) when a relay peer died mid-walk.
+WALK_TIMER = "walk"
 
 
 class JoinProtocol:
@@ -204,7 +210,7 @@ class JoinProtocol:
             hops_per_sample=self.walk_hops,
             burn_in=2 * self.walk_hops,
         )
-        return [launch]
+        return [launch, StartTimer(name=WALK_TIMER)]
 
     def on_walk_done(self, msg: WalkDone) -> list[Effect]:
         """A walk returned its samples; feed the estimator, walk on."""
@@ -213,7 +219,7 @@ class JoinProtocol:
         assert self._estimator is not None
         positions = [float(p) for p in msg.positions if float(p) != self.position]
         self._estimator.add_samples(np.asarray(positions, dtype=float))
-        return self._request_walk()
+        return [CancelTimer(name=WALK_TIMER), *self._request_walk()]
 
     # -- acquisition ---------------------------------------------------
 
@@ -282,7 +288,22 @@ class JoinProtocol:
         return self._after_nego(self._nego.on_result(result))
 
     def on_timer(self, name: str) -> list[Effect]:
-        """A negotiation timer fired (missing replies become refusals)."""
+        """A timer fired.
+
+        ``WALK_TIMER`` while estimating abandons the lost walk — the
+        arc records no samples (the same bail as an arc with no live
+        members) and estimation walks on under a fresh ``walk_id``, so
+        the dead walk's eventual ``WalkDone``, if any, is stale and
+        ignored. Any other timer belongs to the active link
+        negotiation, where missing replies become refusals and a
+        missing commit result becomes a conflict.
+        """
+        if name == WALK_TIMER:
+            if self.state != "estimating":
+                return []
+            assert self._estimator is not None
+            self._estimator.add_samples(np.empty(0, dtype=float))
+            return self._request_walk()
         if self._nego is None:
             return []
         return self._after_nego(self._nego.on_timer())

@@ -24,32 +24,45 @@ never inside the message):
 * lockstep construction (coordinator-dealt RNG tickets that replicate
   the batched engine's draw layout exactly) — ``EstimateLevel`` /
   ``EstimateReport`` / ``BeginAcquire`` / ``AcquireTicket`` /
-  ``AcquireReport``.
+  ``AcquireReport``;
+* failure detection and membership (probe-derived liveness; see
+  :mod:`repro.membership` and ``docs/membership.md``) — ``Ping`` /
+  ``Pong`` correlated probes, ``Suspect`` (monitor -> membership
+  authority after ``K`` consecutive failures), ``Dead`` (authority
+  broadcast of quorum-confirmed evictions), ``StartDetector`` (arm the
+  probe schedule) and ``Kill`` (test/driver-injected peer death — the
+  victim stops serving, so everyone else must *detect* it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, ClassVar
 
 __all__ = [
     "AcquireReport",
     "AcquireTicket",
     "BeginAcquire",
+    "Dead",
     "DirectoryUpdate",
     "EstimateLevel",
     "EstimateReport",
     "Hello",
     "JoinDone",
+    "Kill",
     "LinkCommit",
     "LinkReply",
     "LinkRequest",
     "LinkResult",
     "Message",
+    "Ping",
+    "Pong",
     "ResetLinks",
     "Rewire",
     "RouteDone",
     "RouteProbe",
+    "StartDetector",
+    "Suspect",
     "WalkDone",
     "WalkStep",
     "Welcome",
@@ -344,3 +357,64 @@ class AcquireReport(Message):
     empty_draw: bool = False
     refusals: int = 0
     conflict: bool = False
+
+
+# ----------------------------------------------------------------------
+# failure detection and membership
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    """Monitor -> target: one liveness probe; ``seq`` correlates the
+    answer (a stale ``Pong`` with an old sequence never resets the
+    failure counter)."""
+
+    kind: ClassVar[str] = "ping"
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    """Target -> monitor: the correlated answer to ``Ping(seq)``."""
+
+    kind: ClassVar[str] = "pong"
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Suspect(Message):
+    """Monitor -> membership authority: ``target`` missed
+    ``failures`` consecutive probes (``failures >= K``); the authority
+    evicts once a quorum of distinct monitors concurs."""
+
+    kind: ClassVar[str] = "suspect"
+    target: int = 0
+    failures: int = 0
+
+
+@dataclass(frozen=True)
+class Dead(Message):
+    """Authority broadcast: ``targets`` are evicted — drop links to
+    them, stop probing them, and remove them from the directory."""
+
+    kind: ClassVar[str] = "dead"
+    targets: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StartDetector(Message):
+    """Seed -> peer: arm the probe schedule over the current directory
+    neighborhood (detector knobs travel in the peer's NetConfig)."""
+
+    kind: ClassVar[str] = "start_detector"
+
+
+@dataclass(frozen=True)
+class Kill(Message):
+    """Driver -> peer: crash on receipt. The victim acknowledges the
+    transport superstep, detaches, and stops serving — from every other
+    peer's perspective it silently dies, which is exactly what the
+    failure detectors must notice."""
+
+    kind: ClassVar[str] = "kill"

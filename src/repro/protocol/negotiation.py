@@ -16,8 +16,10 @@ Lifecycle::
     nego = LinkNegotiation(token, candidates, priority)
     effects = nego.start()                   # Send(LinkRequest) x N + StartTimer
     effects = nego.on_reply(peer, reply)     # last reply -> CancelTimer + commit/fail
-    effects = nego.on_result(result)         # -> LinkEstablished or conflict
-    effects = nego.on_timer()                # missing replies count as refusals
+    effects = nego.on_result(result)         # -> CancelTimer + LinkEstablished/conflict
+    effects = nego.on_timer()                # asking: missing replies count as
+                                             # refusals; committing: lost result
+                                             # counts as a conflict
 
 The machine is single-shot: retries and re-sampling are the caller's
 loop (:class:`~repro.protocol.join.JoinProtocol` / the scalar
@@ -103,7 +105,20 @@ class LinkNegotiation:
         return [CancelTimer(name=_TIMER), *self._choose()]
 
     def on_timer(self) -> list[Effect]:
-        """Reply timer fired: unresponsive candidates count as refusals."""
+        """The negotiation timer fired.
+
+        In ``asking`` the unresponsive candidates count as refusals and
+        the winner is chosen from whoever did answer. In ``committing``
+        a missing :class:`~repro.protocol.messages.LinkResult` (the
+        chosen candidate died before granting) counts as a lost commit
+        race — ``conflict`` — so the caller's retry loop redraws rather
+        than hanging on a dead peer.
+        """
+        if self.state == "committing":
+            self.state = "failed"
+            self.conflict = True
+            self.linked_to = None
+            return []
         if self.state != "asking":
             return []
         return self._choose()
@@ -123,7 +138,14 @@ class LinkNegotiation:
         chosen, __ = min(accepting, key=lambda cr: link_winner_key(cr[1].in_degree, cr[1].rho_in, cr[0]))
         self.state = "committing"
         self.linked_to = chosen
-        return [Send(to=chosen, message=LinkCommit(token=self.token, priority=self.priority))]
+        # The commit-phase timer guards against the chosen candidate
+        # dying between its acknowledgment and the grant: inert under
+        # the lockstep drivers (which always deliver a LinkResult),
+        # load-bearing under the failure-detector runtime.
+        return [
+            Send(to=chosen, message=LinkCommit(token=self.token, priority=self.priority)),
+            StartTimer(name=_TIMER),
+        ]
 
     def on_result(self, result: LinkResult) -> list[Effect]:
         """The chosen candidate granted or denied the commit."""
@@ -132,8 +154,8 @@ class LinkNegotiation:
         if result.granted:
             self.state = "placed"
             assert self.linked_to is not None
-            return [LinkEstablished(peer=self.linked_to)]
+            return [CancelTimer(name=_TIMER), LinkEstablished(peer=self.linked_to)]
         self.state = "failed"
         self.conflict = True
         self.linked_to = None
-        return []
+        return [CancelTimer(name=_TIMER)]

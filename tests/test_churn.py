@@ -1,4 +1,11 @@
-"""Tests for failure injection (repro.churn.failures)."""
+"""Tests for failure injection (repro.churn.failures).
+
+``crash_many`` / ``revive_many`` / ``crash_fraction`` are deprecated
+shims over :class:`repro.membership.OracleView` — this module *is* the
+shim-behavior suite (semantics must stay frozen for the one-release
+grace period), so the deprecation warnings they emit are expected and
+filtered; ``TestDeprecationShims`` asserts they fire at all.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,8 @@ from repro.config import ChurnConfig
 from repro.errors import EmptyPopulationError
 from repro.ring import Ring, build_pointers, verify
 from repro.rng import make_rng
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def ring_of(n: int) -> Ring:
@@ -185,3 +194,39 @@ class TestChurnOnOverlay:
         for __ in range(20):
             source = overlay.random_live_node(rng)
             assert overlay.route(source, float(rng.random())).success
+
+
+class TestDeprecationShims:
+    """The old helpers must warn once per call and delegate verbatim to
+    the membership API they are shims for."""
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_crash_many_warns(self):
+        with pytest.warns(DeprecationWarning, match="crash_many.*OracleView.crash"):
+            crash_many(ring_of(5), [1])
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_revive_many_warns(self):
+        with pytest.warns(DeprecationWarning, match="revive_many.*OracleView.revive"):
+            revive_many(ring_of(5), [1])
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_crash_fraction_warns(self):
+        with pytest.warns(DeprecationWarning, match="crash_fraction.*OracleView.crash_fraction"):
+            crash_fraction(ring_of(10), make_rng(0), 0.2)
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_supported_procedures_do_not_warn(self):
+        # apply_churn / revive_all are supported API: no warning.
+        ring = ring_of(20)
+        victims = apply_churn(ring, build_pointers(ring), ChurnConfig(kill_fraction=0.2))
+        revive_all(ring, victims)
+
+    def test_shims_match_membership_api(self):
+        from repro.membership import OracleView
+
+        ring_a, ring_b = ring_of(40), ring_of(40)
+        assert crash_fraction(ring_a, make_rng(3), 0.3) == OracleView(
+            ring_b
+        ).crash_fraction(make_rng(3), 0.3)
+        assert revive_many(ring_a, range(40)) == OracleView(ring_b).revive(range(40))

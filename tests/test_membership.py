@@ -1,0 +1,455 @@
+"""Tier-1 tests of the membership package (``repro.membership``).
+
+Four layers, innermost out:
+
+* the sans-I/O :class:`~repro.membership.detector.FailureDetector` and
+  its timing contract — the *closed* alive-side boundary (a PONG whose
+  round trip equals ``timeout_s`` exactly is on time; a poll at exactly
+  the deadline expires nothing);
+* :class:`~repro.membership.gossip.GossipMembership` — push-epidemic
+  spread, the staleness bound, duplicate suppression;
+* the :class:`~repro.membership.views.MembershipView` implementations —
+  :class:`OracleView` must be byte-for-byte the old bitmap behavior,
+  :class:`ProbeView` must measure detection lag and never falsely evict
+  at zero loss (hypothesis property);
+* the scalar/vectorized differential — both detector banks driven
+  through identical schedules must agree on every observable
+  (hypothesis-pinned, the bit-identity half of the acceptance
+  criteria).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, EmptyPopulationError
+from repro.membership import (
+    POLL_TIMER,
+    DetectorConfig,
+    FailureDetector,
+    GossipMembership,
+    MembershipView,
+    OracleView,
+    ProbeView,
+)
+from repro.protocol.effects import Send, StartTimer, SuspectPeer
+from repro.protocol.messages import Ping, Pong
+from repro.ring import Ring
+from repro.rng import split
+
+
+def make_ring(n: int) -> Ring:
+    ring = Ring()
+    ring.insert_many((i, i / n) for i in range(n))
+    return ring
+
+
+def pings(effects) -> dict[int, int]:
+    """target -> seq of every Ping sent in ``effects``."""
+    return {
+        e.to: e.message.seq
+        for e in effects
+        if isinstance(e, Send) and isinstance(e.message, Ping)
+    }
+
+
+def suspects(effects) -> list[int]:
+    return [e.peer for e in effects if isinstance(e, SuspectPeer)]
+
+
+class TestDetectorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"n_monitors": 0},
+            {"quorum": 0},
+            {"quorum": 4, "n_monitors": 3},
+            {"loss": -0.1},
+            {"loss": 1.0},
+            {"rounds_per_epoch": 0},
+            {"gossip_fanout": 0},
+            {"staleness_rounds": -1},
+            {"ping_interval_s": 0.0},
+            {"timeout_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DetectorConfig(**kwargs)
+
+    def test_staleness_bound_derives_from_population(self):
+        config = DetectorConfig(gossip_fanout=2)
+        # ceil(log_3 n) + 3, monotone in n.
+        assert config.staleness_bound(2) == 4
+        assert config.staleness_bound(27) == 6
+        assert config.staleness_bound(1000) <= config.staleness_bound(10_000)
+
+    def test_staleness_bound_explicit_override(self):
+        config = DetectorConfig(staleness_rounds=7)
+        assert config.staleness_bound(2) == 7
+        assert config.staleness_bound(1_000_000) == 7
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DetectorConfig().quorum = 1  # type: ignore[misc]
+
+
+class TestFailureDetector:
+    CFG = DetectorConfig(failure_threshold=2, ping_interval_s=1.0, timeout_s=0.5)
+
+    def test_watch_is_idempotent_and_skips_self(self):
+        fd = FailureDetector(7, self.CFG)
+        fd.watch(3)
+        fd.watch(3)
+        fd.watch(7)  # a monitor never probes itself
+        assert fd.targets == [3]
+        fd.unwatch(3)
+        fd.unwatch(3)  # idempotent
+        assert fd.targets == []
+
+    def test_poll_pings_each_target_and_rearms(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(5)
+        fd.watch(2)
+        effects = fd.poll(0.0)
+        assert sorted(pings(effects)) == [2, 5]
+        timer = effects[-1]
+        assert isinstance(timer, StartTimer)
+        assert timer.name == POLL_TIMER
+        assert timer.delay == self.CFG.ping_interval_s
+
+    def test_consecutive_timeouts_cross_threshold_once(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(9)
+        fd.poll(0.0)
+        assert suspects(fd.poll(1.0)) == []  # one failure, threshold 2
+        assert fd.failures_of(9) == 1
+        assert suspects(fd.poll(2.0)) == [9]  # second failure: suspect
+        assert fd.suspected == [9]
+        assert suspects(fd.poll(3.0)) == []  # once per episode
+        assert fd.failures_of(9) == 3
+
+    def test_pong_at_exact_timeout_boundary_is_on_time(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(4)
+        seq = pings(fd.poll(0.0))[4]
+        # Round trip == timeout_s exactly: the alive side owns the
+        # closed boundary, so this resets the counter.
+        fd.failures_of(4)
+        assert fd.on_pong(4, Pong(seq=seq), now=self.CFG.timeout_s) == []
+        assert fd.failures_of(4) == 0
+        assert fd.pending_seq_of(4) is None
+
+    def test_poll_at_exact_deadline_expires_nothing(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(4)
+        seq = pings(fd.poll(0.0))[4]
+        # now == sent_at + timeout_s: not overdue (strictly-after rule),
+        # so the probe stays pending and no new ping goes out.
+        effects = fd.poll(self.CFG.timeout_s)
+        assert fd.failures_of(4) == 0
+        assert pings(effects) == {}
+        assert fd.pending_seq_of(4) == seq
+
+    def test_late_correlated_pong_counts_one_failure(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(4)
+        seq = pings(fd.poll(0.0))[4]
+        assert fd.on_pong(4, Pong(seq=seq), now=0.51) == []
+        assert fd.pending_seq_of(4) is None  # cleared: proof of life
+        assert fd.failures_of(4) == 1  # but the window expired
+
+    def test_late_pong_can_cross_the_threshold(self):
+        fd = FailureDetector(0, dataclasses.replace(self.CFG, failure_threshold=1))
+        fd.watch(4)
+        seq = pings(fd.poll(0.0))[4]
+        assert suspects(fd.on_pong(4, Pong(seq=seq), now=9.0)) == [4]
+
+    def test_uncorrelated_pong_ignored(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(4)
+        seq = pings(fd.poll(0.0))[4]
+        assert fd.on_pong(4, Pong(seq=seq + 1), now=0.1) == []  # wrong seq
+        assert fd.on_pong(6, Pong(seq=seq), now=0.1) == []  # unwatched src
+        assert fd.pending_seq_of(4) == seq
+
+    def test_on_time_pong_clears_suspicion_and_rearms_episode(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(9)
+        fd.poll(0.0)
+        fd.poll(1.0)
+        assert suspects(fd.poll(2.0)) == [9]
+        seq = fd.pending_seq_of(9)
+        fd.on_pong(9, Pong(seq=seq), now=2.1)
+        assert fd.suspected == []
+        assert fd.failures_of(9) == 0
+        # The episode edge re-armed: a fresh run of failures re-suspects.
+        fd.poll(3.0)
+        fd.poll(4.0)
+        assert suspects(fd.poll(5.0)) == [9]
+
+    def test_clear_pending_freezes_counters(self):
+        fd = FailureDetector(0, self.CFG)
+        fd.watch(4)
+        fd.poll(0.0)
+        fd.clear_pending()  # the monitor itself went down mid-probe
+        effects = fd.poll(5.0)  # far past any deadline
+        assert fd.failures_of(4) == 0  # nothing timed out
+        assert 4 in pings(effects)  # fresh probe, fresh window
+
+
+class TestGossipMembership:
+    CFG = DetectorConfig(gossip_fanout=2)
+
+    def test_duplicate_reports_suppressed(self):
+        gossip = GossipMembership(self.CFG)
+        assert gossip.start(5, origin=1)
+        assert not gossip.start(5, origin=2)  # in flight
+        live = np.arange(4, dtype=np.int64)
+        rng = split(0, "gossip-test")
+        while 5 not in gossip.completed:
+            gossip.spread(live, rng)
+        assert not gossip.start(5, origin=3)  # completed: dead stays dead
+
+    def test_spread_completes_within_staleness_bound(self):
+        gossip = GossipMembership(self.CFG)
+        gossip.start(99, origin=0)
+        live = np.arange(64, dtype=np.int64)
+        rng = split(1, "gossip-test")
+        rounds = 0
+        while 99 not in gossip.completed:
+            gossip.spread(live, rng)
+            rounds += 1
+        assert rounds <= self.CFG.staleness_bound(64)
+        assert gossip.active == []
+
+    def test_informed_set_grows_monotonically(self):
+        gossip = GossipMembership(self.CFG)
+        gossip.start(3, origin=0)
+        live = np.arange(32, dtype=np.int64)
+        rng = split(2, "gossip-test")
+        last = gossip.informed_count(3)
+        while 3 not in gossip.completed:
+            gossip.spread(live, rng)
+            now = gossip.informed_count(3)
+            if now:
+                assert now >= last
+                last = now
+
+    def test_cancel_aborts_in_flight_report(self):
+        gossip = GossipMembership(self.CFG)
+        gossip.start(5, origin=1)
+        gossip.cancel(5)
+        assert gossip.active == []
+        assert gossip.start(5, origin=1)  # a cancelled report may restart
+
+    def test_empty_population_completes_immediately(self):
+        gossip = GossipMembership(self.CFG)
+        gossip.start(5, origin=1)
+        done = gossip.spread(np.empty(0, dtype=np.int64), split(3, "gossip-test"))
+        assert done == [5]
+
+
+class TestOracleView:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(OracleView(make_ring(4)), MembershipView)
+        assert isinstance(
+            ProbeView(make_ring(4), DetectorConfig()), MembershipView
+        )
+
+    def test_reads_are_the_bitmap_verbatim(self):
+        ring = make_ring(6)
+        view = OracleView(ring)
+        ring.mark_dead(2)
+        assert list(view.live_ids()) == list(ring.ids_array(live_only=True))
+        assert list(view.live_slots()) == list(ring.slots_array(live_only=True))
+        assert view.live_count == ring.live_count == 5
+        assert not view.is_live(2)
+        assert view.is_live(3)
+
+    def test_crash_revive_idempotent_input_order(self):
+        view = OracleView(make_ring(6))
+        assert view.crash([4, 1, 4]) == [4, 1]
+        assert view.crash([1]) == []  # already dead
+        assert view.revive([1, 4, 5]) == [1, 4]  # 5 was never dead
+        assert view.ring.live_count == 6
+
+    def test_crash_fraction_spares_at_least_one(self):
+        view = OracleView(make_ring(5))
+        victims = view.crash_fraction(split(0, "oracle-test"), 1.0)
+        assert len(victims) == 4
+        assert view.live_count == 1
+
+    def test_crash_fraction_guards(self):
+        view = OracleView(make_ring(5))
+        with pytest.raises(ValueError):
+            view.crash_fraction(split(0, "x"), 1.5)
+        assert view.crash_fraction(split(0, "x"), 0.05) == []  # floors to 0
+        view.crash(range(5))
+        with pytest.raises(EmptyPopulationError):
+            view.crash_fraction(split(0, "x"), 0.5)
+
+    def test_knowledge_hooks_are_no_ops(self):
+        view = OracleView(make_ring(4))
+        assert view.advance(1) == []
+        view.record_deaths([1, 2], 1)
+        view.forget([1])
+        assert view.live_count == 4
+
+
+DETECT = DetectorConfig(
+    failure_threshold=2, quorum=2, n_monitors=3, rounds_per_epoch=2
+)
+
+
+def evict_all(view: ProbeView, start_epoch: int, max_epochs: int = 40) -> int:
+    """Advance until believed == truth; returns the last epoch run."""
+    for epoch in range(start_epoch, start_epoch + max_epochs):
+        view.advance(epoch)
+        if view.live_count == view.ring.live_count:
+            return epoch
+    raise AssertionError("detector failed to converge")
+
+
+class TestProbeView:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            ProbeView(make_ring(4), DetectorConfig(), backend="gpu")
+
+    def test_crashed_peer_lingers_until_quorum_evicts(self):
+        view = ProbeView(make_ring(16), DETECT, seed=3)
+        view.crash([5])
+        view.record_deaths([5], epoch=1)
+        assert view.is_live(5)  # truth-dead, believed-live: the lag
+        assert view.live_count == 16
+        last = evict_all(view, start_epoch=1)
+        assert not view.is_live(5)
+        assert view.evictions == 1
+        assert view.false_evictions == 0
+        assert view.detection_lags == [last - 1]
+
+    def test_quorum_one_single_monitor_evicts(self):
+        config = dataclasses.replace(DETECT, quorum=1, n_monitors=1)
+        view = ProbeView(make_ring(12), config, seed=4)
+        view.crash([7])
+        view.record_deaths([7], epoch=1)
+        evict_all(view, start_epoch=1)
+        assert view.evictions == 1
+        assert view.false_evictions == 0
+
+    def test_revive_during_detection_restores_belief(self):
+        view = ProbeView(make_ring(16), DETECT, seed=5)
+        view.crash([5])
+        view.record_deaths([5], epoch=1)
+        view.advance(1)  # suspicion building, not yet evicted
+        assert view.revive([5]) == [5]
+        assert view.is_live(5)
+        # Fresh detector state: many clean epochs later, still believed.
+        for epoch in range(2, 8):
+            view.advance(epoch)
+        assert view.is_live(5)
+        assert view.evictions == 0
+
+    def test_forget_drops_all_trace_before_compaction(self):
+        view = ProbeView(make_ring(16), DETECT, seed=6)
+        view.crash([3, 9])
+        view.record_deaths([3, 9], epoch=1)
+        evict_all(view, start_epoch=1)
+        view.forget([3, 9])
+        view.ring.remove_many([3, 9])
+        assert view.live_count == 14
+        # A recycled identity starts clean: re-inserting one of the ids
+        # must not inherit detector or gossip state.
+        view.ring.insert(3, 0.987)
+        assert view.is_live(3)
+        for epoch in range(20, 26):
+            view.advance(epoch)
+        assert view.is_live(3)
+
+    def test_crash_fraction_matches_oracle_draw_layout(self):
+        probe = ProbeView(make_ring(20), DETECT, seed=7)
+        oracle = OracleView(make_ring(20))
+        assert probe.crash_fraction(split(9, "frac"), 0.3) == oracle.crash_fraction(
+            split(9, "frac"), 0.3
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        backend=st.sampled_from(["scalar", "vectorized"]),
+        data=st.data(),
+    )
+    def test_zero_loss_means_zero_false_evictions(self, n, seed, backend, data):
+        """The ISSUE's property: loss == 0 => no truth-live peer is ever
+        evicted, whatever the crash schedule."""
+        view = ProbeView(
+            make_ring(n), DETECT, seed=seed, backend=backend
+        )
+        for epoch in range(1, 9):
+            live = [int(i) for i in view.ring.ids_array(live_only=True)]
+            if len(live) > 2:
+                victims = data.draw(
+                    st.lists(
+                        st.sampled_from(live),
+                        max_size=len(live) - 2,
+                        unique=True,
+                    ),
+                    label=f"victims@{epoch}",
+                )
+                view.crash(victims)
+                view.record_deaths(victims, epoch)
+            view.advance(epoch)
+            assert view.false_evictions == 0
+            # Belief never contradicts truth downward at zero loss:
+            # every truth-live peer stays believed-live.
+            believed = set(int(i) for i in view.live_ids())
+            truth = set(int(i) for i in view.ring.ids_array(live_only=True))
+            assert truth <= believed
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        loss=st.sampled_from([0.0, 0.1, 0.3]),
+        data=st.data(),
+    )
+    def test_scalar_and_vectorized_banks_agree(self, n, seed, loss, data):
+        """The bit-identity differential: both backends, fed identical
+        crash schedules and the same seed (hence the same uniform draw
+        matrices), must agree on every observable after every epoch."""
+        config = dataclasses.replace(DETECT, loss=loss)
+        views = {
+            backend: ProbeView(make_ring(n), config, seed=seed, backend=backend)
+            for backend in ("scalar", "vectorized")
+        }
+        schedule: list[list[int]] = []
+        for epoch in range(1, 7):
+            reference = views["scalar"]
+            live = [int(i) for i in reference.ring.ids_array(live_only=True)]
+            victims = (
+                data.draw(
+                    st.lists(
+                        st.sampled_from(live), max_size=len(live) - 2, unique=True
+                    ),
+                    label=f"victims@{epoch}",
+                )
+                if len(live) > 2
+                else []
+            )
+            schedule.append(victims)
+            for view in views.values():
+                view.crash(victims)
+                view.record_deaths(victims, epoch)
+                view.advance(epoch)
+            scalar, vectorized = views["scalar"], views["vectorized"]
+            assert list(scalar.live_ids()) == list(vectorized.live_ids()), schedule
+            assert scalar.evictions == vectorized.evictions, schedule
+            assert scalar.false_evictions == vectorized.false_evictions, schedule
+            assert scalar.detection_lags == vectorized.detection_lags, schedule

@@ -22,7 +22,8 @@ from repro.config import SamplingMode
 from repro.core.overlay import OscarOverlay
 from repro.degree import ConstantDegrees, SpikyDegreeDistribution
 from repro.engine.construct import BatchConstructionEngine, LiveView
-from repro.net import NetHarness, get_codec, have_msgpack
+from repro.membership import DetectorConfig
+from repro.net import NetConfig, NetHarness, get_codec, have_msgpack
 from repro.errors import SimulationError
 from repro.net.codec import MAX_FRAME, FrameError
 from repro.rng import split
@@ -129,9 +130,13 @@ class TestLockstepOracle:
             assert [getattr(stats, f) for f in stats.__slots__] == oracle_stats
 
     def test_lockstep_requires_memory_uniform(self):
-        with pytest.raises(SimulationError):
+        # Validation now lives in NetConfig and raises ConfigError —
+        # the legacy keyword spelling is vetted by the same rules.
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
             NetHarness(OscarConfig(), seed=0, lockstep=True, transport="tcp")
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigError):
             NetHarness(OscarConfig(), seed=0, lockstep=True, delivery="random")
 
 
@@ -145,6 +150,7 @@ class TestFreeMode:
             summary = harness.summary()
             assert summary.n == FREE_PEERS
             assert summary.cap_violations == 0
+            assert summary.directory_mismatches == 0
             success, mean_hops = harness.route_check(100)
             assert success == 1.0
             assert mean_hops > 0.0
@@ -180,6 +186,139 @@ class TestFreeMode:
             assert success == 1.0
 
 
+class TestNetConfig:
+    """The frozen configuration surface: every bad combination is a
+    ConfigError at construction, not a traceback mid-run."""
+
+    def test_defaults_resolve(self):
+        config = NetConfig()
+        assert config.resolved_delivery == "fifo"
+        assert NetConfig(lockstep=True).resolved_delivery == "lockstep"
+        assert NetConfig(delivery="random").resolved_delivery == "random"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transport": "carrier-pigeon"},
+            {"delivery": "chaotic"},
+            {"codec": "pickle"},
+            {"loss": -0.1},
+            {"loss": 1.0, "detector": DetectorConfig()},
+            {"lockstep": True, "transport": "tcp"},
+            {"lockstep": True, "delivery": "random"},
+            {"lockstep": True, "detector": DetectorConfig()},
+            {"detector": DetectorConfig(), "transport": "tcp"},
+            {"loss": 0.1},  # loss without a detector is meaningless
+        ],
+    )
+    def test_bad_combinations_rejected(self, kwargs):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            NetConfig(**kwargs)
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            NetConfig().seed = 7  # type: ignore[misc]
+
+    def test_harness_rejects_kwargs_alongside_netconfig(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            NetHarness(NetConfig(), seed=7)
+
+    def test_lockstep_sampling_walk_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            NetConfig(
+                overlay=OscarConfig(sampling_mode=SamplingMode.WALK), lockstep=True
+            )
+
+
+DETECTOR = DetectorConfig(
+    failure_threshold=2,
+    quorum=2,
+    n_monitors=3,
+    ping_interval_s=0.03,
+    timeout_s=0.06,
+)
+
+
+class TestDetectorPipeline:
+    """The wire half of the tentpole: silent kills detected via probe
+    timeouts, quorum-evicted by the seed, converged via Dead
+    broadcasts. Invariant-level (free mode), wall-clocked."""
+
+    def test_kill_detect_evict_route(self):
+        with NetHarness(NetConfig(seed=5, detector=DETECTOR)) as harness:
+            harness.build(30, UniformKeys(), ConstantDegrees(4))
+            harness.start_detector()
+            harness.kill([3, 17])
+            assert harness.await_evictions([3, 17], timeout_s=30.0) == [3, 17]
+            assert harness.membership_agreement() == 0
+            success, __ = harness.route_check(60)
+            assert success >= 0.99
+            summary = harness.summary()
+            assert summary.n == 28
+            assert summary.directory_mismatches == 0
+
+    def test_kill_mid_join_still_quiesces_and_evicts(self):
+        # Victims die while join walks and link negotiations are in
+        # flight — survivors must time the lost replies out, finish
+        # joining, and later evict the bodies.
+        with NetHarness(NetConfig(seed=9, detector=DETECTOR)) as harness:
+            harness.build(
+                24, UniformKeys(), ConstantDegrees(4), kill_mid_join=(4, 11)
+            )
+            harness.start_detector()
+            harness.await_evictions([4, 11], timeout_s=30.0)
+            assert harness.membership_agreement() == 0
+            success, __ = harness.route_check(40)
+            assert success >= 0.99
+
+    def test_eviction_converges_under_probe_loss(self):
+        lossy = NetConfig(
+            seed=13,
+            detector=DetectorConfig(
+                failure_threshold=3,
+                quorum=2,
+                n_monitors=3,
+                ping_interval_s=0.02,
+                timeout_s=0.05,
+            ),
+            loss=0.2,
+        )
+        with NetHarness(lossy) as harness:
+            harness.build(20, UniformKeys(), ConstantDegrees(4))
+            harness.start_detector()
+            harness.kill([7])
+            assert harness.await_evictions([7], timeout_s=30.0) == [7]
+            assert harness.probes_dropped > 0
+
+    def test_kill_mid_join_requires_detector(self):
+        from repro.errors import ConfigError
+
+        with NetHarness(OscarConfig(), seed=0) as harness:
+            with pytest.raises(ConfigError):
+                harness.build(
+                    20, UniformKeys(), ConstantDegrees(4), kill_mid_join=(3,)
+                )
+
+    def test_kill_before_build_rejected(self):
+        with NetHarness(NetConfig(seed=0, detector=DETECTOR)) as harness:
+            with pytest.raises(SimulationError):
+                harness.kill([1])
+
+    def test_await_without_start_rejected(self):
+        with NetHarness(NetConfig(seed=0, detector=DETECTOR)) as harness:
+            harness.build(10, UniformKeys(), ConstantDegrees(3))
+            with pytest.raises(SimulationError):
+                harness.await_evictions([1])
+
+
 class TestTcpTransport:
     def test_small_overlay_over_real_sockets(self):
         with NetHarness(OscarConfig(), seed=21, transport="tcp") as harness:
@@ -205,3 +344,4 @@ class TestSummary:
             assert summary.route_success == 1.0
             assert summary.messages > 0
             assert summary.generations > 0
+            assert summary.directory_mismatches == 0

@@ -27,12 +27,13 @@ class TestSpecSchema:
             "fig1a", "fig1b", "fig1c", "fig2a", "fig2b",
             "ext-mercury", "ext-keydist", "ext-range", "ext-latency", "scale-build",
             "abl-power-of-two", "abl-sampling", "abl-partitions",
+            "detector-churn", "net-churn",
         } <= ids
 
     def test_tags_partition_the_registry(self):
         assert len(all_specs(tag="figure")) == 5
         assert len(all_specs(tag="ablation")) == 3
-        assert len(all_specs(tag="extension")) == 7
+        assert len(all_specs(tag="extension")) == 9
         assert [spec.id for spec in all_specs(tag="scenario")] == ["scenario"]
 
     def test_every_spec_has_scale_and_seed(self):
@@ -255,4 +256,4 @@ class TestScenarioSpec:
         from repro.experiments import EXPERIMENTS
 
         assert "scenario" not in EXPERIMENTS
-        assert len(EXPERIMENTS) == 15
+        assert len(EXPERIMENTS) == 17

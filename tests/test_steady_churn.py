@@ -19,6 +19,7 @@ from repro.degree import ConstantDegrees
 from repro.engine import ChurnEpochStats, SteadyStateChurnEngine
 from repro.errors import ConfigError
 from repro.experiments import make_overlay
+from repro.membership import DetectorConfig, OracleView, ProbeView
 from repro.ring import verify
 from repro.rng import split
 from repro.workloads import GnutellaLikeDistribution, UniformKeys
@@ -34,6 +35,7 @@ def build_engine(
     seed: int = 42,
     vectorized: bool = True,
     arrival_scale: float = 1.0,
+    membership_factory=None,
 ) -> SteadyStateChurnEngine:
     keys = GnutellaLikeDistribution()
     degrees = ConstantDegrees(8)
@@ -51,6 +53,7 @@ def build_engine(
         n_probes=n_probes,
         seed=seed,
         vectorized=vectorized,
+        membership=membership_factory(overlay.ring) if membership_factory else None,
     )
 
 
@@ -285,17 +288,71 @@ class TestExternalInterleaving:
         """Engine epochs composed with external crash waves + revival
         (the fig2 procedure) keep pointers verifiable at every
         stabilization point."""
-        from repro.churn import crash_fraction, revive_many
         from repro.ring import repair_all
 
         engine = build_engine(size=120, half_life=10.0, n_probes=10, seed=5)
         substrate = engine.substrate
+        view = engine.membership
         for round_no in range(3):
             engine.run_epoch()
             verify(substrate.ring, substrate.pointers)
-            victims = crash_fraction(substrate.ring, split(5, "wave", round_no), 0.2)
+            victims = view.crash_fraction(split(5, "wave", round_no), 0.2)
             repair_all(substrate.ring, substrate.pointers)
             verify(substrate.ring, substrate.pointers)
-            revive_many(substrate.ring, victims)
+            view.revive(victims)
             repair_all(substrate.ring, substrate.pointers)
             verify(substrate.ring, substrate.pointers)
+
+
+class TestMembershipViews:
+    """Acceptance for the membership API redesign: the oracle view is
+    the old engine behavior bit-for-bit, and a lossless probe detector
+    converges to the oracle's ground truth."""
+
+    def test_explicit_oracle_is_bit_identical_to_default(self):
+        default = build_engine(size=100, half_life=5.0, seed=11)
+        explicit = build_engine(
+            size=100, half_life=5.0, seed=11, membership_factory=OracleView
+        )
+        assert isinstance(default.membership, OracleView)
+        assert default.run(6) == explicit.run(6)
+        ring_d, ring_e = default.substrate.ring, explicit.substrate.ring
+        assert np.array_equal(ring_d.ids_array(), ring_e.ids_array())
+        assert np.array_equal(
+            ring_d.ids_array(live_only=True), ring_e.ids_array(live_only=True)
+        )
+
+    @pytest.mark.parametrize("backend", ["vectorized", "scalar"])
+    def test_probe_zero_loss_converges_to_oracle_live_set(self, backend):
+        config = DetectorConfig(
+            failure_threshold=2, quorum=2, n_monitors=3, rounds_per_epoch=2
+        )
+        oracle = build_engine(size=80, half_life=6.0, seed=23)
+        probe = build_engine(
+            size=80,
+            half_life=6.0,
+            seed=23,
+            membership_factory=lambda ring: ProbeView(
+                ring, config, seed=23, backend=backend
+            ),
+        )
+        epochs = 8
+        oracle.run(epochs)
+        probe.run(epochs)
+        # The detector consumes only its private ("steady-detect", e)
+        # streams, so ground-truth churn is identical under both views.
+        truth_oracle = sorted(
+            int(i) for i in oracle.substrate.ring.ids_array(live_only=True)
+        )
+        ring = probe.substrate.ring
+        assert sorted(int(i) for i in ring.ids_array(live_only=True)) == truth_oracle
+        # Freeze churn and let probe rounds + gossip drain the backlog:
+        # belief must converge onto ground truth with no false evictions.
+        view = probe.membership
+        for extra_epoch in range(epochs, epochs + 60):
+            if view.live_count == ring.live_count:
+                break
+            view.advance(extra_epoch)
+        assert view.live_count == ring.live_count
+        assert sorted(int(i) for i in view.live_ids()) == truth_oracle
+        assert view.false_evictions == 0
