@@ -16,7 +16,12 @@ schema-versioned JSON documents:
 * ``BENCH_detector.json`` — the probe-membership hot path: a
   ``detector-churn`` run (failure detector + gossip instead of the
   oracle view), recording detection-lag p50/p99 in epochs, the
-  false-eviction rate and epoch throughput.
+  false-eviction rate and epoch throughput;
+* ``BENCH_serve.json`` — the data-plane hot path: a ``serve-churn``
+  run (k-replicated catalog + cached serving under gentle churn),
+  recording cached/uncached queries per second, hit rate, items lost
+  (zero under the oracle at this churn rate), under-replication and
+  stale serves.
 
 CI uploads the files as artifacts on every run — the durable
 performance trajectory — and this script *fails* the job when
@@ -179,6 +184,50 @@ def bench_detector(seed: int, size: int, epochs: int) -> dict:
     )
 
 
+def bench_serve(seed: int, size: int, epochs: int) -> dict:
+    """Serve-phase benchmark: the replicated data plane under churn.
+
+    Gentle-churn parameters (half-life 64 epochs, repair every epoch)
+    so the oracle zero-loss guarantee holds deterministically: fewer
+    than k holders die per repair interval, and ``items_lost`` doubles
+    as a correctness gate in CI.
+    """
+    runner = Runner(store=None, defaults={"scale": 1.0, "seed": seed})
+    started = time.perf_counter()
+    record = runner.run(
+        "serve-churn",
+        {
+            "size": size,
+            "epochs": epochs,
+            "half_life": 64.0,
+            "repair_every": 1,
+            "n_queries": 2048,
+        },
+    )
+    wall = time.perf_counter() - started
+    result = record.result
+    metrics = {
+        "wall_seconds": round(wall, 3),
+        "qps_cached": round(result.scalars["qps_cached"], 1),
+        "qps_uncached": round(result.scalars["qps_uncached"], 1),
+        "hit_rate": round(result.scalars["hit_rate"], 4),
+        "items_lost_total": int(result.scalars["items_lost_total"]),
+        "items_final": int(result.scalars["items_final"]),
+        "under_k_final": int(result.scalars["under_k_final"]),
+        "phantom_total": int(result.scalars["phantom_total"]),
+        "stale_serves": int(result.scalars["stale_serves"]),
+        "mean_success_rate": round(result.scalars["mean_success_rate"], 4),
+        "final_live": int(result.scalars["final_live"]),
+        "serve_seconds": round(result.scalars["serve_seconds"], 3),
+    }
+    return _document(
+        "serve",
+        {"seed": seed, "size": size, "epochs": epochs, "scale": 1.0},
+        metrics,
+        {name: points for name, points in result.series.items()},
+    )
+
+
 def compare(document: dict, baseline_path: Path, max_regression: float) -> list[str]:
     """Regression findings of ``document`` vs its committed baseline."""
     if not baseline_path.exists():
@@ -250,6 +299,15 @@ def main(argv: list[str] | None = None) -> int:
         "to flow: detection + gossip completion takes several epochs)",
     )
     parser.add_argument(
+        "--serve-size",
+        type=int,
+        default=5000,
+        help="serve-churn benchmark population",
+    )
+    parser.add_argument(
+        "--serve-epochs", type=int, default=12, help="serve-churn benchmark epochs"
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="record the measured numbers as the new committed baselines",
@@ -263,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_detector.json": bench_detector(
             args.seed, args.detector_size, args.detector_epochs
         ),
+        "BENCH_serve.json": bench_serve(args.seed, args.serve_size, args.serve_epochs),
     }
     args.out_dir.mkdir(parents=True, exist_ok=True)
     for name, document in documents.items():
@@ -283,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
     for name, document in documents.items():
         problems.extend(
             compare(document, args.baseline_dir / name, args.max_regression)
+        )
+    lost = int(documents["BENCH_serve.json"]["metrics"]["items_lost_total"])
+    if lost != 0:
+        problems.append(
+            f"serve: {lost} items lost under the oracle at gentle churn "
+            "(k-replication must guarantee zero loss here)"
         )
     speedup = float(documents["BENCH_build.json"]["metrics"]["rewire_speedup"])
     if args.min_speedup > 0 and speedup < args.min_speedup:

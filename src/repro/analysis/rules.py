@@ -19,6 +19,9 @@ CLK001    wallclock-env               no wall clock / environment reads in
                                       simulation code
 DOC001    docstring-contracts         public engine defs document their RNG
                                       streams (replaces the ruff D-select gate)
+CACHE001  cache-version-guard         version-keyed cache state (``*_cache``)
+                                      is only read under a version equality
+                                      guard
 ========  ==========================  =============================================
 
 Scope notes live on each rule; per-line escapes are
@@ -42,6 +45,7 @@ __all__ = [
     "NondeterministicIterationRule",
     "WallClockRule",
     "DocstringContractsRule",
+    "CacheGuardRule",
 ]
 
 
@@ -793,3 +797,105 @@ class DocstringContractsRule(Rule):
             if isinstance(node, ast.ClassDef) and node.name in class_names:
                 return ast.get_docstring(node) or ""
         return ""
+
+
+# ----------------------------------------------------------------------
+# CACHE001 — version-guarded cache reads
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class CacheGuardRule(Rule):
+    """Version-keyed cache state is only read under a version guard.
+
+    The serving layer (PR 10) answers queries from caches —
+    ``BatchQueryEngine._route_cache`` (the topology snapshot),
+    ``ServeEngine._serve_cache`` (the believed-live snapshot) and the
+    ``result_cache`` LRU — that are correct *only at the version they
+    were built*. A read that skips the version check serves a
+    pre-churn owner as if it were current: exactly the stale-routing
+    bug PR 5 fixed once at a single call site. The discipline is
+    structural, so it is lintable: version-keyed cache state lives in
+    attributes named ``*_cache`` (the naming *is* the contract), and a
+    function that reads one must carry a version-equality check.
+
+    Fires on any ``Load`` of a ``*_cache`` attribute inside a
+    ``repro/engine`` function that contains no ``==``/``!=`` comparison
+    involving a ``version``-named operand. A method call on the cache
+    that *passes* a ``version``-named argument (``result_cache.get(key,
+    version)``) delegates the check to the cache and is exempt.
+    Writes/rebuilds (``self._route_cache = ...``) are not reads.
+    Intentional unguarded reads — test-only exposure properties, bulk
+    ``clear()`` — carry per-line ``# repro: allow[CACHE001]`` escapes
+    so each one is visible in the diff that introduces it.
+    """
+
+    code = "CACHE001"
+    name = "cache-version-guard"
+    description = "version-keyed cache reads require a version equality guard"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return "repro/engine/" in ctx.posix
+
+    @staticmethod
+    def _own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+        """The function's own subtree, nested defs excluded (they get
+        their own ``visit_FunctionDef`` pass)."""
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            yield child
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(child))
+
+    @staticmethod
+    def _mentions_version(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "version" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "version" in sub.attr.lower():
+                return True
+        return False
+
+    def visit_FunctionDef(self, ctx: ModuleContext, node: ast.FunctionDef, analyzer: Analyzer):
+        own = list(self._own_nodes(node))
+        guarded = any(
+            isinstance(sub, ast.Compare)
+            and any(isinstance(op, (ast.Eq, ast.NotEq)) for op in sub.ops)
+            and any(
+                self._mentions_version(operand)
+                for operand in (sub.left, *sub.comparators)
+            )
+            for sub in own
+        )
+        if guarded:
+            return
+        # Calls on the cache that hand the version to the cache itself
+        # (`result_cache.get(key, version)`) delegate the guard.
+        delegated: set[ast.AST] = set()
+        for sub in own:
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Attribute)
+                and sub.func.value.attr.endswith("_cache")
+                and any(self._mentions_version(arg) for arg in sub.args)
+            ):
+                delegated.add(sub.func.value)
+        for sub in own:
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.attr.endswith("_cache")
+                and sub not in delegated
+            ):
+                yield ctx.finding(
+                    self.code,
+                    sub,
+                    f"read of version-keyed cache '.{sub.attr}' without a "
+                    "version equality guard; compare against the current "
+                    "version (or pass it to the cache's get/put) before "
+                    "serving from cache state",
+                )
+
+    visit_AsyncFunctionDef = visit_FunctionDef

@@ -10,7 +10,8 @@ Subcommands::
     bench   throughput of one substrate: --phase route (batched query
             engine), --phase build (batched construction), --phase churn
             (steady-state churn epochs), --phase detector (churn on
-            probe-derived liveness), or --phase net (asyncio runtime)
+            probe-derived liveness), --phase net (asyncio runtime), or
+            --phase serve (cached data plane over a replicated catalog)
     lint    static analysis of the determinism / SoA contracts
             (rule codes, suppressions and baseline: docs/determinism.md)
 
@@ -207,7 +208,10 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "scalar rewiring rounds; --phase churn sustains steady-state churn "
         "epochs (arrivals, departures, repair, probes) and times each; "
         "--phase detector runs the same churn on probe-derived liveness "
-        "(failure detectors + gossip) and reports detection lag.",
+        "(failure detectors + gossip) and reports detection lag; "
+        "--phase serve load-tests the cached data plane (k-replicated "
+        "catalog, believed-membership routing, LRU result cache) under "
+        "steady churn and reports queries/sec, hit rate and items lost.",
     )
     parser.add_argument(
         "--substrate",
@@ -217,11 +221,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--phase",
-        choices=("route", "build", "churn", "detector", "net"),
+        choices=("route", "build", "churn", "detector", "net", "serve"),
         default="route",
         help="what to measure: query routing (default), construction, "
         "steady-state churn throughput, churn on probe-derived liveness "
-        "(detector), or the asyncio message-passing runtime (net)",
+        "(detector), the asyncio message-passing runtime (net), or the "
+        "cached data plane over a replicated catalog (serve)",
     )
     parser.add_argument(
         "--batch",
@@ -281,6 +286,39 @@ def build_bench_parser() -> argparse.ArgumentParser:
         dest="detector_rounds",
         help="probe rounds per churn epoch (detector aggressiveness)",
     )
+    serve = parser.add_argument_group("serve phase")
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replication factor k (owner + k-1 clockwise successors)",
+    )
+    serve.add_argument(
+        "--items",
+        type=int,
+        default=0,
+        help="catalog size (0 = one item per initial peer)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1 << 20,
+        dest="cache_size",
+        help="LRU result-cache capacity (0 disables result caching)",
+    )
+    serve.add_argument(
+        "--view",
+        choices=("oracle", "probe"),
+        default="oracle",
+        help="membership the data plane believes: ground truth (oracle) "
+        "or failure detectors with --loss (probe)",
+    )
+    serve.add_argument(
+        "--exponent",
+        type=float,
+        default=0.9,
+        help="Zipf popularity skew of the serving workload",
+    )
     return parser
 
 
@@ -318,6 +356,14 @@ def _validate_bench(args: argparse.Namespace) -> None:
         raise ConfigError(f"--loss must be in [0, 1), got {args.loss}")
     if args.detector_rounds < 1:
         raise ConfigError(f"--detector-rounds must be >= 1, got {args.detector_rounds}")
+    if args.replicas < 1:
+        raise ConfigError(f"--replicas must be >= 1, got {args.replicas}")
+    if args.items < 0:
+        raise ConfigError(f"--items must be >= 0 (0 = one per peer), got {args.items}")
+    if args.cache_size < 0:
+        raise ConfigError(f"--cache-size must be >= 0 (0 disables), got {args.cache_size}")
+    if not (args.exponent >= 0.0):
+        raise ConfigError(f"--exponent must be >= 0, got {args.exponent}")
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -335,6 +381,8 @@ def run_bench(args: argparse.Namespace) -> int:
         return _run_bench_detector(args)
     if args.phase == "net":
         return _run_bench_net(args)
+    if args.phase == "serve":
+        return _run_bench_serve(args)
     return _run_bench_route(args)
 
 
@@ -665,6 +713,114 @@ def _run_bench_detector(args: argparse.Namespace) -> int:
         f"mean_success={mean_success:.3f} evictions={membership.evictions} "
         f"false_evictions={membership.false_evictions} "
         f"lag_p50={lag_p50} lag_max={lags[-1] if lags else 0}"
+    )
+    return 0
+
+
+def _run_bench_serve(args: argparse.Namespace) -> int:
+    """The serve phase: cached data-plane throughput under churn.
+
+    Builds the overlay, publishes a k-replicated catalog, then per
+    epoch: one churn step (re-replication riding its repair epochs),
+    one *cold* serve pass (version just moved — uncached throughput)
+    and one *warm* repeat of the same batch (cached throughput). The
+    tail line is machine-parseable — CI gates on ``items_lost`` and the
+    throughput floors.
+    """
+    import numpy as np
+
+    from .churn import make_sessions
+    from .degree import ConstantDegrees
+    from .engine import ServeEngine, SteadyStateChurnEngine
+    from .experiments import make_overlay
+    from .index import ReplicatedStore
+    from .membership import DetectorConfig, OracleView, ProbeView
+    from .rng import split
+    from .workloads import FlashCrowdSchedule, GnutellaLikeDistribution, ServingWorkload
+
+    requests = args.batch
+    print(
+        f"[bench] phase=serve substrate={args.substrate} nodes={args.nodes} "
+        f"epochs={args.epochs} half_life={args.half_life} repair_every={args.repair_every} "
+        f"k={args.replicas} view={args.view} loss={args.loss} "
+        f"requests={requests or 'N'} seed={args.seed}"
+    )
+    keys = GnutellaLikeDistribution()
+    degrees = ConstantDegrees(args.cap)
+    overlay = make_overlay(args.substrate, seed=args.seed)
+    started = time.perf_counter()
+    overlay.grow_batch(args.nodes, keys, degrees)
+    overlay.rewire_batch()
+    print(f"[bench] build (grow_batch + rewire_batch): {time.perf_counter() - started:.2f}s")
+
+    if args.view == "probe":
+        view = ProbeView(overlay.ring, DetectorConfig(loss=args.loss), seed=args.seed)
+    else:
+        view = OracleView(overlay.ring)
+    store = ReplicatedStore(overlay.ring, k=args.replicas)
+    n_items = args.items if args.items else args.nodes
+    store.seed_items(split(args.seed, "serve-items").random(n_items), view)
+    sessions = make_sessions(args.sessions, args.half_life)
+    engine = SteadyStateChurnEngine(
+        overlay,
+        keys,
+        degrees,
+        sessions,
+        arrival_rate=args.nodes / sessions.mean,
+        repair_every=args.repair_every,
+        n_probes=1,  # routed probes are not what this phase measures
+        seed=args.seed,
+        membership=view,
+        replication=store,
+    )
+    serve = ServeEngine(overlay, store, view, cache_size=args.cache_size)
+    workload = ServingWorkload(
+        exponent=args.exponent,
+        flash=FlashCrowdSchedule(
+            start=max(1, args.epochs // 3), stop=max(2, 2 * args.epochs // 3)
+        ),
+    )
+
+    cold_qps: list[float] = []
+    warm_qps: list[float] = []
+    serve_started = time.perf_counter()
+    for __ in range(args.epochs):
+        stats = engine.run_epoch()
+        e = stats.epoch
+        believed = view.live_ids()
+        truth = overlay.ring.ids_array(live_only=True)
+        pool = believed[np.isin(believed, truth, assume_unique=True)]
+        count = overlay.ring.live_count if requests == 0 else requests
+        sources, target_keys = workload.generate_arrays(
+            pool, store.item_keys, split(args.seed, "serve-queries", e), count, epoch=e
+        )
+        t0 = time.perf_counter()
+        cold = serve.serve_batch(sources, target_keys)
+        t1 = time.perf_counter()
+        warm = serve.serve_batch(sources, target_keys)
+        t2 = time.perf_counter()
+        cold_qps.append(count / max(t1 - t0, 1e-9))
+        warm_qps.append(count / max(t2 - t1, 1e-9))
+        cold_d = cold.as_dict()
+        lost_e = sum(r.items_lost for r in store.history if r.epoch == e)
+        print(
+            f"[bench] epoch {e:>3}: cold {cold_qps[-1]:>12,.0f} q/s "
+            f"warm {warm_qps[-1]:>12,.0f} q/s "
+            f"success={cold_d['successes'] / max(1, count):.3f} "
+            f"stale={cold_d['stale_serves']} lost={lost_e} "
+            f"under_k={store.under_replicated()} "
+            f"warm_hits={warm.as_dict()['cache_hits']}"
+        )
+    serve_elapsed = time.perf_counter() - serve_started
+    qps_uncached = sorted(cold_qps)[len(cold_qps) // 2]
+    qps_cached = sorted(warm_qps)[len(warm_qps) // 2]
+    print(
+        f"[bench] {args.epochs} epochs in {serve_elapsed:.2f}s "
+        f"qps_cached={qps_cached:,.0f} qps_uncached={qps_uncached:,.0f} "
+        f"hit_rate={serve.result_cache.hit_rate:.3f} "
+        f"items_lost={store.items_lost_total} under_k={store.under_replicated()} "
+        f"phantom={sum(r.phantom_replicas for r in store.history)} "
+        f"stale_serves={serve.stale_serves} final_live={engine.history[-1].live}"
     )
     return 0
 

@@ -1,6 +1,6 @@
 """Execution engines: discrete-event simulation and batched operations.
 
-Four engines live here:
+Five engines live here:
 
 * the discrete-event kernel (:mod:`repro.engine.core`,
   :mod:`repro.engine.resources`) — :class:`Environment` drives
@@ -21,13 +21,21 @@ Four engines live here:
   epochs of batched arrivals, session-expiry departures, periodic
   repair and routed probes, composing the other engines into one
   continuous-turnover simulation (same bit-identical reference-path
-  contract).
+  contract);
+* the serving engine (:mod:`repro.engine.serve`) —
+  :class:`ServeEngine` is the data-plane request path: believed-
+  membership owner resolution and routing over a per-version
+  :class:`ServeSnapshot`, an LRU :class:`ResultCache` invalidated on
+  topology/replica/belief change, and delivery verified against a
+  :class:`~repro.index.replication.ReplicatedStore` (same
+  bit-identical reference-path contract).
 """
 
 from .batch import BatchQueryEngine, BatchRouteResult, TopologySnapshot
 from .construct import BatchConstructionEngine, LiveView
 from .core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import Resource, check_rss_ceiling, max_rss_mb
+from .serve import ResultCache, ServeBatchResult, ServeEngine, ServeSnapshot
 
 # Imported last: repro.churn.process (pulled in by repro.churn, which
 # the churn engine's session distributions live under) imports this
@@ -48,6 +56,10 @@ __all__ = [
     "LiveView",
     "Process",
     "Resource",
+    "ResultCache",
+    "ServeBatchResult",
+    "ServeEngine",
+    "ServeSnapshot",
     "SteadyStateChurnEngine",
     "Timeout",
     "TopologySnapshot",

@@ -305,7 +305,7 @@ class BatchQueryEngine:
     def __init__(self, substrate: "Substrate", routing: RoutingConfig | None = None) -> None:
         self.substrate = substrate
         self.routing = routing or getattr(substrate, "routing", None) or RoutingConfig()
-        self._snapshot: TopologySnapshot | None = None
+        self._route_cache: TopologySnapshot | None = None
 
     # ------------------------------------------------------------------
     # snapshot cache
@@ -315,19 +315,19 @@ class BatchQueryEngine:
     def cached_snapshot(self) -> TopologySnapshot | None:
         """The currently held snapshot (``None`` before first use) —
         exposed for cache-behaviour tests."""
-        return self._snapshot
+        return self._route_cache  # repro: allow[CACHE001] exposure-only read for cache tests
 
     def invalidate(self) -> None:
         """Drop the cached snapshot unconditionally (next batch rebuilds)."""
-        self._snapshot = None
+        self._route_cache = None
 
     def snapshot(self) -> TopologySnapshot:
         """Return a snapshot of the substrate's *current* topology,
         reusing the cache when ``topology_version`` is unchanged."""
         version = self.substrate.topology_version
-        if self._snapshot is None or self._snapshot.version != version:
-            self._snapshot = TopologySnapshot.capture(self.substrate)
-        return self._snapshot
+        if self._route_cache is None or self._route_cache.version != version:
+            self._route_cache = TopologySnapshot.capture(self.substrate)
+        return self._route_cache
 
     # ------------------------------------------------------------------
     # batched routing

@@ -68,6 +68,7 @@ from .batch import BatchQueryEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.substrate import Substrate
+    from ..index.replication import ReplicatedStore
 
 __all__ = ["ChurnEpochStats", "SteadyStateChurnEngine"]
 
@@ -167,11 +168,22 @@ class SteadyStateChurnEngine:
             keep their links counted, dodge compaction and poison
             routes until a probe quorum evicts them. The view must wrap
             this substrate's ring.
+        replication: Optional
+            :class:`~repro.index.replication.ReplicatedStore` over this
+            substrate's ring. When installed, the periodic repair epoch
+            also runs the store's re-replication pass against
+            ``membership`` — so under a probe view, re-replication is
+            driven by *eviction*, not ground truth, and detection lag
+            shows up as data risk. The pass consumes no RNG, so
+            attaching a store never shifts the engine's epoch
+            statistics.
 
     Attributes:
         history: Every :class:`ChurnEpochStats` recorded so far.
         membership: The installed view (read detector metrics —
             ``detection_lags``, ``false_evictions`` — off it).
+        replication: The installed store, or ``None`` (read data-risk
+            metrics — ``items_lost_total``, ``history`` — off it).
     """
 
     def __init__(
@@ -187,6 +199,7 @@ class SteadyStateChurnEngine:
         vectorized: bool = True,
         workload: QueryWorkload | None = None,
         membership: MembershipView | None = None,
+        replication: "ReplicatedStore | None" = None,
     ) -> None:
         if not (arrival_rate >= 0.0 and np.isfinite(arrival_rate)):
             raise ConfigError(f"arrival_rate must be a finite float >= 0, got {arrival_rate}")
@@ -220,7 +233,13 @@ class SteadyStateChurnEngine:
                 "membership view wraps a different ring than the substrate; "
                 "construct it over substrate.ring"
             )
+        if replication is not None and replication.ring is not substrate.ring:
+            raise ConfigError(
+                "replicated store wraps a different ring than the substrate; "
+                "construct it over substrate.ring"
+            )
         self.membership = membership
+        self.replication = replication
         self.substrate = substrate
         self.keys = keys
         self.degrees = degrees
@@ -301,6 +320,11 @@ class SteadyStateChurnEngine:
         stale = self._count_stale_links()
         repair_due = (e % self.repair_every) == 0
         compacted = self._repair_links(e) if repair_due else 0
+        if repair_due and self.replication is not None:
+            # Re-replication rides the repair epoch and acts on the same
+            # *believed* membership the link repair just used; it draws
+            # no randomness, so the engine's streams are untouched.
+            self.replication.rereplicate(self.membership, e)
         probes = self._probe(e)
         stats = ChurnEpochStats(
             epoch=e,

@@ -1,0 +1,585 @@
+"""Cached data-plane serving: believed-membership routing + result LRU.
+
+:class:`~repro.engine.batch.BatchQueryEngine` measures what the *paper*
+cares about — hop costs of greedy routing over ground-truth topology.
+A deployed data plane cares about something harsher: every ``get`` must
+resolve to a replica holder **as the membership view believes the world
+to be**, at millions of requests against a ring that churns underneath.
+:class:`ServeEngine` is that path:
+
+* a **per-version serve snapshot** (:class:`ServeSnapshot`) — the
+  believed-live peers as flat arrays (positions, exact ``uint64`` keys,
+  a believed-row neighbor matrix), so owner lookup is one
+  ``searchsorted`` and routing is the lock-step greedy walk restricted
+  to believed-live peers. Because the walk never enters a believed-dead
+  peer, it cannot abort on missing successor pointers the way the
+  ground-truth batch walk does mid-churn — and it never *routes via* a
+  peer the view has evicted;
+* an **LRU result cache** (:class:`ResultCache`) keyed on the target
+  key, every entry stamped with the serve version it was computed at
+  and served **only** while that version is current — membership
+  change, link change, or replica movement each bump the version, so a
+  cache can return stale bytes for at most zero versions, never "the
+  old owner";
+* **stale-serve accounting**: a believed owner that is truth-dead (the
+  detection-lag window) fails the request and increments
+  ``stale_serves`` — the serving-side twin of the replication layer's
+  phantom replicas.
+
+The serve **version** is the triple ``(topology_version,
+data_version, evictions)``: substrate links/membership, replica
+placement, and probe-view belief each invalidate independently.
+
+``vectorized=False`` swaps every kernel (owner lookup, greedy walk,
+holder check) for a pure-Python twin that must produce **bit-identical**
+:class:`ServeBatchResult` arrays — the differential the test suite
+pins, cache-enabled vs cache-disabled and vectorized vs reference.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigError, RoutingError
+from ..ring import keyspace
+from .batch import BatchQueryEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.substrate import Substrate
+    from ..index.replication import ReplicatedStore
+    from ..membership import MembershipView
+
+__all__ = ["ResultCache", "ServeBatchResult", "ServeEngine", "ServeSnapshot"]
+
+_KEY_MASK = (1 << 64) - 1
+
+
+class ResultCache:
+    """LRU result cache with version-stamped entries.
+
+    Every entry records the serve version it was computed at; a read
+    only returns the entry while the caller's current version equals the
+    stored one (the CACHE001 contract — see ``docs/serving.md``), so a
+    topology/membership/replica change can never resurface a stale
+    owner. Stale entries are dropped lazily on the read that finds them.
+
+    Args:
+        capacity: Maximum retained entries; least-recently-used entries
+            are evicted beyond it (0 disables caching entirely).
+    """
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity < 0:
+            raise ConfigError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[float, tuple[object, tuple]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: float, version: object) -> tuple | None:
+        """The payload cached for ``key`` at exactly ``version``, else
+        ``None`` (counted as a miss; version-mismatched entries are
+        invalidated on the spot)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_version, payload = entry
+            if stored_version == version:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return payload
+            del self._entries[key]
+            self.invalidations += 1
+        self.misses += 1
+        return None
+
+    def put(self, key: float, version: object, payload: tuple) -> None:
+        """Insert/overwrite the entry for ``key`` stamped ``version``."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = (version, payload)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (bulk invalidation)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime ``hits / (hits + misses)`` (0.0 before any read)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ServeSnapshot:
+    """Array view of the *believed-live* overlay at one serve version.
+
+    The successor/owner cache of the serving path: positions, exact
+    keys and the neighbor matrix are precomputed once per version, so
+    per-request work is pure array gathering. Rows index believed-live
+    peers in clockwise (position) order; the believed ring successor of
+    row ``i`` is implicitly ``(i + 1) % m``. Links to believed-dead
+    peers are dropped at capture — the walk cannot route via them.
+
+    Attributes:
+        version: The serve version triple this snapshot was built at.
+        ids: Believed-live node ids, position order.
+        pos: Their unit-circle positions (sorted).
+        keys: Exact ``uint64`` twins of ``pos``.
+        row_of: ``node id -> believed row`` translation (-1 unknown or
+            believed-dead).
+        nbr_rows: Padded believed-row neighbor matrix (-1 padding),
+            link-table order.
+    """
+
+    version: object
+    ids: np.ndarray
+    pos: np.ndarray
+    keys: np.ndarray
+    row_of: np.ndarray
+    nbr_rows: np.ndarray
+
+    @classmethod
+    def capture(
+        cls, substrate: "Substrate", view: "MembershipView", version: object
+    ) -> "ServeSnapshot":
+        """Materialize the believed-live topology of ``substrate`` as
+        seen through ``view``, stamped with ``version``.
+
+        The neighbor matrix is built the same way on both execution
+        paths (struct-of-arrays gather when the substrate exposes flat
+        state, per-peer link lists otherwise), so the vectorized and
+        reference walk kernels consume identical candidates.
+        """
+        ring = substrate.ring
+        all_ids = ring.ids_array(live_only=False)
+        all_pos = ring.positions_array(live_only=False)
+        all_keys = ring.keys_array(live_only=False)
+        believed = view.live_ids()
+        if believed.size == 0:
+            raise ConfigError("serve snapshot needs at least one believed-live peer")
+        if believed.size == all_ids.size:
+            ids, pos, keys = all_ids, all_pos, all_keys
+        else:
+            mask = np.isin(all_ids, believed, assume_unique=True)
+            ids, pos, keys = all_ids[mask], all_pos[mask], all_keys[mask]
+        m = int(ids.size)
+        max_id = int(all_ids.max()) if all_ids.size else -1
+        row_of = np.full(max_id + 2, -1, dtype=np.int64)
+        row_of[ids] = np.arange(m, dtype=np.int64)
+
+        state = getattr(substrate, "state", None)
+        if state is not None and getattr(ring, "state", None) is state and state.link_width:
+            slots = state.slots_of(ids)
+            links = state.out_links[slots].astype(np.int64)
+            width = int(state.link_width)
+            have = np.arange(width) < state.out_count[slots][:, None]
+            safe = np.clip(links, 0, row_of.size - 1)
+            trans = np.where(have & (links >= 0) & (links < row_of.size), row_of[safe], -1)
+            nbr_rows = trans if width else np.full((m, 1), -1, dtype=np.int64)
+        else:
+            lists = cls._link_lists(substrate, ids)
+            width = max(1, max((len(links) for links in lists), default=0))
+            nbr_rows = np.full((m, width), -1, dtype=np.int64)
+            for row, links in enumerate(lists):
+                for col, target in enumerate(links):
+                    target = int(target)
+                    nbr_rows[row, col] = row_of[target] if 0 <= target <= max_id else -1
+        if nbr_rows.shape[1] == 0:
+            nbr_rows = np.full((m, 1), -1, dtype=np.int64)
+        return cls(
+            version=version, ids=ids, pos=pos, keys=keys, row_of=row_of, nbr_rows=nbr_rows
+        )
+
+    @staticmethod
+    def _link_lists(substrate: "Substrate", ids: np.ndarray) -> list[list[int]]:
+        """Per-believed-peer long-link target lists, link-table order
+        (the scalar fallback of :meth:`capture`)."""
+        nodes = getattr(substrate, "nodes", None)
+        if nodes is not None:
+            return [list(nodes[int(i)].out_links) for i in ids]
+        fingers = getattr(substrate, "fingers", None)
+        if fingers is not None:
+            return [list(fingers[int(i)]) for i in ids]
+        return [[] for __ in range(int(ids.size))]
+
+    @property
+    def size(self) -> int:
+        """Number of believed-live peers in the snapshot."""
+        return int(self.ids.size)
+
+    def owner_rows(self, target_keys: np.ndarray) -> np.ndarray:
+        """Believed owner (first believed-live clockwise successor) row
+        per key — the vectorized ``successor_of_key`` over belief."""
+        idx = np.searchsorted(self.pos, np.asarray(target_keys, dtype=float), side="left")
+        return idx % self.size
+
+
+@dataclass(frozen=True)
+class ServeBatchResult:
+    """Per-request outcome arrays of one serve batch.
+
+    Attributes:
+        target_keys: Requested keys.
+        owners: Believed owner node id per request (always a
+            believed-live peer — never a peer the view has evicted).
+        hit: Served from the result cache (hops charged 0).
+        found: The key matched a surviving catalog item.
+        success: Delivered — found, owner truth-live, and the owner
+            actually holds a replica.
+        stale: Believed owner was truth-dead (detection-lag window);
+            the request failed even though routing "worked".
+        hops: Believed-walk forward hops charged (0 on cache hits).
+    """
+
+    target_keys: np.ndarray
+    owners: np.ndarray
+    hit: np.ndarray
+    found: np.ndarray
+    success: np.ndarray
+    stale: np.ndarray
+    hops: np.ndarray
+
+    def as_dict(self) -> dict[str, object]:
+        """Aggregate JSON-ready summary (benchmarks, golden fixtures)."""
+        n = int(self.target_keys.size)
+        routed = int((~self.hit).sum())
+        return {
+            "requests": n,
+            "cache_hits": int(self.hit.sum()),
+            "found": int(self.found.sum()),
+            "successes": int(self.success.sum()),
+            "stale_serves": int(self.stale.sum()),
+            "total_hops": int(self.hops.sum()),
+            "mean_hops_uncached": (int(self.hops.sum()) / routed) if routed else 0.0,
+        }
+
+
+class ServeEngine(BatchQueryEngine):
+    """The data-plane request path: cached, believed-membership serving.
+
+    Extends :class:`~repro.engine.batch.BatchQueryEngine` (all
+    measurement APIs still work) with :meth:`serve_batch`: resolve each
+    request key to its believed owner, route to it over believed-live
+    peers only, and verify delivery against the replicated store —
+    with an LRU result cache in front, invalidated by serve-version
+    change.
+
+    Args:
+        substrate: Any overlay satisfying the
+            :class:`~repro.core.substrate.Substrate` protocol.
+        store: The :class:`~repro.index.replication.ReplicatedStore`
+            holding the items being served (must wrap
+            ``substrate.ring``).
+        membership: The :class:`~repro.membership.views.MembershipView`
+            requests believe (must wrap ``substrate.ring``).
+        cache_size: Result-cache capacity (0 disables result caching;
+            the serve snapshot is always cached per version).
+        vectorized: ``True`` runs the numpy kernels; ``False`` the
+            bit-identical pure-Python reference twin.
+
+    Attributes:
+        result_cache: The :class:`ResultCache` (hit/miss/eviction
+            counters).
+        stale_serves: Requests that failed because the believed owner
+            was truth-dead, lifetime.
+    """
+
+    def __init__(
+        self,
+        substrate: "Substrate",
+        store: "ReplicatedStore",
+        membership: "MembershipView",
+        cache_size: int = 1 << 20,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(substrate)
+        if store.ring is not substrate.ring:
+            raise ConfigError("replicated store wraps a different ring than the substrate")
+        if membership.ring is not substrate.ring:
+            raise ConfigError("membership view wraps a different ring than the substrate")
+        self.store = store
+        self.membership = membership
+        self.vectorized = bool(vectorized)
+        self.result_cache = ResultCache(cache_size)
+        self.stale_serves = 0
+        self._serve_cache: ServeSnapshot | None = None
+
+    # ------------------------------------------------------------------
+    # versioning + snapshot cache
+    # ------------------------------------------------------------------
+
+    @property
+    def serve_version(self) -> tuple:
+        """The serving invalidation triple: substrate
+        ``topology_version`` (links/membership), store ``data_version``
+        (replica placement) and the view's eviction count (belief).
+        Any component changing makes every cached result unservable."""
+        return (
+            self.substrate.topology_version,
+            self.store.data_version,
+            int(getattr(self.membership, "evictions", 0)),
+        )
+
+    def serve_snapshot(self) -> ServeSnapshot:
+        """The believed-live topology at the *current* serve version,
+        rebuilt only when the version moved (the per-version
+        successor/owner cache)."""
+        version = self.serve_version
+        if self._serve_cache is None or self._serve_cache.version != version:
+            self._serve_cache = ServeSnapshot.capture(
+                self.substrate, self.membership, version
+            )
+        return self._serve_cache
+
+    def invalidate(self) -> None:
+        """Drop the route snapshot, the serve snapshot and every cached
+        result unconditionally (next batch rebuilds)."""
+        super().invalidate()
+        self._serve_cache = None
+        self.result_cache.clear()  # repro: allow[CACHE001] bulk invalidation, not a serve read
+
+    # ------------------------------------------------------------------
+    # the serve path
+    # ------------------------------------------------------------------
+
+    def serve_batch(self, sources: np.ndarray, target_keys: np.ndarray) -> ServeBatchResult:
+        """Serve one ``get`` batch; returns per-request outcome arrays.
+
+        Each request resolves its believed owner, routes to it over
+        believed-live peers (cache hits skip routing and charge zero
+        hops) and succeeds iff the key names a surviving item whose
+        believed owner is truth-alive and truly holds a replica. A
+        truth-dead believed owner is a **stale serve**: counted, failed,
+        never silently redirected — the detection-lag data risk made
+        visible. Results enter the LRU cache stamped with the current
+        serve version.
+
+        Raises:
+            RoutingError: A source is outside the believed-live set, or
+                a believed walk exceeded the routing budget.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        target_keys = np.asarray(target_keys, dtype=float)
+        if sources.shape != target_keys.shape:
+            raise ValueError("sources and target_keys must be aligned 1-d arrays")
+        version = self.serve_version
+        snap = self.serve_snapshot()
+        n = int(sources.size)
+
+        owners = np.empty(n, dtype=np.int64)
+        hit = np.zeros(n, dtype=bool)
+        found = np.zeros(n, dtype=bool)
+        success = np.zeros(n, dtype=bool)
+        stale = np.zeros(n, dtype=bool)
+        hops = np.zeros(n, dtype=np.int64)
+
+        miss_idx: list[int] = []
+        for i in range(n):
+            payload = self.result_cache.get(float(target_keys[i]), version)
+            if payload is not None:
+                owners[i], found[i], success[i], stale[i] = payload
+                hit[i] = True
+            else:
+                miss_idx.append(i)
+        if miss_idx:
+            miss = np.asarray(miss_idx, dtype=np.int64)
+            m_keys = target_keys[miss]
+            m_sources = sources[miss]
+            source_rows = snap.row_of[np.clip(m_sources, 0, snap.row_of.size - 1)]
+            source_rows = np.where(
+                (m_sources >= 0) & (m_sources < snap.row_of.size), source_rows, -1
+            )
+            if np.any(source_rows < 0):
+                bad = int(m_sources[source_rows < 0][0])
+                raise RoutingError(f"serve source {bad} is not believed live")
+            if self.vectorized:
+                owner_rows = snap.owner_rows(m_keys)
+            else:
+                positions = [float(p) for p in snap.pos]
+                owner_rows = np.asarray(
+                    [bisect.bisect_left(positions, float(k)) % snap.size for k in m_keys],
+                    dtype=np.int64,
+                )
+            m_owners = snap.ids[owner_rows]
+            m_hops = self._walk_hops(snap, source_rows, owner_rows, m_keys)
+            m_found, m_success, m_stale = self._verify(m_keys, m_owners)
+            owners[miss] = m_owners
+            found[miss] = m_found
+            success[miss] = m_success
+            stale[miss] = m_stale
+            hops[miss] = m_hops
+            for j, i in enumerate(miss_idx):
+                self.result_cache.put(
+                    float(target_keys[i]),
+                    version,
+                    (int(m_owners[j]), bool(m_found[j]), bool(m_success[j]), bool(m_stale[j])),
+                )
+        self.stale_serves += int(stale.sum())
+        return ServeBatchResult(
+            target_keys=target_keys,
+            owners=owners,
+            hit=hit,
+            found=found,
+            success=success,
+            stale=stale,
+            hops=hops,
+        )
+
+    # ------------------------------------------------------------------
+    # kernels (vectorized + reference twins)
+    # ------------------------------------------------------------------
+
+    def _verify(
+        self, target_keys: np.ndarray, owner_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Delivery verdict per request: ``(found, success, stale)``.
+
+        ``found`` — the key names a surviving catalog item; ``stale`` —
+        the believed owner is truth-dead; ``success`` — found, owner
+        truth-alive, and the owner is among the item's replica holders.
+        """
+        store = self.store
+        rows = store.lookup_rows(target_keys)
+        found = rows >= 0
+        owner_live = store.truth_live_mask(owner_ids)
+        stale = ~owner_live
+        if self.vectorized:
+            safe = np.where(found, rows, 0)
+            holds = (store.holders[safe] == owner_ids[:, None]).any(axis=1) & found
+        else:
+            holds = np.zeros(found.shape, dtype=bool)
+            for i in range(int(rows.size)):
+                if rows[i] < 0:
+                    continue
+                holder_row = store.holders[int(rows[i])]
+                holds[i] = any(int(h) == int(owner_ids[i]) for h in holder_row)
+        return found, found & owner_live & holds, stale
+
+    def _walk_hops(
+        self,
+        snap: ServeSnapshot,
+        source_rows: np.ndarray,
+        owner_rows: np.ndarray,
+        target_keys: np.ndarray,
+    ) -> np.ndarray:
+        """Greedy-walk hop counts from each source to its believed owner
+        over believed-live peers only.
+
+        Per hop: deliver to the believed ring successor when the key
+        falls in ``(current, successor]``, else forward to the neighbor
+        with maximal clockwise progress not passing the key (first-wins
+        ties, successor fallback) — the batch router's rules restricted
+        to belief. Vectorized and reference twins are bit-identical.
+
+        Raises:
+            RoutingError: A walk exceeded the routing budget.
+        """
+        if self.vectorized:
+            return self._walk_vectorized(snap, source_rows, owner_rows, target_keys)
+        return self._walk_reference(snap, source_rows, owner_rows, target_keys)
+
+    def _walk_vectorized(
+        self,
+        snap: ServeSnapshot,
+        source_rows: np.ndarray,
+        owner_rows: np.ndarray,
+        target_keys: np.ndarray,
+    ) -> np.ndarray:
+        """Lock-step numpy walk kernel (see :meth:`_walk_hops`)."""
+        m = snap.size
+        n = int(source_rows.size)
+        targets = keyspace.from_units(target_keys)
+        current = source_rows.copy()
+        hops = np.zeros(n, dtype=np.int64)
+        budget = self.routing.budget
+        active = current != owner_rows
+        while np.any(active):
+            rows = np.nonzero(active)[0]
+            if int(hops[rows].max(initial=0)) >= budget:
+                raise RoutingError(f"believed serve walk exceeded budget {budget}")
+            cur = current[rows]
+            tgt = targets[rows]
+            cur_key = snap.keys[cur]
+            succ = (cur + 1) % m
+            succ_key = snap.keys[succ]
+            deliver = keyspace.in_cw_intervals(tgt, cur_key, succ_key)
+            nxt = succ.copy()
+            forward = ~deliver
+            if np.any(forward):
+                f_cur = cur[forward]
+                f_key = cur_key[forward]
+                span = tgt[forward] - f_key
+                succ_progress = succ_key[forward] - f_key
+                cand = snap.nbr_rows[f_cur]
+                valid = cand >= 0
+                cand_key = snap.keys[np.where(valid, cand, 0)]
+                progress = cand_key - f_key[:, None]
+                progress = np.where(
+                    valid & (progress <= span[:, None]), progress, np.uint64(0)
+                )
+                best_col = progress.argmax(axis=1)
+                take = np.arange(best_col.size)
+                best_progress = progress[take, best_col]
+                best = cand[take, best_col]
+                improved = best_progress > succ_progress
+                nxt[forward] = np.where(improved, best, succ[forward])
+            current[rows] = nxt
+            hops[rows] += 1
+            active[rows] = nxt != owner_rows[rows]
+        return hops
+
+    def _walk_reference(
+        self,
+        snap: ServeSnapshot,
+        source_rows: np.ndarray,
+        owner_rows: np.ndarray,
+        target_keys: np.ndarray,
+    ) -> np.ndarray:
+        """Pure-Python walk twin (see :meth:`_walk_hops`) — one query at
+        a time, exact integer geometry, identical hop counts."""
+        m = snap.size
+        keys_int = [int(k) for k in snap.keys]
+        nbrs = [[int(c) for c in row if c >= 0] for row in snap.nbr_rows]
+        budget = self.routing.budget
+        hops = np.zeros(int(source_rows.size), dtype=np.int64)
+        for q in range(int(source_rows.size)):
+            cur = int(source_rows[q])
+            owner = int(owner_rows[q])
+            tgt = keyspace.from_unit(float(target_keys[q]))
+            count = 0
+            while cur != owner:
+                if count >= budget:
+                    raise RoutingError(f"believed serve walk exceeded budget {budget}")
+                cur_key = keys_int[cur]
+                succ = (cur + 1) % m
+                succ_key = keys_int[succ]
+                span = (tgt - cur_key) & _KEY_MASK
+                succ_progress = (succ_key - cur_key) & _KEY_MASK
+                if cur_key == succ_key or 0 < span <= succ_progress:
+                    nxt = succ
+                else:
+                    best, best_progress = succ, succ_progress
+                    for cand in nbrs[cur]:
+                        progress = (keys_int[cand] - cur_key) & _KEY_MASK
+                        if progress <= span and progress > best_progress:
+                            best, best_progress = cand, progress
+                    nxt = best
+                cur = nxt
+                count += 1
+            hops[q] = count
+        return hops

@@ -35,6 +35,7 @@ from . import (  # noqa: F401
     net_smoke,
     scale_build,
     scenario,
+    serve_churn,
     steady_churn,
 )
 from .base import ExperimentResult, scaled_sizes

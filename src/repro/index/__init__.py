@@ -1,5 +1,12 @@
 """Application layer: a distributed key-value index over the overlay."""
 
+from .replication import ReplicatedStore, ReplicationEpochStats
 from .store import DistributedIndex, IndexedItem, OperationReceipt
 
-__all__ = ["DistributedIndex", "IndexedItem", "OperationReceipt"]
+__all__ = [
+    "DistributedIndex",
+    "IndexedItem",
+    "OperationReceipt",
+    "ReplicatedStore",
+    "ReplicationEpochStats",
+]

@@ -3,20 +3,25 @@
 Distributions over the key circle (:class:`UniformKeys`,
 :class:`ClusteredKeys`, :class:`ZipfKeys`, and the Gnutella-trace
 substitute :class:`GnutellaLikeDistribution`) plus the random-query
-generator used by every experiment.
+generator used by every experiment and the skewed serving workloads
+(:class:`ServingWorkload` Zipf popularity, :class:`FlashCrowdSchedule`
+hot-region spikes) the data plane is load-tested with.
 """
 
 from .base import KeyDistribution
 from .gnutella import GnutellaLikeDistribution
 from .queries import Query, QueryWorkload
+from .serving import FlashCrowdSchedule, ServingWorkload
 from .standard import ClusteredKeys, UniformKeys, ZipfKeys
 
 __all__ = [
     "ClusteredKeys",
+    "FlashCrowdSchedule",
     "GnutellaLikeDistribution",
     "KeyDistribution",
     "Query",
     "QueryWorkload",
+    "ServingWorkload",
     "UniformKeys",
     "ZipfKeys",
 ]

@@ -1,0 +1,160 @@
+"""Skewed serving workloads: Zipf popularity and flash crowds.
+
+:class:`~repro.workloads.queries.QueryWorkload` models the *paper's*
+measurement — every peer equally likely to be looked up. A serving data
+plane never sees that: request popularity is Zipf-skewed (a handful of
+hot items dominate) and occasionally pathological — a **flash crowd**
+concentrates a traffic spike on one key region, right while the ring
+churns underneath. This module draws requests against a fixed *item
+catalog* (the keys a :class:`~repro.index.replication.ReplicatedStore`
+holds), which is what makes cache hit rates meaningful: the same hot
+keys recur request after request.
+
+* :class:`ServingWorkload` — item ranks drawn from a truncated Zipf
+  law over the catalog (``P(rank r) ∝ 1 / r**exponent``), via one
+  precomputed CDF and a ``searchsorted`` per batch;
+* :class:`FlashCrowdSchedule` — during ``[start, stop)`` epochs, a
+  fraction of requests is redirected onto the catalog items whose keys
+  fall in one circle arc (the crowd's target region).
+
+Determinism contract: one :meth:`ServingWorkload.generate_arrays` call
+consumes its RNG in a fixed layout — sources, rank uniforms, then (on
+every call, active window or not) the flash redirect draws — so request
+streams are reproducible per ``(catalog, RNG state, count, epoch)`` and
+identical across execution paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["FlashCrowdSchedule", "ServingWorkload"]
+
+
+@dataclass(frozen=True)
+class FlashCrowdSchedule:
+    """A traffic spike on one key region during an epoch window.
+
+    Args:
+        start: First epoch (inclusive) of the crowd.
+        stop: First epoch after the crowd (exclusive; ``stop <= start``
+            disables it).
+        fraction: Fraction of requests redirected onto the hot region
+            while active.
+        center: Center of the hot arc on the unit circle.
+        span: Arc width; the region is ``[center - span/2,
+            center + span/2)`` (wrapping).
+    """
+
+    start: int
+    stop: int
+    fraction: float = 0.8
+    center: float = 0.5
+    span: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ExperimentError(f"fraction must be in [0, 1], got {self.fraction}")
+        if not 0.0 < self.span <= 1.0:
+            raise ExperimentError(f"span must be in (0, 1], got {self.span}")
+        if not 0.0 <= self.center < 1.0:
+            raise ExperimentError(f"center must be in [0, 1), got {self.center}")
+
+    def active(self, epoch: int) -> bool:
+        """Whether the crowd is live at ``epoch``."""
+        return self.start <= epoch < self.stop
+
+    def region_mask(self, keys: np.ndarray) -> np.ndarray:
+        """Element-wise membership of ``keys`` in the hot arc
+        (wrapping)."""
+        lo = (self.center - self.span / 2.0) % 1.0
+        offset = (np.asarray(keys, dtype=float) - lo) % 1.0
+        return offset < self.span
+
+
+@dataclass(frozen=True)
+class ServingWorkload:
+    """Zipf-popular requests over a fixed item catalog.
+
+    Item ranks follow a truncated Zipf law: the catalog is ranked in
+    key order and ``P(rank r) ∝ 1 / (r + 1)**exponent``. ``exponent=0``
+    degenerates to uniform-over-catalog; web serving traces sit around
+    0.7–1.2.
+
+    Args:
+        exponent: Zipf skew (``>= 0``).
+        flash: Optional :class:`FlashCrowdSchedule`; while active, a
+            fraction of requests is redirected to uniformly chosen
+            catalog items inside the hot region (falling back to the
+            Zipf draw when the region holds no items).
+    """
+
+    exponent: float = 0.9
+    flash: FlashCrowdSchedule | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.exponent >= 0.0 and np.isfinite(self.exponent)):
+            raise ExperimentError(f"exponent must be a finite float >= 0, got {self.exponent}")
+
+    def rank_cdf(self, n_items: int) -> np.ndarray:
+        """The truncated-Zipf CDF over ``n_items`` ranks (precompute
+        once per catalog; pure function of ``(n_items, exponent)``)."""
+        if n_items < 1:
+            raise ExperimentError(f"catalog must hold >= 1 item, got {n_items}")
+        weights = 1.0 / np.power(np.arange(1, n_items + 1, dtype=float), self.exponent)
+        cdf = np.cumsum(weights)
+        return cdf / cdf[-1]
+
+    def generate_arrays(
+        self,
+        source_pool: np.ndarray,
+        item_keys: np.ndarray,
+        rng: np.random.Generator,
+        count: int,
+        epoch: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` requests as aligned ``(sources, target_keys)``.
+
+        Args:
+            source_pool: Node ids requests may originate from (callers
+                pass the believed-live ∩ truth-live population).
+            item_keys: The catalog's item keys, ascending (a
+                :class:`~repro.index.replication.ReplicatedStore`'s
+                ``item_keys``).
+            rng: Request randomness (one labelled stream per batch).
+            count: Requests to draw.
+            epoch: Current epoch — decides whether the flash crowd is
+                active. A static parameter, not RNG-dependent: the draw
+                layout is identical on every path.
+
+        RNG layout (fixed, state-independent): source indices, rank
+        uniforms, then — whenever a flash schedule is configured —
+        redirect uniforms and region picks, drawn on every call so the
+        stream alignment does not depend on the window.
+        """
+        if count < 0:
+            raise ExperimentError(f"count must be >= 0, got {count}")
+        source_pool = np.asarray(source_pool, dtype=np.int64)
+        item_keys = np.asarray(item_keys, dtype=float)
+        if source_pool.size == 0:
+            raise ExperimentError("cannot generate requests: empty source pool")
+        if item_keys.size == 0:
+            raise ExperimentError("cannot generate requests: empty item catalog")
+        sources = source_pool[rng.integers(0, source_pool.size, size=count)]
+        cdf = self.rank_cdf(int(item_keys.size))
+        ranks = np.searchsorted(cdf, rng.random(count), side="right")
+        targets = item_keys[np.minimum(ranks, item_keys.size - 1)]
+        if self.flash is not None:
+            redirect = rng.random(count) < self.flash.fraction
+            picks = rng.integers(0, max(1, item_keys.size), size=count)
+            if self.flash.active(epoch):
+                region = self.flash.region_mask(item_keys)
+                hot = np.nonzero(region)[0]
+                if hot.size:
+                    chosen = item_keys[hot[picks % hot.size]]
+                    targets = np.where(redirect, chosen, targets)
+        return sources, np.asarray(targets, dtype=float)

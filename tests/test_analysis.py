@@ -1,4 +1,4 @@
-"""Tests for the repro.analysis framework and its six rules.
+"""Tests for the repro.analysis framework and its seven rules.
 
 Every rule gets at least one fixture that makes it fire and one proving
 a per-line ``allow`` silences it (the ISSUE acceptance criteria), plus
@@ -48,8 +48,9 @@ def codes_of(findings) -> list[str]:
 
 
 class TestFramework:
-    def test_registry_has_the_six_rules(self):
+    def test_registry_has_the_seven_rules(self):
         assert [cls.code for cls in all_rules()] == [
+            "CACHE001",
             "CLK001",
             "DOC001",
             "ITER001",
@@ -484,6 +485,117 @@ def measure(rng):  # repro: allow[DOC001]
     return rng
 ''',
             path=ENGINE_PATH,
+        )
+        assert findings == []
+
+
+class TestCacheGuard:
+    """CACHE001: version-keyed cache reads need a version guard."""
+
+    def test_fires_on_unguarded_cache_read(self):
+        findings = lint(
+            '''
+            """Module."""
+
+
+            class Engine:
+                """E."""
+
+                def serve(self):
+                    """Serve."""
+                    return self._route_cache.owner
+            ''',
+            path=ENGINE_PATH,
+            codes=["CACHE001"],
+        )
+        assert codes_of(findings) == ["CACHE001"]
+        assert "_route_cache" in findings[0].message
+
+    def test_version_equality_guard_is_clean(self):
+        findings = lint(
+            '''
+            """Module."""
+
+
+            class Engine:
+                """E."""
+
+                def snapshot(self, version):
+                    """Snapshot."""
+                    if self._route_cache is None or self._route_cache.version != version:
+                        self._route_cache = object()
+                    return self._route_cache
+            ''',
+            path=ENGINE_PATH,
+            codes=["CACHE001"],
+        )
+        assert findings == []
+
+    def test_version_passed_to_cache_get_is_clean(self):
+        findings = lint(
+            '''
+            """Module."""
+
+
+            class Engine:
+                """E."""
+
+                def serve_one(self, key, version):
+                    """Serve one key."""
+                    return self.result_cache.get(key, version)
+            ''',
+            path=ENGINE_PATH,
+            codes=["CACHE001"],
+        )
+        assert findings == []
+
+    def test_writes_are_not_reads(self):
+        findings = lint(
+            '''
+            """Module."""
+
+
+            class Engine:
+                """E."""
+
+                def invalidate(self):
+                    """Drop."""
+                    self._route_cache = None
+            ''',
+            path=ENGINE_PATH,
+            codes=["CACHE001"],
+        )
+        assert findings == []
+
+    def test_non_engine_modules_are_out_of_scope(self):
+        findings = lint(
+            '''
+            """Module."""
+
+
+            def peek(store):
+                """Peek."""
+                return store.result_cache.hits
+            ''',
+            path=PLAIN_PATH,
+            codes=["CACHE001"],
+        )
+        assert findings == []
+
+    def test_suppression_works(self):
+        findings = lint(
+            '''"""Module."""
+
+
+class Engine:
+    """E."""
+
+    def peek(self):
+        """Expose the cache for tests."""
+        return self._route_cache  # repro: allow[CACHE001] exposure-only
+''',
+            path=ENGINE_PATH,
+            codes=["CACHE001"],
         )
         assert findings == []
 

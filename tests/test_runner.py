@@ -33,7 +33,7 @@ class TestSpecSchema:
     def test_tags_partition_the_registry(self):
         assert len(all_specs(tag="figure")) == 5
         assert len(all_specs(tag="ablation")) == 3
-        assert len(all_specs(tag="extension")) == 9
+        assert len(all_specs(tag="extension")) == 10
         assert [spec.id for spec in all_specs(tag="scenario")] == ["scenario"]
 
     def test_every_spec_has_scale_and_seed(self):
@@ -256,4 +256,4 @@ class TestScenarioSpec:
         from repro.experiments import EXPERIMENTS
 
         assert "scenario" not in EXPERIMENTS
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 18

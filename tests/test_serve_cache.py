@@ -1,0 +1,442 @@
+"""Tier-1 tests of the cached serve path (``repro.engine.serve``).
+
+The serving half of the PR-10 acceptance criteria:
+
+* :class:`ResultCache` units — version-stamped hits, lazy invalidation,
+  LRU eviction order, counters, the capacity-0 kill switch;
+* :class:`ServeSnapshot` — believed-live rows only, links to
+  believed-dead peers dropped at capture, owner rows matching
+  ``successor_of_key``;
+* :class:`ServeEngine` — every component of the serve-version triple
+  (links/membership, replica placement, probe belief) independently
+  invalidates cached results; cache-enabled and cache-disabled serving
+  are bit-identical under concurrent membership change; vectorized and
+  reference twins agree; and the PR-5 stale-link regression — a serve
+  receipt's owner is **never** a peer the membership view has evicted;
+* :class:`ServingWorkload` / :class:`FlashCrowdSchedule` — fixed draw
+  layout, Zipf skew, flash-crowd redirection;
+* the golden serve fixture — one fixed-seed 2k-peer probe-view run,
+  bit-identical to ``tests/data/golden_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.churn.sessions import make_sessions
+from repro.config import RoutingConfig
+from repro.degree import ConstantDegrees
+from repro.engine import ResultCache, ServeEngine, SteadyStateChurnEngine
+from repro.errors import ConfigError, ExperimentError, RoutingError
+from repro.experiments.growth import make_overlay
+from repro.index import ReplicatedStore
+from repro.membership import DetectorConfig, OracleView, ProbeView
+from repro.rng import split
+from repro.workloads import FlashCrowdSchedule, GnutellaLikeDistribution, ServingWorkload
+
+GOLDEN = Path(__file__).parent / "data" / "golden_serve.json"
+
+
+def build_plane(
+    n: int = 150,
+    seed: int = 7,
+    k: int = 3,
+    n_items: int = 100,
+    membership: str = "oracle",
+    loss: float = 0.0,
+    cache_size: int = 1 << 20,
+    vectorized: bool = True,
+):
+    """A small data plane: overlay + view + store + serve engine."""
+    overlay = make_overlay("oscar", seed=seed)
+    overlay.grow_batch(n, GnutellaLikeDistribution(), ConstantDegrees(6))
+    overlay.rewire_batch()
+    if membership == "probe":
+        view = ProbeView(overlay.ring, DetectorConfig(loss=loss), seed=seed)
+    else:
+        view = OracleView(overlay.ring)
+    store = ReplicatedStore(overlay.ring, k=k)
+    store.seed_items(split(seed, "items").random(n_items), view)
+    serve = ServeEngine(overlay, store, view, cache_size=cache_size, vectorized=vectorized)
+    return overlay, view, store, serve
+
+
+def request_batch(view, overlay, store, seed: int, count: int = 64):
+    """Believed∩truth sources plus Zipf targets over the catalog."""
+    believed = view.live_ids()
+    truth = overlay.ring.ids_array(live_only=True)
+    pool = believed[np.isin(believed, truth, assume_unique=True)]
+    return ServingWorkload(exponent=0.9).generate_arrays(
+        pool, store.item_keys, split(seed, "req"), count
+    )
+
+
+class TestResultCache:
+    def test_hit_requires_exact_version(self):
+        cache = ResultCache(8)
+        cache.put(0.5, ("v1",), (1, True, True, False))
+        assert cache.get(0.5, ("v1",)) == (1, True, True, False)
+        assert cache.hits == 1
+        assert cache.get(0.5, ("v2",)) is None  # stale -> dropped
+        assert cache.invalidations == 1
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_absent_key_is_a_miss(self):
+        cache = ResultCache(8)
+        assert cache.get(0.1, ("v",)) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put(0.1, "v", ("a",))
+        cache.put(0.2, "v", ("b",))
+        cache.put(0.3, "v", ("c",))  # evicts 0.1
+        assert cache.evictions == 1
+        assert cache.get(0.1, "v") is None
+        assert cache.get(0.2, "v") == ("b",)
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put(0.1, "v", ("a",))
+        cache.put(0.2, "v", ("b",))
+        cache.get(0.1, "v")  # 0.1 now most recent
+        cache.put(0.3, "v", ("c",))  # evicts 0.2
+        assert cache.get(0.2, "v") is None
+        assert cache.get(0.1, "v") == ("a",)
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(0)
+        cache.put(0.1, "v", ("a",))
+        assert len(cache) == 0
+        assert cache.get(0.1, "v") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultCache(-1)
+
+    def test_clear_counts_invalidations_and_hit_rate(self):
+        cache = ResultCache(8)
+        assert cache.hit_rate == 0.0
+        cache.put(0.1, "v", ("a",))
+        cache.put(0.2, "v", ("b",))
+        cache.get(0.1, "v")
+        cache.get(0.9, "v")
+        assert cache.hit_rate == 0.5
+        cache.clear()
+        assert cache.invalidations == 2 and len(cache) == 0
+
+
+class TestServeSnapshot:
+    def test_owner_rows_match_successor_of_key(self):
+        overlay, view, store, serve = build_plane()
+        snap = serve.serve_snapshot()
+        keys = split(3, "probe-keys").random(32)
+        for key in keys:
+            row = int(snap.owner_rows(np.asarray([key]))[0])
+            assert int(snap.ids[row]) == overlay.ring.successor_of_key(float(key))
+
+    def test_believed_dead_peers_are_excluded(self):
+        overlay, view, store, serve = build_plane()
+        victim = int(view.live_ids()[0])
+        view.crash([victim])
+        snap = serve.serve_snapshot()
+        assert victim not in snap.ids
+        assert snap.row_of[victim] == -1
+        assert snap.size == view.live_ids().size
+        # Every neighbor entry is a valid believed row or -1 padding.
+        assert snap.nbr_rows.max() < snap.size
+
+    def test_empty_believed_set_rejected(self):
+        overlay, view, store, serve = build_plane(n=20, n_items=5)
+        for i in view.live_ids():
+            overlay.ring.mark_dead(int(i))
+        with pytest.raises(ConfigError):
+            serve.serve_snapshot()
+
+    def test_snapshot_cached_per_version(self):
+        overlay, view, store, serve = build_plane()
+        first = serve.serve_snapshot()
+        assert serve.serve_snapshot() is first  # unchanged version
+        store.rereplicate(view, epoch=1)  # bumps data_version
+        assert serve.serve_snapshot() is not first
+
+
+class TestServeEngine:
+    def test_ring_mismatch_rejected(self):
+        overlay, view, store, __ = build_plane()
+        other, other_view, other_store, ___ = build_plane(seed=9)
+        with pytest.raises(ConfigError):
+            ServeEngine(overlay, other_store, view)
+        with pytest.raises(ConfigError):
+            ServeEngine(overlay, store, other_view)
+
+    def test_quiet_ring_serves_everything(self):
+        overlay, view, store, serve = build_plane()
+        sources, targets = request_batch(view, overlay, store, seed=1)
+        result = serve.serve_batch(sources, targets)
+        d = result.as_dict()
+        assert d["requests"] == 64
+        assert d["found"] == 64
+        assert d["successes"] == 64
+        assert d["stale_serves"] == 0
+        assert d["cache_hits"] < 64
+
+    def test_second_batch_is_all_hits_with_zero_hops(self):
+        overlay, view, store, serve = build_plane()
+        sources, targets = request_batch(view, overlay, store, seed=1)
+        cold = serve.serve_batch(sources, targets)
+        warm = serve.serve_batch(sources, targets)
+        assert warm.hit.all()
+        assert warm.hops.sum() == 0
+        np.testing.assert_array_equal(warm.owners, cold.owners)
+        np.testing.assert_array_equal(warm.success, cold.success)
+
+    def test_mismatched_shapes_rejected(self):
+        __, view, store, serve = build_plane()
+        with pytest.raises(ValueError):
+            serve.serve_batch(np.asarray([1, 2]), np.asarray([0.5]))
+
+    def test_unknown_or_believed_dead_source_rejected(self):
+        overlay, view, store, serve = build_plane()
+        key = float(store.item_keys[0])
+        with pytest.raises(RoutingError):
+            serve.serve_batch(np.asarray([10**6]), np.asarray([key]))
+        victim = int(view.live_ids()[3])
+        view.crash([victim])
+        with pytest.raises(RoutingError):
+            serve.serve_batch(np.asarray([victim]), np.asarray([key]))
+
+    def test_budget_exhaustion_raises(self):
+        overlay, view, store, serve = build_plane()
+        serve.routing = RoutingConfig(budget=1)
+        sources, targets = request_batch(view, overlay, store, seed=2)
+        with pytest.raises(RoutingError):
+            serve.serve_batch(sources, targets)
+
+    def test_absent_key_is_found_false(self):
+        overlay, view, store, serve = build_plane()
+        source = int(view.live_ids()[0])
+        result = serve.serve_batch(np.asarray([source]), np.asarray([0.123456789]))
+        assert not result.found[0] and not result.success[0]
+
+
+class TestVersionTriple:
+    def test_data_version_invalidates(self):
+        overlay, view, store, serve = build_plane()
+        sources, targets = request_batch(view, overlay, store, seed=3)
+        serve.serve_batch(sources, targets)
+        assert serve.serve_batch(sources, targets).hit.all()
+        store.rereplicate(view, epoch=1)
+        assert not serve.serve_batch(sources, targets).hit.any()
+
+    def test_membership_change_invalidates(self):
+        overlay, view, store, serve = build_plane()
+        sources, targets = request_batch(view, overlay, store, seed=3)
+        serve.serve_batch(sources, targets)
+        before = serve.serve_version
+        victim = int(view.live_ids()[-1])
+        view.crash([victim])  # oracle: ring membership version moves
+        assert serve.serve_version != before
+        safe = sources[sources != victim]
+        assert not serve.serve_batch(safe, targets[sources != victim]).hit.any()
+
+    def test_probe_eviction_invalidates(self):
+        overlay, view, store, serve = build_plane(membership="probe")
+        sources, targets = request_batch(view, overlay, store, seed=4)
+        serve.serve_batch(sources, targets)
+        before = serve.serve_version
+        victim = int(view.live_ids()[0])
+        view.crash([victim])
+        view.record_deaths([victim], epoch=1)
+        epoch = 1
+        while view.evictions == 0:
+            view.advance(epoch)
+            epoch += 1
+            assert epoch < 50, "detector failed to evict"
+        assert serve.serve_version != before
+
+    def test_explicit_invalidate_clears_everything(self):
+        overlay, view, store, serve = build_plane()
+        sources, targets = request_batch(view, overlay, store, seed=5)
+        serve.serve_batch(sources, targets)
+        serve.invalidate()
+        assert len(serve.result_cache) == 0
+        assert not serve.serve_batch(sources, targets).hit.any()
+
+
+class TestDifferential:
+    def _run_epochs(self, cache_size: int, vectorized: bool, seed: int = 13):
+        overlay = make_overlay("oscar", seed=seed)
+        overlay.grow_batch(200, GnutellaLikeDistribution(), ConstantDegrees(6))
+        overlay.rewire_batch()
+        view = OracleView(overlay.ring)
+        store = ReplicatedStore(overlay.ring, k=3)
+        store.seed_items(split(seed, "items").random(120), view)
+        sessions = make_sessions("exponential", 12.0)
+        engine = SteadyStateChurnEngine(
+            overlay,
+            GnutellaLikeDistribution(),
+            ConstantDegrees(6),
+            sessions,
+            arrival_rate=200 / sessions.mean,
+            repair_every=1,
+            n_probes=0,
+            seed=seed,
+            membership=view,
+            replication=store,
+        )
+        serve = ServeEngine(
+            overlay, store, view, cache_size=cache_size, vectorized=vectorized
+        )
+        outcomes = []
+        for e in range(1, 5):
+            engine.run_epoch()
+            sources, targets = request_batch(view, overlay, store, seed=seed + e)
+            for __ in range(2):  # cold then warm pass
+                r = serve.serve_batch(sources, targets)
+                outcomes.append(
+                    (
+                        r.owners.tolist(),
+                        r.found.tolist(),
+                        r.success.tolist(),
+                        r.stale.tolist(),
+                        r.hops.tolist(),
+                    )
+                )
+        return outcomes
+
+    def test_cache_on_equals_cache_off_under_churn(self):
+        cached = self._run_epochs(cache_size=1 << 20, vectorized=True)
+        uncached = self._run_epochs(cache_size=0, vectorized=True)
+        # Hops differ (cache hits charge 0), every outcome must not.
+        for c, u in zip(cached, uncached):
+            assert c[:4] == u[:4]
+
+    def test_vectorized_equals_reference_under_churn(self):
+        vec = self._run_epochs(cache_size=1 << 20, vectorized=True)
+        ref = self._run_epochs(cache_size=1 << 20, vectorized=False)
+        assert vec == ref
+
+
+class TestStaleServes:
+    def test_owner_is_never_a_believed_dead_peer(self):
+        """PR-5 regression, serve-path edition: receipts must never name
+        an owner outside the believed-live set, even while crashed peers
+        linger undetected."""
+        overlay, view, store, serve = build_plane(membership="probe", loss=0.1, seed=21)
+        rng = split(21, "crash")
+        believed = view.live_ids()
+        victims = [int(v) for v in rng.choice(believed, size=20, replace=False)]
+        view.crash(victims)
+        view.record_deaths(victims, epoch=1)
+        sources, targets = request_batch(view, overlay, store, seed=6, count=256)
+        result = serve.serve_batch(sources, targets)
+        assert np.isin(result.owners, view.live_ids()).all()
+
+    def test_truth_dead_owner_is_a_counted_stale_failure(self):
+        overlay, view, store, serve = build_plane(membership="probe", seed=23)
+        key = float(store.item_keys[10])
+        owner = int(overlay.ring.successor_of_key(key))
+        view.crash([owner])
+        view.record_deaths([owner], epoch=1)
+        assert view.is_live(owner)  # believed alive: the lag window
+        source = int(view.live_ids()[0]) if int(view.live_ids()[0]) != owner else int(
+            view.live_ids()[1]
+        )
+        result = serve.serve_batch(np.asarray([source]), np.asarray([key]))
+        assert result.stale[0]
+        assert not result.success[0]
+        assert serve.stale_serves == 1
+
+
+class TestServingWorkload:
+    def test_generation_is_deterministic(self):
+        pool = np.arange(10, dtype=np.int64)
+        keys = np.sort(split(0, "cat").random(50))
+        w = ServingWorkload(exponent=0.9)
+        a = w.generate_arrays(pool, keys, split(1, "req"), 128)
+        b = w.generate_arrays(pool, keys, split(1, "req"), 128)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_sources_come_from_the_pool(self):
+        pool = np.asarray([3, 8, 44], dtype=np.int64)
+        keys = np.sort(split(0, "cat").random(20))
+        sources, targets = ServingWorkload().generate_arrays(
+            pool, keys, split(2, "req"), 100
+        )
+        assert np.isin(sources, pool).all()
+        assert np.isin(targets, keys).all()
+
+    def test_zipf_skew_concentrates_on_low_ranks(self):
+        pool = np.arange(4, dtype=np.int64)
+        keys = np.sort(split(0, "cat").random(200))
+        flat = ServingWorkload(exponent=0.0)
+        skew = ServingWorkload(exponent=1.2)
+        __, flat_t = flat.generate_arrays(pool, keys, split(3, "req"), 4000)
+        __, skew_t = skew.generate_arrays(pool, keys, split(3, "req"), 4000)
+        top = keys[0]
+        assert (skew_t == top).mean() > 5 * max((flat_t == top).mean(), 1e-3)
+
+    def test_flash_redirects_only_inside_window(self):
+        pool = np.arange(6, dtype=np.int64)
+        keys = np.linspace(0.0, 0.999, 400)
+        flash = FlashCrowdSchedule(start=3, stop=5, fraction=0.9, center=0.5, span=0.02)
+        w = ServingWorkload(exponent=0.9, flash=flash)
+        region = flash.region_mask(keys)
+        __, inside = w.generate_arrays(pool, keys, split(4, "req"), 2000, epoch=3)
+        __, outside = w.generate_arrays(pool, keys, split(4, "req"), 2000, epoch=7)
+        assert flash.region_mask(inside).mean() > 0.8
+        assert flash.region_mask(outside).mean() < 0.1
+        assert region.sum() > 0
+
+    def test_flash_draw_layout_is_window_independent(self):
+        # Same rng, same flash config: sources identical inside and
+        # outside the window (the redirect draws are always consumed).
+        pool = np.arange(6, dtype=np.int64)
+        keys = np.linspace(0.0, 0.999, 100)
+        flash = FlashCrowdSchedule(start=3, stop=5)
+        w = ServingWorkload(flash=flash)
+        s_in, __ = w.generate_arrays(pool, keys, split(5, "req"), 256, epoch=4)
+        s_out, __ = w.generate_arrays(pool, keys, split(5, "req"), 256, epoch=9)
+        np.testing.assert_array_equal(s_in, s_out)
+
+    def test_region_mask_wraps_the_circle(self):
+        flash = FlashCrowdSchedule(start=0, stop=1, center=0.0, span=0.1)
+        mask = flash.region_mask(np.asarray([0.96, 0.04, 0.5]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            FlashCrowdSchedule(start=0, stop=1, fraction=1.5)
+        with pytest.raises(ExperimentError):
+            FlashCrowdSchedule(start=0, stop=1, span=0.0)
+        with pytest.raises(ExperimentError):
+            ServingWorkload(exponent=-1.0)
+        w = ServingWorkload()
+        with pytest.raises(ExperimentError):
+            w.generate_arrays(np.empty(0, dtype=np.int64), np.asarray([0.5]), split(0, "r"), 4)
+        with pytest.raises(ExperimentError):
+            w.generate_arrays(np.asarray([1]), np.empty(0), split(0, "r"), 4)
+        with pytest.raises(ExperimentError):
+            w.rank_cdf(0)
+
+
+class TestGoldenServe:
+    def test_fixture_is_bit_identical(self):
+        """Rebuild the recorded 2k-peer probe-view serve-churn run and
+        assert every epoch's numbers match ``golden_serve.json``."""
+        from scripts.make_golden_serve import capture  # type: ignore[import-not-found]
+
+        fixture = json.loads(GOLDEN.read_text())
+        regenerated = json.loads(json.dumps(capture(), sort_keys=True))
+        assert regenerated["config"] == fixture["config"]
+        assert regenerated["totals"] == fixture["totals"]
+        assert len(regenerated["epochs"]) == len(fixture["epochs"])
+        for got, want in zip(regenerated["epochs"], fixture["epochs"]):
+            assert got == want
